@@ -1,0 +1,58 @@
+"""E9 — Figure 11: top-3 minimal explanations by aggravation.
+
+The paper's aggravation answers are more *specific* (multi-attribute
+conjunctions) than the intervention answers, because restricting to a
+narrow protective sub-population inflates the ratio most; for
+Q_Marital the top answers even reach infinity (a sub-population with
+zero poor-APGAR unmarried births).  We assert both shapes.
+"""
+
+from conftest import print_ranking
+
+from repro.core import Explainer
+from repro.datasets import natality
+
+
+def test_fig11_qrace_top3_aggravation(benchmark, natality_db):
+    explainer = Explainer(
+        natality_db,
+        natality.q_race_question(),
+        natality.default_attributes("race"),
+        support_threshold=None,
+    )
+    top = benchmark(
+        lambda: explainer.top(3, by="aggravation", strategy="minimal_append")
+    )
+    q_d = explainer.original_value()
+    print(f"\nQ_Race(D) = {q_d:.1f}")
+    print_ranking("Figure 11 (left): Q_Race top-3 by aggravation", top)
+    benchmark.extra_info["top"] = [str(r.explanation) for r in top]
+    # Aggravation degrees exceed the original value (that's the point).
+    finite = [r.degree for r in top if r.degree != float("inf")]
+    assert all(d >= q_d for d in finite)
+
+
+def test_fig11_specificity_shape(benchmark, natality_db):
+    """Aggravation's minimal top answers are at least as specific as
+    intervention's (paper: 3-4 conjuncts vs 1-2)."""
+    explainer = Explainer(
+        natality_db,
+        natality.q_race_question(),
+        natality.default_attributes("race"),
+    )
+
+    def both():
+        interv = explainer.top(5, by="intervention", strategy="minimal_append")
+        aggr = explainer.top(5, by="aggravation", strategy="minimal_append")
+        return interv, aggr
+
+    interv, aggr = benchmark(both)
+    mean_interv = sum(r.explanation.size for r in interv) / len(interv)
+    mean_aggr = sum(r.explanation.size for r in aggr) / len(aggr)
+    print(
+        f"\n== specificity: intervention avg {mean_interv:.1f} conjuncts, "
+        f"aggravation avg {mean_aggr:.1f} conjuncts =="
+    )
+    benchmark.extra_info["mean_atoms_intervention"] = mean_interv
+    benchmark.extra_info["mean_atoms_aggravation"] = mean_aggr
+    assert mean_aggr >= mean_interv

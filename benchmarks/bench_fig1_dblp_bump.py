@@ -1,0 +1,36 @@
+"""E1 — Figure 1: SIGMOD publications in five-year windows, com vs edu.
+
+Regenerates the bump plot's two series from the synthetic DBLP
+database and times the window-count computation (a full scan over the
+universal table).  Expected shape: 'com' rises through the 90s and
+declines after ~2004; 'edu' keeps rising.
+"""
+
+from conftest import print_series
+
+from repro.datasets import dblp
+from repro.engine.universal import universal_table
+
+
+def test_fig1_window_series(benchmark, dblp_db):
+    series = benchmark(dblp.five_year_window_counts, dblp_db)
+    print_series("Figure 1: SIGMOD pubs per 5-year window (com)", series["com"])
+    print_series("Figure 1: SIGMOD pubs per 5-year window (edu)", series["edu"])
+    com = [c for _, c in series["com"]]
+    edu = [c for _, c in series["edu"]]
+    benchmark.extra_info["com_peak"] = max(com)
+    benchmark.extra_info["com_final"] = com[-1]
+    benchmark.extra_info["edu_final"] = edu[-1]
+    # Shape assertions: the industrial bump exists.
+    assert max(com) > com[-1], "industrial counts should decline after the peak"
+    assert edu[-1] >= 0.8 * max(edu), "academic counts should keep rising"
+
+
+def test_fig1_bump_query_value(benchmark, dblp_db):
+    """Q(D) for the bump question — the value the user asks about."""
+    question = dblp.bump_question()
+    u = universal_table(dblp_db)
+    value = benchmark(question.query.evaluate_universal, u)
+    print(f"\n== Figure 1 bump value Q(D) = (q1/q2)/(q3/q4) = {value:.3f} ==")
+    benchmark.extra_info["Q_D"] = value
+    assert value > 1.5, "the planted bump should make Q(D) clearly > 1"

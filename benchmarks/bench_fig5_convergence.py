@@ -1,0 +1,72 @@
+"""E4/E14 — Figure 5 / Example 3.7: fixpoint convergence behaviour.
+
+Three series:
+
+* the Θ(n) chain: iterations grow linearly with n (tightness of
+  Proposition 3.4);
+* the single-back-and-forth chain: iterations stay ≤ 2s + 2 = 4
+  regardless of n (Proposition 3.11);
+* the no-back-and-forth running example: 2 iterations (Proposition 3.5).
+"""
+
+from conftest import print_series
+
+from repro.core import compute_intervention, parse_explanation
+from repro.datasets import chains
+from repro.datasets import running_example as rex
+
+
+def test_fig5_chain_iterations(benchmark):
+    sizes = [1, 2, 4, 8, 16]
+
+    def sweep():
+        out = []
+        for p in sizes:
+            db, phi = chains.example_37(p)
+            result = compute_intervention(db, phi)
+            out.append((db.total_rows(), result.iterations))
+        return out
+
+    series = benchmark(sweep)
+    print_series("Figure 5: chain size n vs fixpoint iterations", series)
+    benchmark.extra_info["series"] = series
+    for n, iters in series:
+        assert iters == n - 2  # 4p - 1 with n = 4p + 1 (see chains.py)
+
+
+def test_fig5_single_bf_constant_iterations(benchmark):
+    sizes = [1, 4, 16]
+
+    def sweep():
+        out = []
+        for p in sizes:
+            db, phi = chains.single_back_and_forth_chain(p)
+            result = compute_intervention(db, phi)
+            out.append((db.total_rows(), result.iterations))
+        return out
+
+    series = benchmark(sweep)
+    print_series(
+        "Prop 3.11: single b&f chain, n vs iterations (bound = 4)", series
+    )
+    assert all(iters <= 4 for _, iters in series)
+
+
+def test_fig5_no_bf_two_iterations(benchmark):
+    db = rex.database(back_and_forth=False)
+    phi = parse_explanation("Author.dom = 'com'")
+
+    def run():
+        return compute_intervention(db, phi)
+
+    result = benchmark(run)
+    print(f"\n== Prop 3.5: no b&f keys -> {result.iterations} iterations ==")
+    assert result.iterations <= 2
+
+
+def test_fig5_fixpoint_cost_scales(benchmark):
+    """Wall-clock of one full fixpoint on the largest chain."""
+    db, phi = chains.example_37(32)  # n = 129
+    result = benchmark(lambda: compute_intervention(db, phi))
+    benchmark.extra_info["iterations"] = result.iterations
+    assert result.iterations == chains.expected_iterations(32)

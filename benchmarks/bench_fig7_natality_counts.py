@@ -1,0 +1,77 @@
+"""E6/E7 — Figures 7–9: the Q_Race / Q_Marital contingency tables.
+
+Regenerates the two count tables of Figure 7 (and hence the good/poor
+ratio plots of Figures 8–9) on the synthetic natality instance, and
+checks the planted shape: good ≫ poor everywhere, the Asian good/poor
+ratio the highest of the four races, married above unmarried.
+"""
+
+from conftest import print_series
+
+from repro.datasets import natality
+from repro.engine.universal import universal_table
+
+
+def test_fig7_contingency_tables(benchmark, natality_db):
+    tables = benchmark(natality.figure7_table, natality_db)
+    by_race, by_marital = tables["race"], tables["marital"]
+
+    print("\n== Figure 7 (top): AP x Race counts ==")
+    races = list(natality.RACE_VALUES)
+    print("        " + "".join(f"{r:>9}" for r in races))
+    for ap in ("poor", "good"):
+        print(
+            f"  {ap:>5} "
+            + "".join(f"{by_race.get((ap, r), 0):>9}" for r in races)
+        )
+    print("\n== Figure 7 (bottom): AP x Marital counts ==")
+    for ap in ("poor", "good"):
+        print(
+            f"  {ap:>5} "
+            + "".join(
+                f"{by_marital.get((ap, m), 0):>11}"
+                for m in natality.MARITAL_VALUES
+            )
+        )
+
+    ratios = []
+    for race in races:
+        good = by_race.get(("good", race), 0)
+        poor = max(by_race.get(("poor", race), 0), 1)
+        ratios.append((race, good / poor))
+    print_series("Figure 8 shape: good/poor ratio by race", ratios)
+    benchmark.extra_info["ratios"] = {r: v for r, v in ratios}
+
+    ratio = dict(ratios)
+    assert ratio["Asian"] == max(ratio.values())
+    # AmInd's tiny population (~1.2%) is noisy at benchmark scale, so
+    # only the large-sample comparisons are asserted strictly.
+    assert ratio["Black"] < ratio["White"]
+    married = by_marital[("good", "married")] / by_marital[("poor", "married")]
+    unmarried = (
+        by_marital[("good", "unmarried")] / by_marital[("poor", "unmarried")]
+    )
+    print_series(
+        "Figure 9 shape: good/poor by marital status",
+        [("married", married), ("unmarried", unmarried)],
+    )
+    assert married > unmarried
+
+
+def test_fig7_question_values(benchmark, natality_db):
+    """Q_Race(D) and Q_Marital(D) — the observed values under question."""
+    u = universal_table(natality_db)
+
+    def compute():
+        return (
+            natality.q_race_question().query.evaluate_universal(u),
+            natality.q_marital_question().query.evaluate_universal(u),
+        )
+
+    q_race, q_marital = benchmark(compute)
+    print(f"\n== Q_Race(D) = {q_race:.1f} (paper: 79.3) ==")
+    print(f"== Q_Marital(D) = {q_marital:.3f} (paper: 1.46) ==")
+    benchmark.extra_info["Q_Race"] = q_race
+    benchmark.extra_info["Q_Marital"] = q_marital
+    assert q_race > 20  # clearly high
+    assert 1.0 < q_marital < 3.0  # ratio-of-ratios slightly above 1

@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every paper table/figure has one ``bench_*`` module.  Benchmarks use
+seeded synthetic datasets (see DESIGN.md for the substitutions) at
+scales that keep the full suite in the minutes range; the *shapes* of
+the paper's plots — who wins, how times grow — are what we reproduce,
+not SQL Server's absolute numbers.  Each module prints the series it
+regenerates so ``pytest benchmarks/ --benchmark-only -s`` doubles as a
+report generator; the same numbers are attached to
+``benchmark.extra_info`` for machine consumption.
+"""
+
+import pytest
+
+from repro.datasets import dblp, geodblp, natality
+
+# Scales chosen so the whole benchmark suite completes in minutes on a
+# laptop while still showing the growth trends of Figures 12-14.
+# 40k rows keeps the poor-APGAR Asian subpopulation (~30 births) large
+# enough for stable Figure 10 rankings.
+NATALITY_ROWS = 40_000
+NATALITY_SEED = 2014
+DBLP_SCALE = 1.0
+DBLP_SEED = 3
+GEODBLP_SCALE = 1.0
+GEODBLP_SEED = 5
+
+
+@pytest.fixture(scope="session")
+def natality_db():
+    """The benchmark natality instance (session-cached)."""
+    return natality.generate(rows=NATALITY_ROWS, seed=NATALITY_SEED)
+
+
+@pytest.fixture(scope="session")
+def dblp_db():
+    """The benchmark DBLP instance (session-cached)."""
+    return dblp.generate(scale=DBLP_SCALE, seed=DBLP_SEED)
+
+
+@pytest.fixture(scope="session")
+def geodblp_db():
+    """The benchmark Geo-DBLP instance (session-cached)."""
+    return geodblp.generate(scale=GEODBLP_SCALE, seed=GEODBLP_SEED)
+
+
+def print_ranking(title, ranking):
+    """Render a ranked-explanation table to stdout."""
+    print(f"\n== {title} ==")
+    for r in ranking:
+        degree = (
+            f"{r.degree:.4g}"
+            if isinstance(r.degree, (int, float))
+            else str(r.degree)
+        )
+        print(f"  {r.rank:>2}. {degree:>12}  {r.explanation}")
+
+
+def print_series(title, pairs, unit=""):
+    """Render an (x, y) series to stdout."""
+    print(f"\n== {title} ==")
+    for x, y in pairs:
+        if isinstance(y, float):
+            print(f"  {x:>12}: {y:.4f}{unit}")
+        else:
+            print(f"  {x:>12}: {y}{unit}")

@@ -1,0 +1,52 @@
+"""The Section 1 / Figure 1-2 DBLP experiment: the industrial bump.
+
+Generates the synthetic DBLP database with the planted phenomenon,
+prints the five-year-window series (Figure 1), and ranks the top
+explanations by intervention (Figure 2) — industrial labs whose output
+collapsed, their star authors, and the academic groups that ramped up.
+
+Run:  python examples/dblp_bump.py [scale]
+"""
+
+import sys
+
+from repro import Explainer, render_ranking
+from repro.datasets import dblp
+
+
+def ascii_series(points, width=50) -> None:
+    peak = max(c for _, c in points) or 1
+    for year, count in points:
+        bar = "#" * int(width * count / peak)
+        print(f"  {year}: {bar} {count}")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    print(f"Generating synthetic DBLP (scale={scale})...")
+    db = dblp.generate(scale=scale, seed=3)
+    print(db)
+
+    series = dblp.five_year_window_counts(db)
+    print("\nSIGMOD publications per 5-year window — industry (com):")
+    ascii_series(series["com"])
+    print("\nSIGMOD publications per 5-year window — academia (edu):")
+    ascii_series(series["edu"])
+
+    question = dblp.bump_question()
+    explainer = Explainer(db, question, dblp.default_attributes())
+    print(f"\nBump value Q(D) = (q1/q2)/(q3/q4) = "
+          f"{explainer.original_value():.2f}  (question: why so high?)")
+    print(explainer.additivity_report().explain())
+
+    top = explainer.top(9, strategy="minimal_append")
+    print("\nTop-9 explanations by intervention (Figure 2 analogue):")
+    print(render_ranking(top))
+    print(
+        "\nReading: deleting any of these (with their causal closure) "
+        "flattens the bump the most."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""The Section 5.2 Geo-DBLP experiment: the UK SIGMOD/PODS anomaly.
+
+Joins eight relations (three DBLP-side, five Geo-side), shows the
+per-country venue percentages (Figure 15a), and explains why the UK's
+SIGMOD/PODS ratio is so LOW (Figure 15b) — including the paper's
+observation that [city = Oxford] outranks any single institution
+because of Semmle Ltd. and inconsistent institution-name formats.
+
+Run:  python examples/geodblp_uk.py [scale]
+"""
+
+import sys
+
+from repro import Explainer, render_ranking
+from repro.datasets import geodblp
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    print(f"Generating synthetic DBLP + Geo-DBLP (scale={scale})...")
+    db = geodblp.generate(scale=scale, seed=5)
+    print(db)
+
+    print("\n% of SIGMOD vs PODS publications by country (Figure 15a):")
+    pct = geodblp.country_venue_percentages(db)
+    for country, values in sorted(pct.items(), key=lambda kv: -kv[1]["PODS"]):
+        print(
+            f"  {country:<16} SIGMOD {values['SIGMOD']:5.1f}%   "
+            f"PODS {values['PODS']:5.1f}%"
+        )
+
+    question = geodblp.uk_question()
+    explainer = Explainer(db, question, geodblp.default_attributes())
+    print(
+        f"\nQ(D) = UK SIGMOD / UK PODS = {explainer.original_value():.3f}"
+        "  (question: why so low?)"
+    )
+    print(explainer.additivity_report().explain())
+
+    top = explainer.top(8, strategy="minimal_self_join")
+    print("\nTop explanations by intervention (Figure 15b analogue):")
+    print(render_ranking(top))
+    print(
+        "\nNote how [City.city = 'Oxford'] beats [inst = 'Oxford Univ.']: "
+        "the city aggregates Semmle Ltd. and both university name formats."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Section 6(iv) extension: "why is this series increasing?"
+
+The paper proposes translating trend questions into numerical queries:
+"why is the sequence of bars increasing" becomes "why is the slope of
+the linear regression through the datapoints positive".  We build that
+query over the academic SIGMOD publication counts per 3-year window
+and ask for explanations — expecting the newly established academic
+groups to top the list, since deleting them flattens the rise.
+
+Run:  python examples/why_increasing.py
+"""
+
+from repro import Explainer, UserQuestion, regression_slope_query, render_ranking
+from repro.core.numquery import AggregateQuery
+from repro.datasets import dblp
+from repro.engine import Col, Comparison, Const, conj, count_distinct
+
+
+def window_query(name: str, lo: int, hi: int) -> AggregateQuery:
+    where = conj(
+        Comparison("=", Col("Publication.venue"), Const("SIGMOD")),
+        Comparison("=", Col("Author.dom"), Const("edu")),
+        Comparison(">=", Col("Publication.year"), Const(lo)),
+        Comparison("<=", Col("Publication.year"), Const(hi)),
+    )
+    return AggregateQuery(name, count_distinct("Publication.pubid", name), where)
+
+
+def main() -> None:
+    db = dblp.generate(scale=1.0, seed=3)
+    windows = [(1997, 1999), (2000, 2002), (2003, 2005), (2006, 2008), (2009, 2011)]
+    series = [
+        window_query(f"q{i}", lo, hi) for i, (lo, hi) in enumerate(windows)
+    ]
+    query = regression_slope_query(series)
+    question = UserQuestion.high(query)
+
+    explainer = Explainer(db, question, dblp.default_attributes())
+    slope = explainer.original_value()
+    print("Academic SIGMOD publications per window:")
+    for (lo, hi), q in zip(windows, series):
+        value = q.evaluate(explainer.universal)
+        print(f"  {lo}-{hi}: {value}")
+    print(f"\nRegression slope Q(D) = {slope:.2f} papers/window "
+          "(question: why is the series increasing?)")
+
+    top = explainer.top(6, strategy="minimal_append")
+    print("\nTop explanations by intervention "
+          "(deleting these flattens the slope the most):")
+    print(render_ranking(top))
+
+
+if __name__ == "__main__":
+    main()

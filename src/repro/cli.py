@@ -1,0 +1,357 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``demo``
+    Run one of the paper's experiments end to end on a synthetic
+    dataset and print the ranked explanations::
+
+        python -m repro demo natality --top 5
+        python -m repro demo dblp --by aggravation
+
+``intervene``
+    Compute the minimal intervention Δ^φ for a predicate on the
+    built-in running example (or a dataset) and print the deleted
+    tuples and the fixpoint trace::
+
+        python -m repro intervene "Author.name = 'JG' AND Publication.year = 2001"
+
+``explain``
+    Explain a ratio question over a single-table CSV file: counts of
+    rows matching the numerator filter divided by counts matching the
+    denominator filter, searched over the given attributes::
+
+        python -m repro explain births.csv --pk bid \\
+            --numerator ap=good --denominator ap=poor \\
+            --dir high --attributes marital,tobacco --top 5
+
+``sql``
+    Print the SQL script of Algorithm 1, or program P as datalog, for
+    one of the built-in schemas::
+
+        python -m repro sql dblp
+        python -m repro sql running-example --datalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .core import (
+    AggregateQuery,
+    Direction,
+    Explainer,
+    UserQuestion,
+    compute_intervention,
+    parse_explanation,
+    ratio_query,
+    render_ranking,
+)
+from .core.sqlgen import algorithm1_script, program_p_datalog
+from .datasets import dblp, geodblp, natality, running_example
+from .engine import Col, Comparison, Const, conj, count_star
+from .engine.csvio import load_table
+from .engine.database import Database
+from .engine.schema import single_table_schema
+from .errors import ReproError
+
+DEMOS = ("running-example", "natality", "dblp", "geodblp")
+
+
+def _demo_setup(name: str, rows: int, scale: float, seed: int):
+    """(database, question, attributes) for one named demo."""
+    if name == "natality":
+        db = natality.generate(rows=rows, seed=seed)
+        return db, natality.q_race_question(), natality.default_attributes("race")
+    if name == "dblp":
+        db = dblp.generate(scale=scale, seed=seed)
+        return db, dblp.bump_question(), dblp.default_attributes()
+    if name == "geodblp":
+        db = geodblp.generate(scale=scale, seed=seed)
+        return db, geodblp.uk_question(), geodblp.default_attributes()
+    if name == "running-example":
+        from .engine import count_distinct
+        from .core import single_query
+
+        db = running_example.database()
+        q = single_query(
+            AggregateQuery(
+                "q",
+                count_distinct("Publication.pubid", "q"),
+                Comparison("=", Col("Publication.venue"), Const("SIGMOD")),
+            )
+        )
+        return db, UserQuestion.high(q), ["Author.name", "Publication.year"]
+    raise ReproError(f"unknown demo {name!r}; choose from {DEMOS}")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    db, question, attributes = _demo_setup(
+        args.dataset, args.rows, args.scale, args.seed
+    )
+    print(f"dataset: {db}")
+    explainer = Explainer(db, question, attributes)
+    print(f"Q(D) = {explainer.original_value()}")
+    ranking = explainer.top(args.top, by=args.by, strategy=args.strategy)
+    print(render_ranking(ranking))
+    return 0
+
+
+def cmd_intervene(args: argparse.Namespace) -> int:
+    db, _, _ = _demo_setup(args.dataset, args.rows, args.scale, args.seed)
+    phi = parse_explanation(args.phi)
+    result = compute_intervention(db, phi)
+    print(f"φ = {phi}")
+    print(f"iterations: {result.iterations}")
+    for trace in result.trace:
+        fired = ", ".join(f"{k}:{v}" for k, v in trace.new_by_rule.items())
+        print(f"  iteration {trace.iteration}: +{trace.new_total} ({fired})")
+    print(result.delta.describe())
+    return 0
+
+
+def _parse_filter(text: str, relation: str):
+    """``a=x,b=y`` -> conjunction of equality comparisons."""
+    atoms = []
+    for part in text.split(","):
+        if "=" not in part:
+            raise ReproError(f"bad filter fragment {part!r}; use attr=value")
+        attr, value = part.split("=", 1)
+        parsed: object = value
+        for cast in (int, float):
+            try:
+                parsed = cast(value)
+                break
+            except ValueError:
+                continue
+        atoms.append(
+            Comparison("=", Col(f"{relation}.{attr.strip()}"), Const(parsed))
+        )
+    return conj(*atoms)
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    table = load_table(args.csv)
+    if args.pk not in table.columns:
+        raise ReproError(f"primary key column {args.pk!r} not in CSV header")
+    schema = single_table_schema("T", list(table.columns), [args.pk])
+    db = Database(schema, {"T": table.rows()})
+
+    q1 = AggregateQuery(
+        "q1", count_star("q1"), _parse_filter(args.numerator, "T")
+    )
+    q2 = AggregateQuery(
+        "q2", count_star("q2"), _parse_filter(args.denominator, "T")
+    )
+    query = ratio_query(q1, q2, epsilon=args.epsilon)
+    question = UserQuestion(query, Direction.parse(args.dir))
+    attributes = [f"T.{a.strip()}" for a in args.attributes.split(",")]
+    explainer = Explainer(
+        db, question, attributes, support_threshold=args.support
+    )
+    print(f"rows: {len(table)}   Q(D) = {explainer.original_value():.4f}")
+    print(render_ranking(explainer.top(args.top, strategy=args.strategy)))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from .core.validation import validate_database, validate_question
+
+    db, question, attributes = _demo_setup(
+        args.dataset, args.rows, args.scale, args.seed
+    )
+    db_report = validate_database(db)
+    print(db_report.render())
+    q_report = validate_question(db, question, attributes)
+    print(q_report.render())
+    return 0 if db_report.ok and q_report.ok else 1
+
+
+def cmd_ask(args: argparse.Namespace) -> int:
+    from .core.parsing import parse_question
+
+    if args.csv is not None:
+        if args.pk is None:
+            raise ReproError("--csv requires --pk")
+        table = load_table(args.csv)
+        if args.pk not in table.columns:
+            raise ReproError(f"primary key column {args.pk!r} not in CSV header")
+        schema = single_table_schema("T", list(table.columns), [args.pk])
+        db = Database(schema, {"T": table.rows()})
+    else:
+        db, _, _ = _demo_setup(args.dataset, args.rows, args.scale, args.seed)
+    question = parse_question(args.dir, args.expr, args.agg)
+    attributes = [a.strip() for a in args.attributes.split(",")]
+    explainer = Explainer(db, question, attributes, support_threshold=args.support)
+    print(f"Q(D) = {explainer.original_value()}")
+    report = explainer.additivity_report()
+    print(report.explain())
+    method = args.method or ("cube" if report.additive else "indexed")
+    print(f"method: {method}")
+    print(render_ranking(explainer.top(args.top, method=method)))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .core.report import explain_question
+
+    db, question, attributes = _demo_setup(
+        args.dataset, args.rows, args.scale, args.seed
+    )
+    report = explain_question(db, question, attributes, k=args.top)
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.render())
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from .engine.storage import save_database
+
+    db, _, _ = _demo_setup(args.dataset, args.rows, args.scale, args.seed)
+    save_database(db, args.out)
+    sizes = ", ".join(
+        f"{name}={len(rel)}" for name, rel in db.relations.items()
+    )
+    print(f"wrote {args.out}: {sizes}")
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    db, question, attributes = _demo_setup(
+        args.dataset, rows=10, scale=0.1, seed=0
+    )
+    if args.datalog:
+        print(program_p_datalog(db.schema))
+    else:
+        print(algorithm1_script(db.schema, question, attributes))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Intervention-based explanations for database queries "
+        "(Roy & Suciu, SIGMOD 2014).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--rows", type=int, default=20_000,
+                       help="synthetic natality rows (default 20000)")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="synthetic DBLP/Geo-DBLP scale (default 1.0)")
+        p.add_argument("--seed", type=int, default=2014)
+
+    demo = sub.add_parser("demo", help="run a built-in experiment")
+    demo.add_argument("dataset", choices=DEMOS)
+    demo.add_argument("--top", type=int, default=5)
+    demo.add_argument("--by", choices=("intervention", "aggravation"),
+                      default="intervention")
+    demo.add_argument(
+        "--strategy",
+        choices=("no_minimal", "minimal_self_join", "minimal_append"),
+        default="minimal_append",
+    )
+    add_common(demo)
+    demo.set_defaults(func=cmd_demo)
+
+    interv = sub.add_parser("intervene", help="compute Δ^φ for a predicate")
+    interv.add_argument("phi", help="predicate, e.g. \"Author.name = 'JG'\"")
+    interv.add_argument("--dataset", choices=DEMOS, default="running-example")
+    add_common(interv)
+    interv.set_defaults(func=cmd_intervene)
+
+    explain = sub.add_parser("explain", help="explain a CSV ratio question")
+    explain.add_argument("csv", help="path to a headed CSV file")
+    explain.add_argument("--pk", required=True, help="primary key column")
+    explain.add_argument("--numerator", required=True,
+                         help="filter a=x,b=y for the numerator count")
+    explain.add_argument("--denominator", required=True,
+                         help="filter for the denominator count")
+    explain.add_argument("--dir", choices=("high", "low"), default="high")
+    explain.add_argument("--attributes", required=True,
+                         help="comma-separated explanation attributes")
+    explain.add_argument("--top", type=int, default=5)
+    explain.add_argument("--epsilon", type=float, default=0.0001)
+    explain.add_argument("--support", type=float, default=None)
+    explain.add_argument(
+        "--strategy",
+        choices=("no_minimal", "minimal_self_join", "minimal_append"),
+        default="minimal_append",
+    )
+    explain.set_defaults(func=cmd_explain)
+
+    check = sub.add_parser(
+        "check", help="validate a dataset + question before analysis"
+    )
+    check.add_argument("dataset", choices=DEMOS)
+    add_common(check)
+    check.set_defaults(func=cmd_check)
+
+    ask = sub.add_parser(
+        "ask", help="ask a custom (Q, dir) question in text syntax"
+    )
+    ask.add_argument("--dataset", choices=DEMOS, default="running-example")
+    ask.add_argument("--csv", default=None, help="single-table CSV instead")
+    ask.add_argument("--pk", default=None, help="primary key column for --csv")
+    ask.add_argument("--dir", choices=("high", "low"), required=True)
+    ask.add_argument(
+        "--expr", required=True, help="E expression, e.g. '(q1/q2)/(q3/q4)'"
+    )
+    ask.add_argument(
+        "--agg",
+        action="append",
+        required=True,
+        help="aggregate, e.g. \"q1 := count(*) WHERE T.ap = 'good'\" (repeat)",
+    )
+    ask.add_argument("--attributes", required=True)
+    ask.add_argument("--top", type=int, default=5)
+    ask.add_argument("--support", type=float, default=None)
+    ask.add_argument(
+        "--method", choices=("cube", "naive", "exact", "indexed"), default=None
+    )
+    add_common(ask)
+    ask.set_defaults(func=cmd_ask)
+
+    report = sub.add_parser(
+        "report", help="full explanation report for a built-in experiment"
+    )
+    report.add_argument("dataset", choices=DEMOS)
+    report.add_argument("--top", type=int, default=5)
+    report.add_argument("--json", action="store_true")
+    add_common(report)
+    report.set_defaults(func=cmd_report)
+
+    generate = sub.add_parser(
+        "generate", help="write a synthetic dataset to a directory"
+    )
+    generate.add_argument("dataset", choices=DEMOS)
+    generate.add_argument("out", help="output directory")
+    add_common(generate)
+    generate.set_defaults(func=cmd_generate)
+
+    sql = sub.add_parser("sql", help="print SQL / datalog renderings")
+    sql.add_argument("dataset", choices=DEMOS)
+    sql.add_argument("--datalog", action="store_true",
+                     help="print program P as datalog instead of SQL")
+    sql.set_defaults(func=cmd_sql)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

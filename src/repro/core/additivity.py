@@ -1,0 +1,245 @@
+"""Intervention-additivity analysis (Definition 4.2 and Section 4.1).
+
+An aggregate query q is *intervention-additive* when
+``q(D − Δ^φ) = q(D) − q(D_φ)`` for every explanation φ.  Algorithm 1
+relies on this identity to read intervention degrees straight off the
+data cube.  The paper gives two sufficient conditions, both of which
+this module checks:
+
+* **count(*)** (and, by the same Corollary 3.6 argument, count(expr)
+  and sum(expr)) over a schema with **no back-and-forth foreign keys**:
+  the residual universal table is exactly ``σ_{¬φ}(U)``, and these
+  aggregates are additive over disjoint unions of rows.
+* **count(distinct R_i.pk)** when some back-and-forth foreign key
+  ``R_j.fk ↔ R_i.pk`` exists and **every universal row contains a
+  unique tuple from R_j** (footnote 11): deletion of an R_i key is
+  all-or-nothing, so distinct counts subtract cleanly.
+
+We additionally recognize the degenerate variant of the second
+condition with no back-and-forth keys at all: count(distinct R_i.pk)
+where each R_i tuple occurs in exactly one universal row (e.g. a
+single-table schema counting its own primary key).
+
+The data-level uniqueness condition is verified against the actual
+universal table, so the report is instance-specific, exactly like the
+paper's usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.database import Database
+from ..engine.table import Table
+from ..engine.universal import universal_table
+from ..errors import NotAdditiveError
+from .numquery import AggregateQuery, NumericalQuery
+
+
+@dataclass(frozen=True)
+class AggregateAdditivity:
+    """Verdict for one aggregate query."""
+
+    name: str
+    additive: bool
+    reason: str
+
+
+@dataclass(frozen=True)
+class AdditivityReport:
+    """Verdict for a whole numerical query (additive iff all parts are)."""
+
+    per_aggregate: Tuple[AggregateAdditivity, ...]
+
+    @property
+    def additive(self) -> bool:
+        """True iff every component aggregate is intervention-additive."""
+        return all(a.additive for a in self.per_aggregate)
+
+    def explain(self) -> str:
+        """A readable multi-line summary."""
+        lines = [
+            f"  {a.name}: {'additive' if a.additive else 'NOT additive'} — {a.reason}"
+            for a in self.per_aggregate
+        ]
+        verdict = "intervention-additive" if self.additive else "NOT intervention-additive"
+        return f"query is {verdict}:\n" + "\n".join(lines)
+
+    def raise_if_not_additive(self) -> None:
+        """Raise :class:`NotAdditiveError` unless all parts are additive."""
+        if not self.additive:
+            raise NotAdditiveError(self.explain())
+
+
+def _unqualify(column: str) -> Tuple[Optional[str], str]:
+    """Split a possibly-qualified column into (relation, attribute)."""
+    if "." in column:
+        rel, attr = column.split(".", 1)
+        return rel, attr
+    return None, column
+
+
+def _relation_unique_in_universal(
+    database: Database, universal: Table, relation: str
+) -> bool:
+    """True iff each tuple of *relation* occurs in exactly one U row."""
+    rs = database.schema.relation(relation)
+    qualified = [f"{relation}.{a}" for a in rs.attribute_names]
+    bag = universal.project(qualified, distinct=False)
+    return len(bag) == len(set(bag.rows()))
+
+
+def _check_aggregate(
+    database: Database, universal: Table, q: AggregateQuery
+) -> AggregateAdditivity:
+    schema = database.schema
+    kind = q.aggregate.kind
+    if kind in ("count_star", "count", "sum"):
+        if not schema.has_back_and_forth:
+            return AggregateAdditivity(
+                q.name,
+                True,
+                f"{kind} with no back-and-forth foreign keys "
+                "(Corollary 3.6: U(D-Δ) = σ_¬φ(U))",
+            )
+        return AggregateAdditivity(
+            q.name,
+            False,
+            f"{kind} is not additive in the presence of back-and-forth "
+            "foreign keys (Section 4.1)",
+        )
+    if kind == "count_distinct":
+        rel_name, attr = _unqualify(q.aggregate.argument or "")
+        if rel_name is None or not schema.has_relation(rel_name):
+            return AggregateAdditivity(
+                q.name,
+                False,
+                f"count(distinct {q.aggregate.argument}) argument is not a "
+                "qualified relation column",
+            )
+        target = schema.relation(rel_name)
+        if tuple(target.primary_key) != (attr,):
+            return AggregateAdditivity(
+                q.name,
+                False,
+                f"count(distinct {rel_name}.{attr}) does not count "
+                f"{rel_name}'s primary key {target.primary_key}",
+            )
+        # Footnote 11 condition: a b&f key into rel_name whose source
+        # relation is unique per universal row.
+        for fk in schema.back_and_forth_keys:
+            if fk.target != rel_name:
+                continue
+            if _relation_unique_in_universal(database, universal, fk.source):
+                return AggregateAdditivity(
+                    q.name,
+                    True,
+                    f"count(distinct {rel_name}.{attr}) with back-and-forth "
+                    f"key {fk} and unique {fk.source} tuples per universal "
+                    "row (footnote 11)",
+                )
+            return AggregateAdditivity(
+                q.name,
+                False,
+                f"back-and-forth key {fk} found but {fk.source} tuples "
+                "repeat across universal rows",
+            )
+        if not schema.has_back_and_forth and _relation_unique_in_universal(
+            database, universal, rel_name
+        ):
+            return AggregateAdditivity(
+                q.name,
+                True,
+                f"count(distinct {rel_name}.{attr}) with no back-and-forth "
+                f"keys and unique {rel_name} tuples per universal row",
+            )
+        return AggregateAdditivity(
+            q.name,
+            False,
+            f"no back-and-forth key into {rel_name} and {rel_name} tuples "
+            "are not unique per universal row",
+        )
+    return AggregateAdditivity(
+        q.name, False, f"aggregate kind {kind!r} is never intervention-additive"
+    )
+
+
+def analyze_additivity(
+    database: Database,
+    query: NumericalQuery,
+    *,
+    universal: Optional[Table] = None,
+) -> AdditivityReport:
+    """Check every aggregate of *query* for intervention-additivity."""
+    u = universal if universal is not None else universal_table(database)
+    return AdditivityReport(
+        tuple(_check_aggregate(database, u, q) for q in query.aggregates)
+    )
+
+
+@dataclass(frozen=True)
+class AdditivitySlack:
+    """Empirical additivity audit for one (aggregate, explanation) pair.
+
+    ``slack = (q(D) − q(D_φ)) − q(D − Δ^φ)``: zero when the additive
+    identity is exact; positive when the cube over-estimates the
+    residual value (the footnote-11 boundary).
+    """
+
+    aggregate: str
+    phi: str
+    q_d: object
+    q_phi: object
+    q_residual: object
+    slack: float
+
+
+def audit_additivity(
+    database: Database,
+    query: NumericalQuery,
+    phis,
+    *,
+    universal: Optional[Table] = None,
+) -> List[AdditivitySlack]:
+    """Measure the *empirical* additivity slack on concrete explanations.
+
+    The structural conditions of :func:`analyze_additivity` certify
+    Section 4.1's sufficient conditions, which do not cover the
+    interaction between each aggregate's WHERE predicate and φ
+    (see ``tests/core/test_additivity_boundary.py``).  This audit runs
+    program P for each explanation in *phis* and reports, per
+    aggregate, the deviation between the cube identity
+    ``q(D) − q(D_φ)`` and the ground truth ``q(D − Δ^φ)``.
+    """
+    from .intervention import InterventionEngine
+
+    u = universal if universal is not None else universal_table(database)
+    engine = InterventionEngine(database, universal=u)
+    results: List[AdditivitySlack] = []
+    originals = {q.name: q.evaluate(u) for q in query.aggregates}
+    for phi in phis:
+        delta = engine.compute(phi).delta
+        residual_u = universal_table(database.subtract(delta))
+        restricted = u.filter(phi.to_expression())
+        for q in query.aggregates:
+            q_d = originals[q.name]
+            q_phi = q.evaluate(restricted)
+            q_residual = q.evaluate(residual_u)
+            slack = 0.0
+            if all(
+                isinstance(v, (int, float))
+                for v in (q_d, q_phi, q_residual)
+            ):
+                slack = (q_d - q_phi) - q_residual
+            results.append(
+                AdditivitySlack(
+                    aggregate=q.name,
+                    phi=str(phi),
+                    q_d=q_d,
+                    q_phi=q_phi,
+                    q_residual=q_residual,
+                    slack=slack,
+                )
+            )
+    return results

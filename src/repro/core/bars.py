@@ -1,0 +1,156 @@
+"""From a chart to a user question (the Section 2 interface workflow).
+
+The paper envisions a UI where the user draws a group-by bar chart,
+selects some bars, and asks "why does this relationship hold?"; the
+system converts the selection into a numerical query ``(Q, dir)``.
+This module implements that conversion:
+
+* a :class:`Bar` is one selected chart point: a label plus the filter
+  predicate that defines it (the group-by keys of that bar, possibly
+  with extra chart-level filters);
+* :func:`ratio_question` — two bars, "why is A/B so high (low)?";
+* :func:`double_ratio_question` — four bars, "why did A/B change
+  relative to C/D?" (the Figure 1 bump shape);
+* :func:`trend_question` — a row of bars, "why is this series
+  increasing (decreasing)?", via the regression-slope translation of
+  Section 6(iv).
+
+Each bar's count can be ``count(*)`` (single-table charts) or
+``count(distinct col)`` (charts over joins, deduplicating entities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..engine.aggregates import AggregateSpec, count_distinct, count_star
+from ..engine.expressions import Col, Comparison, Const, Expression, conj
+from ..engine.schema import DatabaseSchema
+from ..engine.types import Value
+from ..errors import ExplanationError
+from .numquery import (
+    AggregateQuery,
+    double_ratio_query,
+    ratio_query,
+    regression_slope_query,
+)
+from .question import Direction, UserQuestion
+
+
+@dataclass(frozen=True)
+class Bar:
+    """One selected chart bar: a label and its defining filters.
+
+    ``filters`` maps qualified universal columns to the equality value
+    of this bar's group; ``extra`` is an optional additional predicate
+    (range filters, chart-level restrictions).
+    """
+
+    label: str
+    filters: Mapping[str, Value]
+    extra: Optional[Expression] = None
+
+    def predicate(self) -> Optional[Expression]:
+        """The WHERE predicate selecting this bar's rows."""
+        atoms: List[Expression] = [
+            Comparison("=", Col(column), Const(value))
+            for column, value in sorted(self.filters.items())
+        ]
+        if self.extra is not None:
+            atoms.append(self.extra)
+        if not atoms:
+            return None
+        return conj(*atoms)
+
+
+def _bar_query(
+    name: str, bar: Bar, count_column: Optional[str]
+) -> AggregateQuery:
+    spec: AggregateSpec = (
+        count_star(name)
+        if count_column is None
+        else count_distinct(count_column, name)
+    )
+    return AggregateQuery(name, spec, bar.predicate())
+
+
+def ratio_question(
+    numerator: Bar,
+    denominator: Bar,
+    direction: Union[str, Direction],
+    *,
+    count_column: Optional[str] = None,
+    epsilon: float = 0.0001,
+) -> UserQuestion:
+    """"Why is bar A so high (low) relative to bar B?"
+
+    Builds ``Q = count(A) / count(B)`` — the Q_Race / Figure 15 shape.
+    """
+    query = ratio_query(
+        _bar_query("q1", numerator, count_column),
+        _bar_query("q2", denominator, count_column),
+        epsilon=epsilon,
+    )
+    return UserQuestion(query, Direction.parse(direction))
+
+
+def double_ratio_question(
+    bars: Sequence[Bar],
+    direction: Union[str, Direction],
+    *,
+    count_column: Optional[str] = None,
+    epsilon: float = 0.0001,
+) -> UserQuestion:
+    """"Why did the A/B ratio change relative to C/D?"
+
+    Takes exactly four bars (q1..q4) and builds
+    ``Q = (q1/q2)/(q3/q4)`` — the bump / Q_Marital shape.
+    """
+    if len(bars) != 4:
+        raise ExplanationError(
+            f"double_ratio_question takes exactly 4 bars, got {len(bars)}"
+        )
+    queries = [
+        _bar_query(f"q{i + 1}", bar, count_column) for i, bar in enumerate(bars)
+    ]
+    query = double_ratio_query(*queries, epsilon=epsilon)
+    return UserQuestion(query, Direction.parse(direction))
+
+
+def trend_question(
+    bars: Sequence[Bar],
+    direction: Union[str, Direction],
+    *,
+    count_column: Optional[str] = None,
+) -> UserQuestion:
+    """"Why is this sequence of bars increasing (decreasing)?"
+
+    Section 6(iv): the slope of the least-squares line through the bar
+    heights; ``direction='high'`` asks why the slope is so positive.
+    """
+    if len(bars) < 2:
+        raise ExplanationError("trend_question needs at least 2 bars")
+    queries = [
+        _bar_query(f"q{i}", bar, count_column) for i, bar in enumerate(bars)
+    ]
+    return UserQuestion(
+        regression_slope_query(queries), Direction.parse(direction)
+    )
+
+
+def bars_from_groupby(
+    rows: Mapping[Value, Value],
+    column: str,
+    *,
+    extra: Optional[Expression] = None,
+) -> List[Bar]:
+    """Bars for every group of a one-dimensional group-by result.
+
+    ``rows`` maps group values to counts (the counts are only used for
+    labeling); ``column`` is the qualified group-by column.
+    """
+    return [
+        Bar(label=f"{column}={value}", filters={column: value}, extra=extra)
+        for value in rows
+    ]

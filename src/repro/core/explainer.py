@@ -1,0 +1,250 @@
+"""The :class:`Explainer` facade — question in, ranked explanations out.
+
+This is the public entry point most users need:
+
+    >>> explainer = Explainer(database, question, attributes)
+    >>> for ranked in explainer.top(5):
+    ...     print(ranked.rank, ranked.explanation, ranked.degree)
+
+Three evaluation methods build the explanation table *M*:
+
+* ``"cube"`` — Algorithm 1 (Section 4.2); requires an
+  intervention-additive query (checked; the fast path).
+* ``"naive"`` — the Figure 12 'No Cube' baseline: iterate over every
+  candidate explanation and evaluate each ``q_j(D_φ)`` by filtering
+  the universal table, deriving intervention degrees by the same
+  additive identity.
+* ``"exact"`` — ground truth: per candidate, run program P and
+  re-evaluate Q on the residual database.  Correct even for
+  non-additive queries; slowest.
+* ``"indexed"`` — the Section 6(i) optimized exact evaluator
+  (:mod:`repro.core.iterative`): same ground-truth degrees as
+  ``"exact"`` for count aggregates, sharing posting lists, seed
+  indexes and survival scans across candidates.
+
+All methods produce the same table layout, so the Section 4.3 top-K
+strategies apply uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..engine.database import Database
+from ..engine.table import Table
+from ..engine.types import DUMMY, NULL, Row, Value, is_null
+from ..engine.universal import JoinTree, universal_table
+from ..errors import ExplanationError
+from .additivity import AdditivityReport, analyze_additivity
+from .candidates import enumerate_explanations
+from .cube_algorithm import (
+    MU_AGGR,
+    MU_INTERV,
+    ExplanationTable,
+    build_explanation_table,
+)
+from .degrees import DegreeEvaluator
+from .predicates import Explanation
+from .question import Direction, UserQuestion
+from .topk import RankedExplanation, top_k_explanations
+
+METHODS = ("cube", "naive", "exact", "indexed")
+
+
+class Explainer:
+    """Finds top explanations for one user question over one database.
+
+    Parameters
+    ----------
+    database:
+        The (semijoin-reduced) database instance.
+    question:
+        The user question ``(Q, dir)``.
+    attributes:
+        Qualified universal columns to search explanations over (the
+        relevant set A' of Section 4.2).
+    support_threshold:
+        If set, drop explanations where no aggregate reaches it
+        (Section 5.1.1 uses 1000).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        question: UserQuestion,
+        attributes: Sequence[str],
+        *,
+        support_threshold: Optional[float] = None,
+    ) -> None:
+        if not attributes:
+            raise ExplanationError("Explainer needs at least one attribute")
+        self.database = database
+        self.question = question
+        self.attributes = tuple(attributes)
+        self.support_threshold = support_threshold
+        self.join_tree = JoinTree(database.schema)
+        self.universal = universal_table(database, self.join_tree)
+        for attr in self.attributes:
+            self.universal.position(attr)  # fail fast on unknown columns
+        self._tables: Dict[str, ExplanationTable] = {}
+
+    # -- analysis -----------------------------------------------------------
+
+    def additivity_report(self) -> AdditivityReport:
+        """Is the question's query intervention-additive here?"""
+        return analyze_additivity(
+            self.database, self.question.query, universal=self.universal
+        )
+
+    def original_value(self) -> Value:
+        """``Q(D)`` — the value the user is asking about."""
+        return self.question.query.evaluate_universal(self.universal)
+
+    # -- table construction ----------------------------------------------------
+
+    def explanation_table(
+        self, method: str = "cube", **kwargs
+    ) -> ExplanationTable:
+        """Build (and cache) the table *M* with the chosen method."""
+        if method not in METHODS:
+            raise ExplanationError(
+                f"unknown method {method!r}; choose from {METHODS}"
+            )
+        cache_key = method if not kwargs else None
+        if cache_key and cache_key in self._tables:
+            return self._tables[cache_key]
+        if method == "cube":
+            m = build_explanation_table(
+                self.database,
+                self.question,
+                self.attributes,
+                universal=self.universal,
+                support_threshold=self.support_threshold,
+                **kwargs,
+            )
+        elif method == "naive":
+            m = self._naive_table(exact=False)
+        elif method == "indexed":
+            from .iterative import IndexedInterventionEvaluator
+
+            m = IndexedInterventionEvaluator(
+                self.database,
+                self.question,
+                self.attributes,
+                universal=self.universal,
+            ).build_table()
+        else:
+            m = self._naive_table(exact=True)
+        if cache_key:
+            self._tables[cache_key] = m
+        return m
+
+    def _naive_table(self, *, exact: bool) -> ExplanationTable:
+        query = self.question.query
+        evaluator = DegreeEvaluator(self.database, self.question)
+        value_columns = [f"v_{q.name}" for q in query.aggregates]
+        columns = (
+            list(self.attributes)
+            + value_columns
+            + [MU_INTERV, MU_AGGR]
+        )
+        rows: List[Row] = []
+        candidates = list(
+            enumerate_explanations(
+                self.universal, self.attributes, include_trivial=True
+            )
+        )
+        for phi in candidates:
+            aggr_values = evaluator.aggravation_values(phi)
+            if self.support_threshold is not None and not phi.is_trivial():
+                if not any(
+                    not is_null(v) and v >= self.support_threshold
+                    for v in aggr_values.values()
+                ):
+                    continue
+            mu_a = query.evaluate_environment(aggr_values)
+            if not is_null(mu_a):
+                mu_a = self.question.aggravation_sign * mu_a
+            if exact:
+                interv_values = evaluator.intervention_values(phi)
+            else:
+                interv_values = {
+                    name: _subtract(evaluator.q_original[name], aggr_values[name])
+                    for name in aggr_values
+                }
+            mu_i = query.evaluate_environment(interv_values)
+            if not is_null(mu_i):
+                mu_i = self.question.intervention_sign * mu_i
+            assignments = phi.assignments()
+            attr_values = tuple(
+                assignments.get(attr, DUMMY) for attr in self.attributes
+            )
+            v_values = tuple(aggr_values[q.name] for q in query.aggregates)
+            rows.append(attr_values + v_values + (mu_i, mu_a))
+        return ExplanationTable(
+            table=Table(columns, rows),
+            attributes=self.attributes,
+            aggregate_names=tuple(query.names),
+            q_original=dict(evaluator.q_original),
+        )
+
+    # -- ranking ----------------------------------------------------------------
+
+    def top(
+        self,
+        k: int,
+        *,
+        by: str = "intervention",
+        strategy: str = "minimal_append",
+        method: str = "cube",
+        hybrid_weight: float = 0.5,
+        minimality: str = "general",
+    ) -> List[RankedExplanation]:
+        """The top-K (minimal) explanations.
+
+        ``by`` is ``"intervention"``, ``"aggravation"`` or ``"hybrid"``
+        (the Section 6(iii) rank-combined degree, weighted by
+        ``hybrid_weight`` toward intervention); ``strategy`` one of
+        ``no_minimal`` / ``minimal_self_join`` / ``minimal_append``
+        (Section 4.3); ``minimality`` is ``"general"`` (paper default)
+        or ``"specific"`` (footnote 12's alternative).
+        """
+        from .cube_algorithm import MU_HYBRID, add_hybrid_column
+
+        column = {
+            "intervention": MU_INTERV,
+            "aggravation": MU_AGGR,
+            "hybrid": MU_HYBRID,
+        }.get(by)
+        if column is None:
+            raise ExplanationError(
+                f"by must be 'intervention', 'aggravation' or 'hybrid', "
+                f"got {by!r}"
+            )
+        m = self.explanation_table(method)
+        if by == "hybrid":
+            m = add_hybrid_column(m, weight=hybrid_weight)
+        return top_k_explanations(
+            m, k, by=column, strategy=strategy, minimality=minimality
+        )
+
+    # -- one-off scoring ------------------------------------------------------
+
+    def score(self, phi: Explanation):
+        """Exact degrees for one explanation (program P ground truth)."""
+        return DegreeEvaluator(self.database, self.question).score(phi)
+
+
+def _subtract(original: Value, restricted: Value) -> Value:
+    if is_null(original) or is_null(restricted):
+        return NULL
+    return original - restricted
+
+
+def render_ranking(ranking: Iterable[RankedExplanation]) -> str:
+    """A readable table of ranked explanations for examples and CLIs."""
+    lines = ["rank  degree        explanation"]
+    for r in ranking:
+        degree = f"{r.degree:.4g}" if isinstance(r.degree, (int, float)) else str(r.degree)
+        lines.append(f"{r.rank:>4}  {degree:<12}  {r.explanation}")
+    return "\n".join(lines)

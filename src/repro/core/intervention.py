@@ -1,0 +1,328 @@
+"""Program **P**: computing the minimal intervention Δ^φ (Section 3).
+
+Given a database D and a candidate explanation φ, the intervention
+Δ^φ (Definition 2.6) is the unique minimal Δ such that
+
+1. Δ is *closed* under the causal semantics of the foreign keys
+   (standard cascade, back-and-forth cascade — Definition 2.5),
+2. the residual database ``D − Δ`` is semijoin-reduced,
+3. no tuple of ``U(D − Δ)`` satisfies φ.
+
+Theorem 3.3 identifies Δ^φ with the least fixpoint of the recursive
+program **P**:
+
+* Rule (i)  — *seeds*: ``Δ_i ⊇ R_i − Π_{A_i}(σ_{¬φ} U(D))``
+  (first iteration only);
+* Rule (ii) — *semijoin reduction*:
+  ``Δ_i ⊇ R_i − Π_{A_i}[(R_1−Δ_1) ⋈ … ⋈ (R_k−Δ_k)]``;
+* Rule (iii) — *backward cascade*: for each back-and-forth foreign key
+  ``R_j.fk ↔ R_i.pk``: ``Δ_i ⊇ R_i ⋉ Δ_j``.
+
+The program is monotone in the Δ's (Proposition 3.1), so naive
+simultaneous evaluation — apply all rules to Δ^t, union the results
+into Δ^{t+1}, stop when nothing changes — reaches the least fixpoint.
+The iteration counter exposed in :class:`InterventionResult` follows
+that semantics, matching the convergence statements of Propositions
+3.4, 3.5, 3.10 and 3.11 and the n−1 lower bound of Example 3.7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..engine.database import Database, Delta
+from ..engine.reduction import RowSets, is_semijoin_reduced, reduce_row_sets
+from ..engine.schema import DatabaseSchema, ForeignKey
+from ..engine.table import Table
+from ..engine.types import Row
+from ..engine.universal import JoinTree, project_universal, universal_table
+from ..errors import ConvergenceError
+from .predicates import Predicate
+
+
+@dataclass(frozen=True)
+class IterationTrace:
+    """What one fixpoint iteration discovered.
+
+    ``new_by_rule`` maps rule labels ("seed", "reduce", "backward") to
+    the number of tuples that rule contributed *new* to Δ in this
+    iteration; ``delta_size`` is |Δ| after the iteration.
+    """
+
+    iteration: int
+    new_by_rule: Dict[str, int]
+    delta_size: int
+
+    @property
+    def new_total(self) -> int:
+        """Total new tuples discovered this iteration."""
+        return sum(self.new_by_rule.values())
+
+
+@dataclass(frozen=True)
+class InterventionResult:
+    """The computed intervention plus its provenance.
+
+    ``iterations`` counts productive iterations (the final quiescent
+    check is excluded), matching the counting used by the paper's
+    convergence propositions.
+    """
+
+    delta: Delta
+    seeds: Delta
+    iterations: int
+    trace: Tuple[IterationTrace, ...]
+
+    @property
+    def size(self) -> int:
+        """|Δ^φ| — total tuples deleted."""
+        return self.delta.size()
+
+
+class InterventionEngine:
+    """Computes Δ^φ for explanations over one fixed database.
+
+    The engine materializes the universal table once and reuses it for
+    every explanation (Rule (i) only needs ``σ_{¬φ}(U)``), which is the
+    dominant cost; pass ``universal`` if the caller already has it.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        universal: Optional[Table] = None,
+        join_tree: Optional[JoinTree] = None,
+    ) -> None:
+        self.database = database
+        self.schema = database.schema
+        self.join_tree = join_tree or JoinTree(self.schema)
+        self.universal = (
+            universal
+            if universal is not None
+            else universal_table(database, self.join_tree)
+        )
+        self._bf_keys: Tuple[ForeignKey, ...] = self.schema.back_and_forth_keys
+
+    # -- Rule (i) ---------------------------------------------------------
+
+    def seed_delta(self, phi: Predicate) -> Delta:
+        """Δ¹: the seed tuples (Rule (i)).
+
+        ``Δ_i¹ = R_i − Π_{A_i}(σ_{¬φ}(U))`` — the minimum deletions
+        that leave no φ-satisfying universal tuple, before closure and
+        reduction are enforced.
+        """
+        from ..engine.expressions import compile_predicate
+
+        matches = compile_predicate(phi.to_expression(), self.universal.columns)
+        surviving_rows = [
+            row for row in self.universal.rows() if not matches(row)
+        ]
+        survivors = Table(self.universal.columns, surviving_rows)
+        parts: Dict[str, Set[Row]] = {}
+        for name in self.schema.relation_names:
+            keep = set(
+                project_universal(survivors, self.schema, name).rows()
+            )
+            parts[name] = set(self.database.relation(name).rows()) - keep
+        return Delta(self.schema, parts)
+
+    # -- Rules (ii) and (iii) ----------------------------------------------
+
+    def _rule_reduce(self, residual: RowSets) -> Dict[str, Set[Row]]:
+        """Rule (ii): tuples dropped by semijoin-reducing the residual."""
+        probe = {name: set(rows) for name, rows in residual.items()}
+        reduce_row_sets(self.schema, probe, self.join_tree)
+        return {
+            name: residual[name] - probe[name] for name in residual
+        }
+
+    def _rule_backward(
+        self, deleted: Dict[str, Set[Row]]
+    ) -> Dict[str, Set[Row]]:
+        """Rule (iii): backward cascade along back-and-forth FKs.
+
+        For ``R_j.fk ↔ R_i.pk``: every R_i tuple whose primary key is
+        referenced by a *deleted* R_j tuple must be deleted.
+        """
+        found: Dict[str, Set[Row]] = {
+            name: set() for name in self.schema.relation_names
+        }
+        for fk in self._bf_keys:
+            source_schema = self.schema.relation(fk.source)
+            target_rel = self.database.relation(fk.target)
+            src_pos = source_schema.indexes_of(fk.source_attrs)
+            referenced = {
+                tuple(row[i] for i in src_pos) for row in deleted[fk.source]
+            }
+            if not referenced:
+                continue
+            tgt_pos = target_rel.schema.indexes_of(fk.target_attrs)
+            for row in target_rel:
+                if tuple(row[i] for i in tgt_pos) in referenced:
+                    found[fk.target].add(row)
+        return found
+
+    # -- fixpoint loop -------------------------------------------------------
+
+    def compute(
+        self,
+        phi: Predicate,
+        *,
+        max_iterations: Optional[int] = None,
+        seeds: Optional[Delta] = None,
+    ) -> InterventionResult:
+        """Run program **P** to its least fixpoint for *phi*.
+
+        ``max_iterations`` defaults to ``n + 2`` (Proposition 3.4 plus
+        slack for the seed and final check); exceeding it raises
+        :class:`~repro.errors.ConvergenceError`, which indicates an
+        internal bug, not a user error.  ``seeds`` lets callers supply
+        a precomputed Rule (i) result (the indexed evaluator of
+        :mod:`repro.core.iterative` derives seeds from posting lists
+        instead of re-scanning the universal table per explanation).
+        """
+        budget = (
+            max_iterations
+            if max_iterations is not None
+            else self.database.total_rows() + 2
+        )
+        deleted: Dict[str, Set[Row]] = {
+            name: set() for name in self.schema.relation_names
+        }
+        all_rows: Dict[str, FrozenSet[Row]] = {
+            name: self.database.relation(name).rows()
+            for name in self.schema.relation_names
+        }
+
+        if seeds is None:
+            seeds = self.seed_delta(phi)
+        trace: List[IterationTrace] = []
+        iteration = 0
+
+        def residual() -> RowSets:
+            return {
+                name: set(all_rows[name]) - deleted[name]
+                for name in all_rows
+            }
+
+        def absorb(new: Dict[str, Set[Row]]) -> int:
+            added = 0
+            for name, rows in new.items():
+                fresh = rows - deleted[name]
+                added += len(fresh)
+                deleted[name].update(fresh)
+            return added
+
+        while True:
+            iteration += 1
+            if iteration > budget:
+                raise ConvergenceError(
+                    f"program P exceeded {budget} iterations; this is a bug"
+                )
+            new_by_rule: Dict[str, int] = {}
+            # Rules (ii) and (iii) evaluate against the Δ of the
+            # *previous* iteration (naive simultaneous semantics): take
+            # snapshots before absorbing any rule's output, including
+            # the seeds — in iteration 1 rules (ii)/(iii) see Δ⁰ = ∅,
+            # which is the counting used by Example 3.7 / Prop 3.5.
+            snapshot_residual = residual()
+            snapshot_deleted = {name: set(rows) for name, rows in deleted.items()}
+            if iteration == 1:
+                new_by_rule["seed"] = absorb(
+                    {name: set(rows) for name, rows in seeds.parts().items()}
+                )
+            reduce_new = self._rule_reduce(snapshot_residual)
+            backward_new = self._rule_backward(snapshot_deleted)
+            new_by_rule["reduce"] = absorb(reduce_new)
+            new_by_rule["backward"] = absorb(backward_new)
+            total_new = sum(new_by_rule.values())
+            if total_new == 0:
+                # Quiescent iteration: not counted as productive.
+                iteration -= 1
+                break
+            trace.append(
+                IterationTrace(
+                    iteration,
+                    {k: v for k, v in new_by_rule.items() if v},
+                    sum(len(rows) for rows in deleted.values()),
+                )
+            )
+
+        return InterventionResult(
+            delta=Delta(self.schema, deleted),
+            seeds=seeds,
+            iterations=iteration,
+            trace=tuple(trace),
+        )
+
+
+def compute_intervention(
+    database: Database,
+    phi: Predicate,
+    *,
+    universal: Optional[Table] = None,
+) -> InterventionResult:
+    """One-shot Δ^φ computation (convenience wrapper)."""
+    return InterventionEngine(database, universal=universal).compute(phi)
+
+
+# -- validity checking (Definition 2.6) ------------------------------------
+
+
+def is_closed(database: Database, delta: Delta) -> bool:
+    """Definition 2.5: Δ is closed under cascade and backward cascade."""
+    for fk in database.schema.foreign_keys:
+        source = database.relation(fk.source)
+        target = database.relation(fk.target)
+        src_pos = source.schema.indexes_of(fk.source_attrs)
+        tgt_pos = target.schema.indexes_of(fk.target_attrs)
+        deleted_target_keys = {
+            tuple(row[i] for i in tgt_pos) for row in delta.rows_for(fk.target)
+        }
+        # Forward cascade: deleting the referenced tuple deletes all
+        # referencing tuples.
+        for row in source:
+            key = tuple(row[i] for i in src_pos)
+            if key in deleted_target_keys and row not in delta.rows_for(fk.source):
+                return False
+        if fk.back_and_forth:
+            deleted_source_keys = {
+                tuple(row[i] for i in src_pos)
+                for row in delta.rows_for(fk.source)
+            }
+            # Backward cascade: deleting the referencing tuple deletes
+            # the referenced tuple.
+            for row in target:
+                key = tuple(row[i] for i in tgt_pos)
+                if key in deleted_source_keys and row not in delta.rows_for(
+                    fk.target
+                ):
+                    return False
+    return True
+
+
+def is_valid_intervention(
+    database: Database, phi: Predicate, delta: Delta
+) -> bool:
+    """All three conditions of Definition 2.6 (not necessarily minimal)."""
+    if not is_closed(database, delta):
+        return False
+    residual = database.subtract(delta)
+    rowsets: RowSets = {
+        name: set(rel.rows()) for name, rel in residual.relations.items()
+    }
+    if not is_semijoin_reduced(database.schema, rowsets):
+        return False
+    from ..engine.expressions import compile_predicate
+
+    residual_universal = universal_table(residual)
+    matches = compile_predicate(
+        phi.to_expression(), residual_universal.columns
+    )
+    for row in residual_universal.rows():
+        if matches(row):
+            return False
+    return True

@@ -1,0 +1,298 @@
+"""Optimized exact evaluation for all candidates (Section 6(i)).
+
+When the numerical query is *not* intervention-additive, Algorithm 1
+does not apply and the paper's prototype falls back to a naive loop it
+acknowledges is "too slow"; Section 6(i) lists optimizing that loop as
+future work.  This module is one such optimization.  It computes the
+**exact** (program-P) intervention degree for every candidate
+explanation, sharing work across candidates:
+
+* the universal table is materialized once and every row gets an id;
+* per relevant attribute, a **posting list** maps each value to the
+  ids of the universal rows carrying it, so ``σ_φ(U)`` is a set
+  intersection, not a scan;
+* per relation, each tuple's total occurrence count in U is
+  precomputed, so Rule (i) seeds (``tuples all of whose rows satisfy
+  φ``) come from counting occurrences inside ``σ_φ(U)`` only;
+* ``Q(D − Δ^φ)`` is evaluated by row survival (a universal row
+  survives iff none of its projections were deleted) against
+  precomputed per-aggregate row-id sets — no joins are re-run.
+
+The candidate set equals the cube algorithm's (every combination of
+attribute values with support), so the output table is directly
+comparable to — and validated against — both the cube table (on
+additive queries) and the per-candidate exact evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..engine.cube import grouping_sets
+from ..engine.database import Database, Delta
+from ..engine.table import Table
+from ..engine.types import DUMMY, NULL, Row, Value, is_null
+from ..engine.universal import JoinTree, universal_table
+from ..errors import QueryError
+from .cube_algorithm import MU_AGGR, MU_INTERV, ExplanationTable
+from .intervention import InterventionEngine
+from .numquery import AggregateQuery, NumericalQuery
+from .question import UserQuestion
+
+
+class IndexedInterventionEvaluator:
+    """Exact degrees for all candidate explanations over ``attributes``.
+
+    Usable for any numerical query (additive or not); asymptotically
+    the per-candidate cost is dominated by the fixpoint and the
+    survival scan, with the σ_φ(U) and seed computations reduced from
+    full scans to posting-list work.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        question: UserQuestion,
+        attributes: Sequence[str],
+        *,
+        universal: Optional[Table] = None,
+    ) -> None:
+        self.database = database
+        self.question = question
+        self.attributes = tuple(attributes)
+        self.join_tree = JoinTree(database.schema)
+        self.universal = (
+            universal
+            if universal is not None
+            else universal_table(database, self.join_tree)
+        )
+        self.engine = InterventionEngine(
+            database, universal=self.universal, join_tree=self.join_tree
+        )
+        self._rows: List[Row] = list(self.universal.rows())
+        self._build_posting_lists()
+        self._build_projection_cache()
+        self._build_aggregate_indexes()
+
+    # -- index construction ------------------------------------------------
+
+    def _build_posting_lists(self) -> None:
+        """attribute -> value -> frozenset of universal row ids."""
+        self.postings: Dict[str, Dict[Value, Set[int]]] = {}
+        for attr in self.attributes:
+            pos = self.universal.position(attr)
+            lists: Dict[Value, Set[int]] = {}
+            for idx, row in enumerate(self._rows):
+                value = row[pos]
+                if is_null(value):
+                    raise QueryError(
+                        f"attribute {attr!r} contains NULL; explanation "
+                        "attributes must be non-null"
+                    )
+                lists.setdefault(value, set()).add(idx)
+            self.postings[attr] = lists
+
+    def _build_projection_cache(self) -> None:
+        """Per relation: row id -> tuple, and tuple -> total U count."""
+        schema = self.database.schema
+        self.row_tuples: Dict[str, List[Row]] = {}
+        self.tuple_counts: Dict[str, Dict[Row, int]] = {}
+        for name in schema.relation_names:
+            rs = schema.relation(name)
+            pos = self.universal.positions(
+                [f"{name}.{a}" for a in rs.attribute_names]
+            )
+            projected = [
+                tuple(row[i] for i in pos) for row in self._rows
+            ]
+            counts: Dict[Row, int] = {}
+            for t in projected:
+                counts[t] = counts.get(t, 0) + 1
+            self.row_tuples[name] = projected
+            self.tuple_counts[name] = counts
+
+    def _build_aggregate_indexes(self) -> None:
+        """Per aggregate: its WHERE row-id set and argument column."""
+        self.agg_rows: Dict[str, FrozenSet[int]] = {}
+        self.agg_arg_pos: Dict[str, Optional[int]] = {}
+        for q in self.question.query.aggregates:
+            if q.where is None:
+                ids: FrozenSet[int] = frozenset(range(len(self._rows)))
+            else:
+                ids = frozenset(
+                    idx
+                    for idx, row in enumerate(self._rows)
+                    if q.where.evaluate(self.universal.environment(row))
+                )
+            self.agg_rows[q.name] = ids
+            if q.aggregate.argument is None:
+                self.agg_arg_pos[q.name] = None
+            else:
+                self.agg_arg_pos[q.name] = self.universal.position(
+                    q.aggregate.argument
+                )
+
+    # -- per-candidate machinery --------------------------------------------
+
+    def phi_row_ids(self, assignment: Dict[str, Value]) -> Set[int]:
+        """σ_φ(U) as row ids, by posting-list intersection."""
+        if not assignment:
+            return set(range(len(self._rows)))
+        lists = sorted(
+            (self.postings[attr].get(value, set()) for attr, value in assignment.items()),
+            key=len,
+        )
+        result = set(lists[0])
+        for other in lists[1:]:
+            result &= other
+            if not result:
+                break
+        return result
+
+    def seeds_from_rows(self, phi_rows: Set[int]) -> Delta:
+        """Rule (i) seeds: tuples whose *every* U occurrence satisfies φ.
+
+        Tuples with no U occurrence at all (possible only on a
+        non-semijoin-reduced input) are seeded too, matching the
+        literal ``R_i − Π_{A_i}(σ_¬φ U)``.
+        """
+        parts: Dict[str, Set[Row]] = {}
+        for name in self.database.schema.relation_names:
+            inside: Dict[Row, int] = {}
+            projected = self.row_tuples[name]
+            for idx in phi_rows:
+                t = projected[idx]
+                inside[t] = inside.get(t, 0) + 1
+            counts = self.tuple_counts[name]
+            seeded = {t for t, c in inside.items() if c == counts[t]}
+            seeded.update(
+                t
+                for t in self.database.relation(name).rows()
+                if t not in counts
+            )
+            parts[name] = seeded
+        return Delta(self.database.schema, parts)
+
+    def surviving_row_ids(self, delta: Delta) -> Set[int]:
+        """U rows whose projections all survive ``D − Δ``.
+
+        By construction of program P (closure + reduction) these are
+        exactly the rows of ``U(D − Δ^φ)``.
+        """
+        deleted_sets = {
+            name: delta.rows_for(name)
+            for name in self.database.schema.relation_names
+            if delta.rows_for(name)
+        }
+        if not deleted_sets:
+            return set(range(len(self._rows)))
+        survivors: Set[int] = set()
+        for idx in range(len(self._rows)):
+            dead = False
+            for name, deleted in deleted_sets.items():
+                if self.row_tuples[name][idx] in deleted:
+                    dead = True
+                    break
+            if not dead:
+                survivors.add(idx)
+        return survivors
+
+    def _aggregate_over(self, q: AggregateQuery, row_ids: Set[int]) -> Value:
+        relevant = self.agg_rows[q.name] & row_ids
+        kind = q.aggregate.kind
+        if kind in ("count_star", "count"):
+            return len(relevant)
+        arg_pos = self.agg_arg_pos[q.name]
+        assert arg_pos is not None
+        values = {
+            self._rows[idx][arg_pos]
+            for idx in relevant
+            if not is_null(self._rows[idx][arg_pos])
+        }
+        if kind == "count_distinct":
+            return len(values)
+        raise QueryError(
+            f"indexed evaluator supports count aggregates, not {kind!r}"
+        )
+
+    def degrees_for(self, assignment: Dict[str, Value]) -> Tuple[Value, Value, Dict[str, Value]]:
+        """(μ_interv, μ_aggr, q_j(D_φ) values) for one candidate."""
+        query = self.question.query
+        phi_rows = self.phi_row_ids(assignment)
+        aggr_values = {
+            q.name: self._aggregate_over(q, phi_rows)
+            for q in query.aggregates
+        }
+        mu_a = query.evaluate_environment(aggr_values)
+        if not is_null(mu_a):
+            mu_a = self.question.aggravation_sign * mu_a
+
+        from .predicates import Explanation
+
+        phi = Explanation.equality(self.database.schema, assignment)
+        seeds = self.seeds_from_rows(phi_rows)
+        delta = self.engine.compute(phi, seeds=seeds).delta
+        survivors = self.surviving_row_ids(delta)
+        interv_values = {
+            q.name: self._aggregate_over(q, survivors)
+            for q in query.aggregates
+        }
+        mu_i = query.evaluate_environment(interv_values)
+        if not is_null(mu_i):
+            mu_i = self.question.intervention_sign * mu_i
+        return mu_i, mu_a, aggr_values
+
+    # -- the full table --------------------------------------------------------
+
+    def candidate_assignments(self) -> List[Dict[str, Value]]:
+        """Every attribute-value combination with support in U,
+        including partial ('don't care') combinations and the trivial
+        one — the same candidate set the cube materializes."""
+        positions = self.universal.positions(self.attributes)
+        cells: Set[Tuple[Tuple[str, Value], ...]] = set()
+        masks = [
+            tuple(a in s for a in self.attributes)
+            for s in grouping_sets(self.attributes)
+        ]
+        for row in self._rows:
+            values = tuple(row[i] for i in positions)
+            for mask in masks:
+                cells.add(
+                    tuple(
+                        (a, v)
+                        for a, v, keep in zip(self.attributes, values, mask)
+                        if keep
+                    )
+                )
+        return [dict(cell) for cell in sorted(cells, key=_cell_key)]
+
+    def build_table(self) -> ExplanationTable:
+        """The exact table *M* for all candidates."""
+        query = self.question.query
+        value_columns = [f"v_{q.name}" for q in query.aggregates]
+        columns = list(self.attributes) + value_columns + [MU_INTERV, MU_AGGR]
+        rows_out: List[Row] = []
+        for assignment in self.candidate_assignments():
+            mu_i, mu_a, aggr_values = self.degrees_for(assignment)
+            attr_values = tuple(
+                assignment.get(attr, DUMMY) for attr in self.attributes
+            )
+            v_values = tuple(aggr_values[q.name] for q in query.aggregates)
+            rows_out.append(attr_values + v_values + (mu_i, mu_a))
+        return ExplanationTable(
+            table=Table(columns, rows_out),
+            attributes=self.attributes,
+            aggregate_names=tuple(query.names),
+            q_original={
+                q.name: self._aggregate_over(
+                    q, set(range(len(self._rows)))
+                )
+                for q in query.aggregates
+            },
+        )
+
+
+def _cell_key(cell: Tuple[Tuple[str, Value], ...]):
+    from ..engine.types import sort_key
+
+    return (len(cell), tuple((a, sort_key(v)) for a, v in cell))

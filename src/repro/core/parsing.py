@@ -1,0 +1,215 @@
+"""Textual syntax for numerical queries and user questions.
+
+The programmatic API builds questions from AST objects; this module
+accepts the compact text form used by the CLI and notebooks:
+
+* an **aggregate query**::
+
+      q1 := count(*) WHERE Birth.ap = 'good' AND Birth.race = 'Asian'
+      q2 := count(distinct Publication.pubid) WHERE Publication.venue = 'SIGMOD'
+      q3 := sum(Order.total)
+
+* a **numerical expression** over the aggregate names, with the
+  operators the paper allows in E (Eq. (1))::
+
+      (q1 / q2) / (q3 / q4)
+      0.5 * q1 - q2 + 1e-4
+
+* a **question**: direction plus the above, via
+  :func:`parse_question`.
+
+The expression grammar is classic recursive descent::
+
+    expr   := term (('+' | '-') term)*
+    term   := factor (('*' | '/') factor)*
+    factor := NUMBER | NAME | '-' factor | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..engine.aggregates import (
+    AggregateSpec,
+    agg_avg,
+    agg_max,
+    agg_min,
+    agg_sum,
+    count_distinct,
+    count_star,
+)
+from ..engine.expressions import Arithmetic, Col, Const, Expression, neg
+from ..errors import QueryError
+from .numquery import AggregateQuery, NumericalQuery
+from .predicates import parse_explanation
+from .question import Direction, UserQuestion
+
+_AGG_RE = re.compile(
+    r"""
+    ^\s*(?P<name>\w+)\s*:=\s*
+    (?P<fn>count|sum|avg|min|max)\s*\(\s*
+    (?P<arg>\*|distinct\s+[\w.]+|[\w.]+)
+    \s*\)\s*
+    (?:WHERE\s+(?P<where>.+))?\s*$
+    """,
+    re.VERBOSE | re.IGNORECASE,
+)
+
+
+def parse_aggregate_query(text: str) -> AggregateQuery:
+    """Parse ``name := agg(arg) [WHERE predicate]``.
+
+    The WHERE clause accepts the same conjunctive syntax as
+    :func:`repro.core.predicates.parse_explanation` (equality and
+    range atoms joined by AND).
+    """
+    match = _AGG_RE.match(text)
+    if not match:
+        raise QueryError(
+            f"cannot parse aggregate query {text!r}; expected "
+            "'name := count(*) WHERE ...'"
+        )
+    name = match.group("name")
+    fn = match.group("fn").lower()
+    arg = match.group("arg").strip()
+    spec = _make_spec(fn, arg, name)
+    where: Optional[Expression] = None
+    where_text = match.group("where")
+    if where_text:
+        where = parse_explanation(where_text).to_expression()
+    return AggregateQuery(name, spec, where)
+
+
+def _make_spec(fn: str, arg: str, alias: str) -> AggregateSpec:
+    if fn == "count":
+        if arg == "*":
+            return count_star(alias)
+        lowered = arg.lower()
+        if lowered.startswith("distinct"):
+            column = arg[len("distinct"):].strip()
+            return count_distinct(column, alias)
+        return AggregateSpec("count", arg, alias)
+    if arg == "*":
+        raise QueryError(f"{fn}(*) is not a valid aggregate")
+    makers = {"sum": agg_sum, "avg": agg_avg, "min": agg_min, "max": agg_max}
+    return makers[fn](arg, alias)
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?"
+    r"|\d+(?:[eE][+-]?\d+)?)|(?P<name>\w+)|(?P<op>[-+*/()]))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise QueryError(
+                f"cannot tokenize expression at {remainder[:20]!r}"
+            )
+        pos = match.end()
+        for kind in ("num", "name", "op"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _ExprParser:
+    """Recursive-descent parser for E expressions."""
+
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def expect_op(self, op: str) -> None:
+        token = self.take()
+        if token != ("op", op):
+            raise QueryError(f"expected {op!r}, got {token[1]!r}")
+
+    def parse(self) -> Expression:
+        expr = self.expr()
+        if self.peek() is not None:
+            raise QueryError(
+                f"trailing tokens in expression: {self.tokens[self.pos:]}"
+            )
+        return expr
+
+    def expr(self) -> Expression:
+        node = self.term()
+        while self.peek() in (("op", "+"), ("op", "-")):
+            _, op = self.take()
+            node = Arithmetic(op, node, self.term())
+        return node
+
+    def term(self) -> Expression:
+        node = self.factor()
+        while self.peek() in (("op", "*"), ("op", "/")):
+            _, op = self.take()
+            node = Arithmetic(op, node, self.factor())
+        return node
+
+    def factor(self) -> Expression:
+        kind, value = self.take()
+        if kind == "num":
+            number = float(value)
+            return Const(int(number) if number.is_integer() and "." not in value and "e" not in value.lower() else number)
+        if kind == "name":
+            return Col(value)
+        if (kind, value) == ("op", "-"):
+            return neg(self.factor())
+        if (kind, value) == ("op", "("):
+            node = self.expr()
+            self.expect_op(")")
+            return node
+        raise QueryError(f"unexpected token {value!r} in expression")
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse an arithmetic E expression over aggregate names."""
+    return _ExprParser(_tokenize(text)).parse()
+
+
+def parse_numerical_query(
+    expression: str, aggregates: Sequence[Union[str, AggregateQuery]]
+) -> NumericalQuery:
+    """Build ``Q = E(q1 … qm)`` from text parts.
+
+    ``aggregates`` may mix already-built :class:`AggregateQuery`
+    objects and ``name := …`` strings.
+    """
+    parsed = tuple(
+        a if isinstance(a, AggregateQuery) else parse_aggregate_query(a)
+        for a in aggregates
+    )
+    return NumericalQuery(parsed, parse_expression(expression))
+
+
+def parse_question(
+    direction: Union[str, Direction],
+    expression: str,
+    aggregates: Sequence[Union[str, AggregateQuery]],
+) -> UserQuestion:
+    """Build a full user question from text parts."""
+    return UserQuestion(
+        parse_numerical_query(expression, aggregates),
+        Direction.parse(direction),
+    )

@@ -1,0 +1,254 @@
+"""Candidate explanations: conjunctions of atomic predicates.
+
+Definition 2.3: a candidate explanation is ``φ = ⋀_j φ_j`` with each
+atomic ``φ_j = [R_i.A op c]``, ``op ∈ {=, <, ≤, >, ≥}`` (we also accept
+``<>`` as an extension).  Predicates are evaluated against universal
+rows, whose columns are qualified ``Relation.attr`` names.
+
+Section 6(ii) of the paper sketches extensions to disjunctions; these
+are provided by :class:`DisjunctivePredicate` and accepted anywhere the
+framework takes a predicate, at the cost of losing the cube shortcut
+(disjunctions do not correspond to single cube rows).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..engine.expressions import (
+    And,
+    Col,
+    Comparison,
+    Const,
+    Expression,
+    Or,
+    conj,
+)
+from ..engine.schema import DatabaseSchema
+from ..engine.types import DUMMY, NULL, Value, is_missing
+from ..errors import ExplanationError
+
+_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class AtomicPredicate:
+    """One atomic predicate ``[relation.attribute op constant]``."""
+
+    relation: str
+    attribute: str
+    op: str
+    constant: Value
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ExplanationError(
+                f"invalid predicate operator {self.op!r}; use one of {_OPS}"
+            )
+        if is_missing(self.constant):
+            raise ExplanationError(
+                "predicates cannot compare against NULL/DUMMY"
+            )
+
+    @property
+    def column(self) -> str:
+        """The qualified universal-table column this predicate reads."""
+        return f"{self.relation}.{self.attribute}"
+
+    def to_expression(self) -> Comparison:
+        """The engine expression evaluating this predicate."""
+        return Comparison(self.op, Col(self.column), Const(self.constant))
+
+    def evaluate(self, env: Mapping[str, Value]) -> bool:
+        """Evaluate against a universal-row environment."""
+        return self.to_expression().evaluate(env)
+
+    def __str__(self) -> str:
+        return f"[{self.column} {self.op} {self.constant!r}]"
+
+
+class Predicate:
+    """Common interface for candidate explanations."""
+
+    def evaluate(self, env: Mapping[str, Value]) -> bool:
+        """Truth value on one universal row (given as an environment)."""
+        raise NotImplementedError
+
+    def to_expression(self) -> Expression:
+        """Equivalent engine expression."""
+        raise NotImplementedError
+
+    def columns(self) -> Tuple[str, ...]:
+        """Qualified universal-table columns read by this predicate."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Explanation(Predicate):
+    """A conjunction of atomic predicates (Definition 2.3).
+
+    The empty conjunction is the trivial always-true explanation; the
+    framework excludes it from rankings (Section 4.3) but it is a legal
+    value, corresponding to the all-NULL cube row.
+    """
+
+    atoms: Tuple[AtomicPredicate, ...]
+
+    def __post_init__(self) -> None:
+        columns = [a.column for a in self.atoms if a.op == "="]
+        if len(set(columns)) != len(columns):
+            raise ExplanationError(
+                f"explanation repeats an equality attribute: {self}"
+            )
+
+    @classmethod
+    def of(cls, *atoms: AtomicPredicate) -> "Explanation":
+        """Build from atomic predicates."""
+        return cls(tuple(atoms))
+
+    @classmethod
+    def equality(
+        cls, schema: DatabaseSchema, assignments: Mapping[str, Value]
+    ) -> "Explanation":
+        """Build an all-equality explanation from ``{attr: value}``.
+
+        Keys may be qualified ("Author.name") or unqualified when
+        unambiguous.  This is the form produced by cube rows.
+        """
+        atoms = []
+        for spec, value in assignments.items():
+            rel, attr = schema.qualified(spec)
+            atoms.append(AtomicPredicate(rel, attr, "=", value))
+        return cls(tuple(sorted(atoms, key=lambda a: a.column)))
+
+    def evaluate(self, env: Mapping[str, Value]) -> bool:
+        return all(atom.evaluate(env) for atom in self.atoms)
+
+    def to_expression(self) -> Expression:
+        if not self.atoms:
+            return And(())
+        return conj(*(atom.to_expression() for atom in self.atoms))
+
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(a.column for a in self.atoms))
+
+    @property
+    def size(self) -> int:
+        """Number of atomic conjuncts."""
+        return len(self.atoms)
+
+    def is_trivial(self) -> bool:
+        """True for the empty (always-true) explanation."""
+        return not self.atoms
+
+    def assignments(self) -> Dict[str, Value]:
+        """``{qualified column: constant}`` for the equality atoms."""
+        return {a.column: a.constant for a in self.atoms if a.op == "="}
+
+    def generalizes(self, other: "Explanation") -> bool:
+        """True iff this explanation's atoms are a subset of *other*'s.
+
+        This is the domination order of Section 4.3: a more general
+        explanation (fewer conditions) dominates a more specific one
+        with the same degree.
+        """
+        return set(self.atoms) <= set(other.atoms)
+
+    def __str__(self) -> str:
+        if not self.atoms:
+            return "[TRUE]"
+        return " ∧ ".join(str(a) for a in self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+
+@dataclass(frozen=True)
+class DisjunctivePredicate(Predicate):
+    """A disjunction of conjunctions (Section 6(ii) extension).
+
+    Example: ``author = Levy ∨ author = Halevy``.  Valid anywhere the
+    naive (non-cube) pipeline takes a predicate.
+    """
+
+    disjuncts: Tuple[Explanation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            raise ExplanationError("disjunction needs at least one disjunct")
+
+    def evaluate(self, env: Mapping[str, Value]) -> bool:
+        return any(d.evaluate(env) for d in self.disjuncts)
+
+    def to_expression(self) -> Expression:
+        return Or(tuple(d.to_expression() for d in self.disjuncts))
+
+    def columns(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for d in self.disjuncts:
+            for c in d.columns():
+                seen.setdefault(c)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        return " ∨ ".join(f"({d})" for d in self.disjuncts)
+
+
+_ATOM_RE = re.compile(
+    r"""
+    \s*\[?\s*
+    (?P<rel>\w+)\s*\.\s*(?P<attr>\w+)
+    \s*(?P<op><=|>=|<>|!=|=|<|>)\s*
+    (?P<value>'[^']*'|"[^"]*"|[^\]\s]+)
+    \s*\]?\s*
+    """,
+    re.VERBOSE,
+)
+
+
+def _parse_value(text: str) -> Value:
+    if text.startswith(("'", '"')) and text.endswith(text[0]) and len(text) >= 2:
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def parse_atom(text: str) -> AtomicPredicate:
+    """Parse one atomic predicate like ``[Author.name = 'JG']``."""
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise ExplanationError(f"cannot parse atomic predicate: {text!r}")
+    op = match.group("op")
+    if op == "!=":
+        op = "<>"
+    return AtomicPredicate(
+        match.group("rel"),
+        match.group("attr"),
+        op,
+        _parse_value(match.group("value")),
+    )
+
+
+def parse_explanation(text: str) -> Explanation:
+    """Parse a conjunction like ``Author.name = 'JG' AND Publication.year = 2001``.
+
+    Accepted separators: ``AND``, ``and``, ``∧``, ``&``.
+    """
+    stripped = text.strip()
+    if not stripped or stripped.upper() in ("TRUE", "[TRUE]"):
+        return Explanation(())
+    parts = re.split(r"\s+(?:AND|and)\s+|\s*∧\s*|\s*&\s*", stripped)
+    return Explanation(tuple(parse_atom(p) for p in parts if p.strip()))

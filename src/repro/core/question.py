@@ -1,0 +1,77 @@
+"""User questions ``(Q, dir)`` and the degree sign conventions.
+
+Definition 2.1: a user question pairs a numerical query with a
+direction — the user believes Q is *higher* or *lower* than expected.
+The two degrees of explanation flip signs in opposite ways
+(Definitions 2.4 and 2.7):
+
+==============  =====================  =====================
+direction        μ_aggr(φ)              μ_interv(φ)
+==============  =====================  =====================
+``high``         ``+Q(D_φ)``            ``−Q(D − Δ^φ)``
+``low``          ``−Q(D_φ)``            ``+Q(D − Δ^φ)``
+==============  =====================  =====================
+
+Aggravation rewards restricting to tuples that push Q further in the
+observed direction; intervention rewards deletions that pull Q back
+the other way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Union
+
+from ..errors import ExplanationError
+from .numquery import NumericalQuery
+
+
+class Direction(Enum):
+    """The user's belief about the query value."""
+
+    HIGH = "high"
+    LOW = "low"
+
+    @classmethod
+    def parse(cls, value: Union[str, "Direction"]) -> "Direction":
+        """Accept 'high'/'low' strings or Direction members."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except (ValueError, AttributeError):
+            raise ExplanationError(
+                f"direction must be 'high' or 'low', got {value!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class UserQuestion:
+    """A user question ``(Q, dir)`` (Definition 2.1)."""
+
+    query: NumericalQuery
+    direction: Direction
+
+    @classmethod
+    def high(cls, query: NumericalQuery) -> "UserQuestion":
+        """Question 'why is Q so high?'."""
+        return cls(query, Direction.HIGH)
+
+    @classmethod
+    def low(cls, query: NumericalQuery) -> "UserQuestion":
+        """Question 'why is Q so low?'."""
+        return cls(query, Direction.LOW)
+
+    @property
+    def aggravation_sign(self) -> int:
+        """Multiplier applied to ``Q(D_φ)`` for μ_aggr (Definition 2.4)."""
+        return 1 if self.direction is Direction.HIGH else -1
+
+    @property
+    def intervention_sign(self) -> int:
+        """Multiplier applied to ``Q(D − Δ^φ)`` for μ_interv (Definition 2.7)."""
+        return -1 if self.direction is Direction.HIGH else 1
+
+    def __str__(self) -> str:
+        return f"({self.query.expression}, {self.direction.value})"

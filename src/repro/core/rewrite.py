@@ -1,0 +1,303 @@
+"""Back-and-forth key elimination by schema rewriting (Section 4.1).
+
+A back-and-forth foreign key ``R_j.fk ↔ R_i.pk`` breaks the
+intervention-additivity of plain ``count(*)``.  When the fan-out is
+bounded — every R_i tuple is referenced by at most F tuples of R_j —
+the paper shows how to rewrite the database into an *equivalent* one
+(same causal paths) that uses only standard foreign keys:
+
+* make F copies of R_j — and of the whole subtree of the join tree
+  hanging off R_j away from R_i — naming them ``R_j__1 … R_j__F``;
+* give each copy of R_j a surrogate key ``kad``;
+* extend R_i with F new columns ``kad_1 … kad_F``, each a standard
+  foreign key into the corresponding copy;
+* assign each R_i tuple's referencing R_j tuples to slots 1…F
+  (deterministically here; "arbitrarily" in the paper), padding short
+  slots with a dummy row that is added to every copied relation.
+
+After the rewrite the universal table has exactly one row per R_i
+tuple, ``count(*)`` becomes intervention-additive, and predicates on
+the copied side become disjunctions over the copies
+(:meth:`RewrittenDatabase.rewrite_explanation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine.database import Database
+from ..engine.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from ..engine.types import Row, Value
+from ..engine.universal import JoinTree
+from ..errors import ExplanationError, SchemaError
+from .predicates import (
+    AtomicPredicate,
+    DisjunctivePredicate,
+    Explanation,
+    Predicate,
+)
+
+#: The padding value used in dummy rows of copied relations.
+PAD = "__pad__"
+
+
+def _copy_name(name: str, slot: int) -> str:
+    return f"{name}__{slot}"
+
+
+@dataclass(frozen=True)
+class RewrittenDatabase:
+    """The rewritten database plus the bookkeeping to translate queries."""
+
+    database: Database
+    #: relations that were copied (original names)
+    copied_relations: Tuple[str, ...]
+    #: the fan-out F
+    fanout: int
+    #: the b&f key that was eliminated
+    eliminated: ForeignKey
+
+    def copies_of(self, relation: str) -> List[str]:
+        """The copy names of an original copied relation."""
+        if relation not in self.copied_relations:
+            raise ExplanationError(f"{relation} was not copied by the rewrite")
+        return [_copy_name(relation, f) for f in range(1, self.fanout + 1)]
+
+    def rewrite_atom(self, atom: AtomicPredicate) -> Predicate:
+        """Translate one atomic predicate to the rewritten schema.
+
+        Atoms on uncopied relations pass through; atoms on copied
+        relations become a disjunction over the F copies (the paper:
+        "the predicate on the Author table changes to a disjunction of
+        the condition on three authors").
+        """
+        if atom.relation not in self.copied_relations:
+            return Explanation.of(atom)
+        disjuncts = tuple(
+            Explanation.of(
+                AtomicPredicate(
+                    _copy_name(atom.relation, f),
+                    atom.attribute,
+                    atom.op,
+                    atom.constant,
+                )
+            )
+            for f in range(1, self.fanout + 1)
+        )
+        return DisjunctivePredicate(disjuncts)
+
+    def rewrite_explanation(self, phi: Explanation) -> Predicate:
+        """Translate a conjunction; distributes over the copy disjunctions.
+
+        A conjunction of atoms on copied relations becomes the
+        disjunction over slot assignments where *all* atoms hit the
+        same copy — the sound reading for single-relation predicates.
+        Mixed conjunctions (copied + uncopied atoms) distribute
+        likewise.
+        """
+        copied_atoms = [a for a in phi.atoms if a.relation in self.copied_relations]
+        fixed_atoms = tuple(
+            a for a in phi.atoms if a.relation not in self.copied_relations
+        )
+        if not copied_atoms:
+            return phi
+        disjuncts: List[Explanation] = []
+        for f in range(1, self.fanout + 1):
+            slot_atoms = tuple(
+                AtomicPredicate(
+                    _copy_name(a.relation, f), a.attribute, a.op, a.constant
+                )
+                for a in copied_atoms
+            )
+            disjuncts.append(Explanation(fixed_atoms + slot_atoms))
+        return DisjunctivePredicate(tuple(disjuncts))
+
+
+def _subtree_away_from(
+    tree_adjacency: Dict[str, List[str]], start: str, blocked: str
+) -> Set[str]:
+    """Relations reachable from *start* without crossing *blocked*."""
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in tree_adjacency[node]:
+            if neighbour == blocked or neighbour in seen:
+                continue
+            seen.add(neighbour)
+            frontier.append(neighbour)
+    return seen
+
+
+def rewrite_back_and_forth(
+    database: Database,
+    *,
+    fanout: Optional[int] = None,
+) -> RewrittenDatabase:
+    """Eliminate the schema's single back-and-forth key by copying.
+
+    Requirements (checked): exactly one back-and-forth key in the
+    schema, and no other back-and-forth key inside the copied subtree
+    (trivially true here).  ``fanout`` defaults to the observed maximum
+    number of referencing tuples per referenced tuple.
+    """
+    schema = database.schema
+    bf_keys = schema.back_and_forth_keys
+    if len(bf_keys) != 1:
+        raise ExplanationError(
+            f"rewrite supports exactly one back-and-forth key, found {len(bf_keys)}"
+        )
+    fk = bf_keys[0]
+
+    source_rel = database.relation(fk.source)
+    target_rel = database.relation(fk.target)
+    src_pos = source_rel.schema.indexes_of(fk.source_attrs)
+
+    # Group referencing tuples by referenced key, deterministically.
+    groups: Dict[Row, List[Row]] = {}
+    for row in source_rel.sorted_rows():
+        key = tuple(row[i] for i in src_pos)
+        groups.setdefault(key, []).append(row)
+    observed_fanout = max((len(v) for v in groups.values()), default=1)
+    F = fanout if fanout is not None else observed_fanout
+    if observed_fanout > F:
+        raise ExplanationError(
+            f"fanout {F} too small: some {fk.target} tuple has "
+            f"{observed_fanout} referencing {fk.source} tuples"
+        )
+
+    # Which relations get copied: the side of the join tree containing
+    # fk.source, after cutting the eliminated edge.
+    adjacency: Dict[str, List[str]] = {n: [] for n in schema.relation_names}
+    for other_fk in schema.foreign_keys:
+        if other_fk is fk:
+            continue
+        adjacency[other_fk.source].append(other_fk.target)
+        adjacency[other_fk.target].append(other_fk.source)
+    copied = _subtree_away_from(adjacency, fk.source, fk.target)
+
+    # --- build the new schema -------------------------------------------
+    new_relations: List[RelationSchema] = []
+    new_fks: List[ForeignKey] = []
+    for rs in schema.relations:
+        if rs.name in copied:
+            for f in range(1, F + 1):
+                name = _copy_name(rs.name, f)
+                attrs = tuple(Attribute(a.name, a.dtype) for a in rs.attributes)
+                pk = tuple(rs.primary_key)
+                if rs.name == fk.source:
+                    attrs = (Attribute("kad", "str"),) + attrs
+                    pk = ("kad",)
+                new_relations.append(RelationSchema(name, attrs, pk))
+        elif rs.name == fk.target:
+            extra = tuple(
+                Attribute(f"kad_{f}", "str") for f in range(1, F + 1)
+            )
+            new_relations.append(
+                RelationSchema(rs.name, tuple(rs.attributes) + extra, rs.primary_key)
+            )
+        else:
+            new_relations.append(rs)
+    for other_fk in schema.foreign_keys:
+        if other_fk is fk:
+            continue
+        if other_fk.source in copied and other_fk.target in copied:
+            for f in range(1, F + 1):
+                new_fks.append(
+                    ForeignKey(
+                        _copy_name(other_fk.source, f),
+                        other_fk.source_attrs,
+                        _copy_name(other_fk.target, f),
+                        other_fk.target_attrs,
+                        back_and_forth=False,
+                    )
+                )
+        elif other_fk.source in copied or other_fk.target in copied:
+            raise ExplanationError(
+                "foreign keys crossing the copied subtree boundary other "
+                "than the eliminated key are not supported"
+            )
+        else:
+            new_fks.append(other_fk)
+    for f in range(1, F + 1):
+        new_fks.append(
+            ForeignKey(
+                fk.target,
+                (f"kad_{f}",),
+                _copy_name(fk.source, f),
+                ("kad",),
+                back_and_forth=False,
+            )
+        )
+    new_schema = DatabaseSchema(tuple(new_relations), tuple(new_fks))
+    rewritten = Database(new_schema)
+
+    # --- populate ----------------------------------------------------------
+    # Copies of relations other than fk.source: full replica + pad row.
+    pad_rows: Dict[str, Row] = {}
+    for rs in schema.relations:
+        if rs.name not in copied or rs.name == fk.source:
+            continue
+        pad_rows[rs.name] = tuple(PAD for _ in rs.attributes)
+        for f in range(1, F + 1):
+            target = rewritten.relation(_copy_name(rs.name, f))
+            for row in database.relation(rs.name):
+                target.insert(row)
+            target.insert(pad_rows[rs.name])
+
+    # fk.source copies: slot assignment + pad row per referenced key.
+    # The pad row of fk.source must reference the pad rows of whatever
+    # fk.source itself references inside the copied subtree.
+    source_schema = schema.relation(fk.source)
+
+    def pad_source_row(key: Row, slot: int) -> Row:
+        values: List[Value] = []
+        for attr in source_schema.attributes:
+            if attr.name in fk.source_attrs:
+                values.append(key[fk.source_attrs.index(attr.name)])
+            else:
+                values.append(PAD)
+        return tuple(values)
+
+    kad_of: Dict[Tuple[Row, int], str] = {}
+    for key, rows in groups.items():
+        for slot in range(1, F + 1):
+            kad = "#".join(str(v) for v in key) + f"#{slot}"
+            kad_of[(key, slot)] = kad
+            row = rows[slot - 1] if slot <= len(rows) else pad_source_row(key, slot)
+            rewritten.relation(_copy_name(fk.source, slot)).insert((kad,) + row)
+
+    # Other referenced relations must contain the PAD keys referenced
+    # by padded source rows: ensured above by inserting pad_rows into
+    # every copy.
+
+    tgt_pos = target_rel.schema.indexes_of(fk.target_attrs)
+    for row in target_rel:
+        key = tuple(row[i] for i in tgt_pos)
+        extras = tuple(
+            kad_of.get((key, slot), "#".join(str(v) for v in key) + f"#{slot}")
+            for slot in range(1, F + 1)
+        )
+        # A target tuple with no referencing source tuples cannot occur
+        # in a semijoin-reduced database, but guard anyway by minting
+        # pad slots for it.
+        if key not in groups:
+            for slot in range(1, F + 1):
+                kad = extras[slot - 1]
+                rewritten.relation(_copy_name(fk.source, slot)).insert(
+                    (kad,) + pad_source_row(key, slot)
+                )
+        rewritten.relation(fk.target).insert(row + extras)
+
+    return RewrittenDatabase(
+        database=rewritten,
+        copied_relations=tuple(sorted(copied)),
+        fanout=F,
+        eliminated=fk,
+    )

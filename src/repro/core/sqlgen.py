@@ -1,0 +1,303 @@
+"""Render the framework's computations as SQL and datalog text.
+
+The paper's prototype pushes everything into the DBMS (Section 4:
+"the entire computation can be pushed inside the database engine").
+Our engine executes the plans natively, but for documentation,
+debugging, and porting to a real DBMS this module renders:
+
+* the universal-relation join (``FROM … JOIN … ON fk = pk``);
+* each aggregate query ``q_j`` as a SELECT over that join;
+* the per-aggregate cube queries (``GROUP BY … WITH CUBE``);
+* Algorithm 1's script — cube materialization, the NULL→dummy
+  UPDATEs, the m-way full outer join, and the μ columns;
+* program **P** as the datalog program of Proposition 3.2.
+
+All output is plain text, deterministic, and tested against golden
+fragments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.expressions import (
+    And,
+    Arithmetic,
+    Col,
+    Comparison,
+    Const,
+    Expression,
+    Not,
+    Or,
+    Unary,
+)
+from ..engine.schema import DatabaseSchema, ForeignKey
+from ..engine.types import Value, is_null
+from ..engine.universal import JoinTree
+from ..errors import QueryError
+from .numquery import AggregateQuery, NumericalQuery
+from .predicates import Explanation, Predicate
+from .question import UserQuestion
+
+DUMMY_SQL = "'__DUMMY__'"
+
+
+def sql_literal(value: Value) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None or is_null(value):
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def sql_expression(expr: Expression) -> str:
+    """Render an engine expression as SQL text."""
+    if isinstance(expr, Const):
+        return sql_literal(expr.value)
+    if isinstance(expr, Col):
+        return expr.name
+    if isinstance(expr, Arithmetic):
+        return (
+            f"({sql_expression(expr.left)} {expr.op} "
+            f"{sql_expression(expr.right)})"
+        )
+    if isinstance(expr, Unary):
+        if expr.op == "neg":
+            return f"(-{sql_expression(expr.operand)})"
+        return f"{expr.op.upper()}({sql_expression(expr.operand)})"
+    if isinstance(expr, Comparison):
+        op = "<>" if expr.op == "!=" else expr.op
+        return f"{sql_expression(expr.left)} {op} {sql_expression(expr.right)}"
+    if isinstance(expr, And):
+        if not expr.operands:
+            return "TRUE"
+        return " AND ".join(f"({sql_expression(o)})" for o in expr.operands)
+    if isinstance(expr, Or):
+        if not expr.operands:
+            return "FALSE"
+        return " OR ".join(f"({sql_expression(o)})" for o in expr.operands)
+    if isinstance(expr, Not):
+        return f"NOT ({sql_expression(expr.operand)})"
+    raise QueryError(f"cannot render expression of type {type(expr).__name__}")
+
+
+def _column_alias(qualified: str) -> str:
+    """``Author.name`` -> ``Author_name`` (legal SQL identifier)."""
+    return qualified.replace(".", "_")
+
+
+def universal_from_clause(schema: DatabaseSchema) -> str:
+    """The FROM clause joining all relations along the FK tree."""
+    tree = JoinTree(schema)
+    lines: List[str] = []
+    for name, fk in tree.traversal_order:
+        if fk is None:
+            lines.append(f"FROM {name}")
+            continue
+        other = fk.target if fk.source == name else fk.source
+        conditions = []
+        if name == fk.source:
+            pairs = zip(fk.source_attrs, fk.target_attrs)
+            conditions = [
+                f"{name}.{s} = {other}.{t}" for s, t in pairs
+            ]
+        else:
+            pairs = zip(fk.source_attrs, fk.target_attrs)
+            conditions = [
+                f"{other}.{s} = {name}.{t}" for s, t in pairs
+            ]
+        lines.append(
+            f"  JOIN {name} ON " + " AND ".join(conditions)
+        )
+    return "\n".join(lines)
+
+
+def aggregate_select(schema: DatabaseSchema, q: AggregateQuery) -> str:
+    """One ``q_j`` as a SELECT statement over the universal join."""
+    agg = q.aggregate
+    if agg.kind == "count_star":
+        select = "COUNT(*)"
+    elif agg.kind == "count_distinct":
+        select = f"COUNT(DISTINCT {agg.argument})"
+    elif agg.kind == "count":
+        select = f"COUNT({agg.argument})"
+    else:
+        select = f"{agg.kind.upper()}({agg.argument})"
+    lines = [f"SELECT {select} AS {q.name}", universal_from_clause(schema)]
+    if q.where is not None:
+        lines.append(f"WHERE {sql_expression(q.where)}")
+    return "\n".join(lines) + ";"
+
+
+def cube_select(
+    schema: DatabaseSchema,
+    q: AggregateQuery,
+    attributes: Sequence[str],
+) -> str:
+    """The per-aggregate cube of Algorithm 1 step 2, as SQL Server-style
+    ``GROUP BY … WITH CUBE``."""
+    agg = q.aggregate
+    if agg.kind == "count_star":
+        select_agg = "COUNT(*)"
+    elif agg.kind == "count_distinct":
+        select_agg = f"COUNT(DISTINCT {agg.argument})"
+    else:
+        select_agg = f"{agg.kind.upper()}({agg.argument})"
+    attr_list = ", ".join(attributes)
+    lines = [
+        f"SELECT {attr_list}, {select_agg} AS v_{q.name}",
+        universal_from_clause(schema),
+    ]
+    if q.where is not None:
+        lines.append(f"WHERE {sql_expression(q.where)}")
+    lines.append(f"GROUP BY {attr_list} WITH CUBE")
+    return "\n".join(lines) + ";"
+
+
+def algorithm1_script(
+    schema: DatabaseSchema,
+    question: UserQuestion,
+    attributes: Sequence[str],
+) -> str:
+    """The full Algorithm 1 as a SQL script (cubes, dummy rewrite,
+    m-way full outer join, μ columns)."""
+    query = question.query
+    parts: List[str] = ["-- Algorithm 1: explanation table M", ""]
+    parts.append("-- Step 1: original aggregate values u_j")
+    for q in query.aggregates:
+        parts.append(f"-- u_{q.name}:")
+        parts.append(aggregate_select(schema, q))
+        parts.append("")
+    parts.append("-- Step 2: one cube per aggregate query")
+    for q in query.aggregates:
+        parts.append(f"CREATE TABLE C_{q.name} AS")
+        parts.append(cube_select(schema, q, attributes))
+        parts.append("")
+    parts.append("-- Step 2b: NULL -> dummy rewrite (Section 4.2)")
+    for q in query.aggregates:
+        for attr in attributes:
+            alias = _column_alias(attr)
+            parts.append(
+                f"UPDATE C_{q.name} SET {alias} = {DUMMY_SQL} "
+                f"WHERE {alias} IS NULL;"
+            )
+    parts.append("")
+    parts.append("-- Step 3: full outer join of the cubes on the attributes")
+    names = [q.name for q in query.aggregates]
+    join_cols = " AND ".join(
+        f"C_{names[0]}.{_column_alias(a)} = C_{{other}}.{_column_alias(a)}"
+        for a in attributes
+    )
+    from_clause = f"FROM C_{names[0]}"
+    for other in names[1:]:
+        cond = " AND ".join(
+            f"C_{names[0]}.{_column_alias(a)} = C_{other}.{_column_alias(a)}"
+            for a in attributes
+        )
+        from_clause += f"\n  FULL OUTER JOIN C_{other} ON {cond}"
+    v_list = ", ".join(f"COALESCE(v_{n}, 0) AS v_{n}" for n in names)
+    attr_list = ", ".join(
+        f"C_{names[0]}.{_column_alias(a)}" for a in attributes
+    )
+    parts.append("CREATE TABLE M AS")
+    parts.append(f"SELECT {attr_list}, {v_list}")
+    parts.append(from_clause + ";")
+    parts.append("")
+    parts.append("-- Step 4: degree columns")
+    interv_env = {n: Arithmetic("-", Col(f"u_{n}"), Col(f"v_{n}")) for n in names}
+    parts.append(
+        f"-- mu_interv = {question.intervention_sign} * "
+        f"E(u_1 - v_1, ..., u_m - v_m)"
+    )
+    parts.append(
+        f"-- mu_aggr   = {question.aggravation_sign} * E(v_1, ..., v_m)"
+    )
+    parts.append(f"--   where E = {sql_expression(query.expression)}")
+    return "\n".join(parts)
+
+
+# -- Proposition 3.2: program P in datalog ---------------------------------
+
+
+def _vars_for(schema: DatabaseSchema, relation: str) -> List[str]:
+    """Datalog variable names: shared across relations via FK equality.
+
+    Each attribute gets an uppercase variable; foreign-key-linked
+    attributes reuse the referenced attribute's variable so the join is
+    expressed by repetition, as in the paper's rewriting.
+    """
+    # Union-find over (relation, attribute) pairs linked by FKs.
+    parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def find(x):
+        while parent.get(x, x) != x:
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for fk in schema.foreign_keys:
+        for s, t in zip(fk.source_attrs, fk.target_attrs):
+            union((fk.source, s), (fk.target, t))
+
+    def var_name(rel: str, attr: str) -> str:
+        root_rel, root_attr = find((rel, attr))
+        return f"{root_attr.upper()}_{root_rel.upper()}"
+
+    rs = schema.relation(relation)
+    return [var_name(relation, a) for a in rs.attribute_names]
+
+
+def program_p_datalog(
+    schema: DatabaseSchema, phi: Optional[Predicate] = None
+) -> str:
+    """Program **P** as the datalog program of Proposition 3.2.
+
+    ``phi`` customizes the ¬φ literal in the S_i rules; omitted, the
+    literal is the symbolic ``not phi(...)``.
+    """
+    phi_text = (
+        f"not [{phi}]" if phi is not None else "not phi(...)"
+    )
+    all_atoms = ", ".join(
+        f"{r.name}({', '.join(_vars_for(schema, r.name))})"
+        for r in schema.relations
+    )
+    lines: List[str] = ["% Program P (Proposition 3.2)"]
+    lines.append("% Rule (i): seeds")
+    for r in schema.relations:
+        vs = ", ".join(_vars_for(schema, r.name))
+        lines.append(f"S_{r.name}({vs}) :- {all_atoms}, {phi_text}.")
+    for r in schema.relations:
+        vs = ", ".join(_vars_for(schema, r.name))
+        lines.append(f"Delta_{r.name}({vs}) :- {r.name}({vs}), not S_{r.name}({vs}).")
+    lines.append("% Rule (ii): semijoin reduction")
+    body_ii = ", ".join(
+        f"{r.name}({', '.join(_vars_for(schema, r.name))}), "
+        f"not Delta_{r.name}({', '.join(_vars_for(schema, r.name))})"
+        for r in schema.relations
+    )
+    for r in schema.relations:
+        vs = ", ".join(_vars_for(schema, r.name))
+        lines.append(f"T_{r.name}({vs}) :- {body_ii}.")
+    for r in schema.relations:
+        vs = ", ".join(_vars_for(schema, r.name))
+        lines.append(
+            f"Delta_{r.name}({vs}) :- {r.name}({vs}), not T_{r.name}({vs})."
+        )
+    lines.append("% Rule (iii): backward cascade along back-and-forth keys")
+    for fk in schema.back_and_forth_keys:
+        tgt_vs = ", ".join(_vars_for(schema, fk.target))
+        src_vs = ", ".join(_vars_for(schema, fk.source))
+        lines.append(
+            f"Delta_{fk.target}({tgt_vs}) :- {fk.target}({tgt_vs}), "
+            f"Delta_{fk.source}({src_vs})."
+        )
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""``repro.datasets`` — seeded synthetic workload generators.
+
+Each module reproduces one of the paper's data sources:
+
+* :mod:`~repro.datasets.running_example` — the Figure 3 toy instance
+  and the Example 2.9/2.10 counterexamples;
+* :mod:`~repro.datasets.chains` — the Example 3.7 worst-case chains;
+* :mod:`~repro.datasets.dblp` — a synthetic DBLP with the planted
+  industrial-bump phenomenon (Figures 1–2);
+* :mod:`~repro.datasets.geodblp` — the DBLP + Geo-DBLP integration
+  with the UK SIGMOD/PODS anomaly (Figure 15);
+* :mod:`~repro.datasets.natality` — a synthetic natality table whose
+  conditional distributions are planted from the paper's published
+  counts (Figures 7–11).
+"""
+
+from . import chains, dblp, geodblp, natality, running_example
+
+__all__ = ["chains", "dblp", "geodblp", "natality", "running_example"]

@@ -1,0 +1,232 @@
+"""Aggregate functions: COUNT(*), COUNT(DISTINCT), SUM, AVG, MIN, MAX.
+
+Each aggregate is a small accumulator object created per group by the
+group-by and cube operators.  NULL inputs are ignored (SQL semantics)
+except by COUNT(*), which counts rows regardless.
+
+The explanation framework cares about two of these in particular:
+``count_star`` and ``count_distinct`` are the aggregates for which the
+paper proves intervention-additivity conditions (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Set, Tuple
+
+from ..errors import QueryError
+from .types import NULL, Value, is_null, sql_lt
+
+
+class Accumulator:
+    """One group's running aggregate state."""
+
+    def add(self, value: Value) -> None:
+        """Feed one input value (the value of the aggregate argument)."""
+        raise NotImplementedError
+
+    def result(self) -> Value:
+        """The aggregate value for the rows seen so far."""
+        raise NotImplementedError
+
+
+class CountStarAccumulator(Accumulator):
+    """COUNT(*): counts every row, including NULL arguments."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Value) -> None:
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class CountAccumulator(Accumulator):
+    """COUNT(expr): counts non-NULL arguments."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Value) -> None:
+        if not is_null(value):
+            self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class CountDistinctAccumulator(Accumulator):
+    """COUNT(DISTINCT expr): counts distinct non-NULL arguments."""
+
+    def __init__(self) -> None:
+        self.seen: Set[Value] = set()
+
+    def add(self, value: Value) -> None:
+        if not is_null(value):
+            self.seen.add(value)
+
+    def result(self) -> int:
+        return len(self.seen)
+
+
+class SumAccumulator(Accumulator):
+    """SUM(expr): NULL if no non-NULL inputs (SQL semantics)."""
+
+    def __init__(self) -> None:
+        self.total: float = 0
+        self.any = False
+
+    def add(self, value: Value) -> None:
+        if is_null(value):
+            return
+        if not isinstance(value, (int, float)):
+            raise QueryError(f"SUM over non-numeric value {value!r}")
+        self.total += value
+        self.any = True
+
+    def result(self) -> Value:
+        return self.total if self.any else NULL
+
+
+class AvgAccumulator(Accumulator):
+    """AVG(expr): NULL if no non-NULL inputs."""
+
+    def __init__(self) -> None:
+        self.total: float = 0
+        self.count = 0
+
+    def add(self, value: Value) -> None:
+        if is_null(value):
+            return
+        if not isinstance(value, (int, float)):
+            raise QueryError(f"AVG over non-numeric value {value!r}")
+        self.total += value
+        self.count += 1
+
+    def result(self) -> Value:
+        if self.count == 0:
+            return NULL
+        return self.total / self.count
+
+
+class MinAccumulator(Accumulator):
+    """MIN(expr) under the engine's total order, NULLs ignored."""
+
+    def __init__(self) -> None:
+        self.best: Value = NULL
+
+    def add(self, value: Value) -> None:
+        if is_null(value):
+            return
+        if is_null(self.best) or sql_lt(value, self.best):
+            self.best = value
+
+    def result(self) -> Value:
+        return self.best
+
+
+class MaxAccumulator(Accumulator):
+    """MAX(expr) under the engine's total order, NULLs ignored."""
+
+    def __init__(self) -> None:
+        self.best: Value = NULL
+
+    def add(self, value: Value) -> None:
+        if is_null(value):
+            return
+        if is_null(self.best) or sql_lt(self.best, value):
+            self.best = value
+
+    def result(self) -> Value:
+        return self.best
+
+
+_FACTORIES = {
+    "count_star": CountStarAccumulator,
+    "count": CountAccumulator,
+    "count_distinct": CountDistinctAccumulator,
+    "sum": SumAccumulator,
+    "avg": AvgAccumulator,
+    "min": MinAccumulator,
+    "max": MaxAccumulator,
+}
+
+AGGREGATE_KINDS = tuple(_FACTORIES)
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """Specification of one aggregate column.
+
+    ``kind`` is one of :data:`AGGREGATE_KINDS`; ``argument`` is the
+    input column (ignored — and allowed to be None — for
+    ``count_star``); ``alias`` names the output column.
+    """
+
+    kind: str
+    argument: Optional[str]
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FACTORIES:
+            raise QueryError(
+                f"unknown aggregate {self.kind!r}; choose from {AGGREGATE_KINDS}"
+            )
+        if self.kind != "count_star" and self.argument is None:
+            raise QueryError(f"aggregate {self.kind} requires an argument column")
+        if not self.alias:
+            raise QueryError("aggregate needs a non-empty alias")
+
+    def make_accumulator(self) -> Accumulator:
+        """A fresh accumulator for one group."""
+        return _FACTORIES[self.kind]()
+
+    @property
+    def default_value(self) -> Value:
+        """Value of this aggregate over an empty input.
+
+        Counts are 0 over the empty set; the others are NULL.  Used by
+        Algorithm 1 when an explanation is missing from a cube.
+        """
+        if self.kind in ("count_star", "count", "count_distinct"):
+            return 0
+        return NULL
+
+    def __str__(self) -> str:
+        if self.kind == "count_star":
+            return f"count(*) AS {self.alias}"
+        if self.kind == "count_distinct":
+            return f"count(distinct {self.argument}) AS {self.alias}"
+        return f"{self.kind}({self.argument}) AS {self.alias}"
+
+
+def count_star(alias: str = "value") -> AggregateSpec:
+    """COUNT(*) spec."""
+    return AggregateSpec("count_star", None, alias)
+
+
+def count_distinct(argument: str, alias: str = "value") -> AggregateSpec:
+    """COUNT(DISTINCT argument) spec."""
+    return AggregateSpec("count_distinct", argument, alias)
+
+
+def agg_sum(argument: str, alias: str = "value") -> AggregateSpec:
+    """SUM(argument) spec."""
+    return AggregateSpec("sum", argument, alias)
+
+
+def agg_avg(argument: str, alias: str = "value") -> AggregateSpec:
+    """AVG(argument) spec."""
+    return AggregateSpec("avg", argument, alias)
+
+
+def agg_min(argument: str, alias: str = "value") -> AggregateSpec:
+    """MIN(argument) spec."""
+    return AggregateSpec("min", argument, alias)
+
+
+def agg_max(argument: str, alias: str = "value") -> AggregateSpec:
+    """MAX(argument) spec."""
+    return AggregateSpec("max", argument, alias)

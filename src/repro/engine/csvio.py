@@ -1,0 +1,129 @@
+"""CSV import/export for relations and tables.
+
+The dtype hints on :class:`~repro.engine.schema.Attribute` drive
+parsing: "int"/"float"/"bool" columns are converted, "str" kept
+verbatim, and "any" columns are parsed as int, then float, then left as
+strings.  Empty fields become NULL.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from ..errors import QueryError
+from .relation import Relation
+from .schema import RelationSchema
+from .table import Table
+from .types import DUMMY, NULL, Value
+
+PathLike = Union[str, Path]
+
+_NULL_TOKEN = ""
+_DUMMY_TOKEN = "__DUMMY__"
+
+
+def _parse_any(text: str) -> Value:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _parse(text: str, dtype: str) -> Value:
+    if text == _NULL_TOKEN:
+        return NULL
+    if text == _DUMMY_TOKEN:
+        return DUMMY
+    if dtype == "int":
+        return int(text)
+    if dtype == "float":
+        return float(text)
+    if dtype == "bool":
+        lowered = text.strip().lower()
+        if lowered in ("true", "1", "t", "yes"):
+            return True
+        if lowered in ("false", "0", "f", "no"):
+            return False
+        raise QueryError(f"cannot parse {text!r} as bool")
+    if dtype == "str":
+        return text
+    return _parse_any(text)
+
+
+def _render(value: Value) -> str:
+    if value is NULL:
+        return _NULL_TOKEN
+    if value is DUMMY:
+        return _DUMMY_TOKEN
+    return str(value)
+
+
+def load_relation(schema: RelationSchema, path: PathLike) -> Relation:
+    """Read a relation from a headed CSV file.
+
+    The header must list exactly the schema's attributes (any order);
+    columns are reordered to match the schema.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise QueryError(f"{path}: empty CSV file") from None
+        expected = set(schema.attribute_names)
+        if set(header) != expected:
+            raise QueryError(
+                f"{path}: header {header} does not match schema "
+                f"attributes {sorted(expected)}"
+            )
+        order = [header.index(a) for a in schema.attribute_names]
+        dtypes = [a.dtype for a in schema.attributes]
+        relation = Relation(schema)
+        for line in reader:
+            if not line:
+                continue
+            row = tuple(
+                _parse(line[i], dtype) for i, dtype in zip(order, dtypes)
+            )
+            relation.insert(row)
+    return relation
+
+
+def dump_relation(relation: Relation, path: PathLike) -> None:
+    """Write a relation to a headed CSV file (deterministic row order)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.attribute_names)
+        for row in relation.sorted_rows():
+            writer.writerow([_render(v) for v in row])
+
+
+def dump_table(table: Table, path: PathLike) -> None:
+    """Write a result table to a headed CSV file."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        for row in table.rows():
+            writer.writerow([_render(v) for v in row])
+
+
+def load_table(path: PathLike) -> Table:
+    """Read a table from a headed CSV file ("any" parsing per cell)."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise QueryError(f"{path}: empty CSV file") from None
+        rows: List[Sequence[Value]] = []
+        for line in reader:
+            if not line:
+                continue
+            rows.append(tuple(_parse(cell, "any") for cell in line))
+    return Table(header, rows)

@@ -1,0 +1,276 @@
+"""``GROUP BY ... WITH CUBE`` — the data-cube operator (Section 4).
+
+The cube over grouping attributes ``g1 … gd`` is the union of the
+group-bys over all ``2^d`` subsets of the attributes, with the
+attributes *outside* each subset set to NULL ("don't care").  Each cube
+row therefore corresponds to one candidate explanation: the non-NULL
+(attribute, value) pairs are the equality predicates of the conjunction
+(Example 4.1).
+
+Two implementations are provided:
+
+* :func:`cube` — the production single-pass algorithm: one hash pass
+  over the input feeding all ``2^d`` grouping sets at once.
+* :func:`cube_bruteforce` — ``2^d`` independent group-bys; quadratic
+  work but trivially correct, kept as the test oracle.
+
+Section 4.2's optimization — rewriting NULL markers to the DUMMY
+constant so the m cubes can be equi-joined — lives in
+:func:`dummy_rewrite`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from .aggregates import Accumulator, AggregateSpec
+from .groupby import group_by
+from .table import Table
+from .types import DUMMY, NULL, Row, Value
+
+
+def grouping_sets(dimensions: Sequence[str]) -> List[Tuple[str, ...]]:
+    """All ``2^d`` subsets of *dimensions*, largest first.
+
+    The full grouping set comes first and the empty (grand total) set
+    last, mirroring the presentation order of SQL Server's WITH CUBE.
+    """
+    dims = tuple(dimensions)
+    sets: List[Tuple[str, ...]] = []
+    for size in range(len(dims), -1, -1):
+        sets.extend(combinations(dims, size))
+    return sets
+
+
+def rollup_sets(dimensions: Sequence[str]) -> List[Tuple[str, ...]]:
+    """The ``d + 1`` prefixes of *dimensions* (``WITH ROLLUP``).
+
+    ``(a, b, c)`` yields ``(a,b,c), (a,b), (a,), ()`` — the hierarchy
+    drill-up, a strict subset of the cube's grouping sets.
+    """
+    dims = tuple(dimensions)
+    return [dims[:size] for size in range(len(dims), -1, -1)]
+
+
+def grouping_sets_aggregate(
+    table: Table,
+    sets: Sequence[Sequence[str]],
+    aggregates: Sequence[AggregateSpec],
+    dimensions: Optional[Sequence[str]] = None,
+) -> Table:
+    """``GROUP BY GROUPING SETS (…)`` — aggregate over explicit sets.
+
+    Output columns are the union of all grouping attributes (in
+    ``dimensions`` order if given, else first-appearance order), with
+    NULL marking attributes outside a row's grouping set.  Both
+    :func:`cube` and ``WITH ROLLUP`` are special cases.
+    """
+    if dimensions is None:
+        seen: Dict[str, None] = {}
+        for s in sets:
+            for a in s:
+                seen.setdefault(a)
+        dimensions = list(seen)
+    for s in sets:
+        unknown = set(s) - set(dimensions)
+        if unknown:
+            raise QueryError(
+                f"grouping set {tuple(s)} uses attributes outside the "
+                f"dimension list: {sorted(unknown)}"
+            )
+    dim_pos = table.positions(dimensions)
+    arg_pos: List[Optional[int]] = [
+        table.position(a.argument) if a.argument is not None else None
+        for a in aggregates
+    ]
+    aliases = [a.alias for a in aggregates]
+    if len(set(aliases)) != len(aliases):
+        raise QueryError(f"duplicate aggregate aliases: {aliases}")
+    # Deduplicate grouping sets (SQL allows repeats; one output each).
+    masks = list(
+        dict.fromkeys(
+            tuple(d in set(s) for d in dimensions) for s in sets
+        )
+    )
+    groups: Dict[Row, List[Accumulator]] = {}
+    for row in table.rows():
+        dim_values = tuple(row[i] for i in dim_pos)
+        _reject_null_dimensions(dim_values, dimensions)
+        arg_values = tuple(
+            row[i] if i is not None else None for i in arg_pos
+        )
+        for mask in masks:
+            key = tuple(
+                v if keep else NULL for v, keep in zip(dim_values, mask)
+            )
+            accs = groups.get(key)
+            if accs is None:
+                accs = [a.make_accumulator() for a in aggregates]
+                groups[key] = accs
+            for acc, v in zip(accs, arg_values):
+                acc.add(v)
+    if not groups and () in [tuple(s) for s in sets] or (
+        not table.rows() and any(not s for s in sets)
+    ):
+        groups[(NULL,) * len(dimensions)] = [
+            a.make_accumulator() for a in aggregates
+        ]
+    out_rows = [
+        key + tuple(acc.result() for acc in accs)
+        for key, accs in groups.items()
+    ]
+    return Table(list(dimensions) + aliases, out_rows)
+
+
+def rollup(
+    table: Table,
+    dimensions: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Table:
+    """``GROUP BY … WITH ROLLUP`` over the dimension hierarchy."""
+    return grouping_sets_aggregate(
+        table, rollup_sets(dimensions), aggregates, dimensions
+    )
+
+
+def cube(
+    table: Table,
+    dimensions: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Table:
+    """Single-pass data cube.
+
+    Output columns are ``dimensions + aggregate aliases``; "don't care"
+    dimensions carry NULL.  Groups are only emitted for value
+    combinations present in the data (plus the grand-total row, which
+    always exists, even on empty input).
+    """
+    if len(set(dimensions)) != len(dimensions):
+        raise QueryError(f"duplicate cube dimensions: {dimensions}")
+    dim_pos = table.positions(dimensions)
+    arg_pos: List[Optional[int]] = [
+        table.position(a.argument) if a.argument is not None else None
+        for a in aggregates
+    ]
+    aliases = [a.alias for a in aggregates]
+    if len(set(aliases)) != len(aliases):
+        raise QueryError(f"duplicate aggregate aliases: {aliases}")
+    if set(aliases) & set(dimensions):
+        raise QueryError("aggregate aliases clash with cube dimensions")
+
+    sets = grouping_sets(dimensions)
+    masks = [
+        tuple(d in s for d in dimensions)
+        for s in sets
+    ]
+    groups: Dict[Row, List[Accumulator]] = {}
+    for row in table.rows():
+        dim_values = tuple(row[i] for i in dim_pos)
+        _reject_null_dimensions(dim_values, dimensions)
+        arg_values = tuple(
+            row[i] if i is not None else None for i in arg_pos
+        )
+        for mask in masks:
+            key = tuple(
+                v if keep else NULL for v, keep in zip(dim_values, mask)
+            )
+            accs = groups.get(key)
+            if accs is None:
+                accs = [a.make_accumulator() for a in aggregates]
+                groups[key] = accs
+            for acc, v in zip(accs, arg_values):
+                acc.add(v)
+
+    grand_total: Row = (NULL,) * len(dimensions)
+    if grand_total not in groups:
+        groups[grand_total] = [a.make_accumulator() for a in aggregates]
+
+    out_rows = [
+        key + tuple(acc.result() for acc in accs)
+        for key, accs in groups.items()
+    ]
+    return Table(list(dimensions) + aliases, out_rows)
+
+
+def _reject_null_dimensions(
+    dim_values: Row, dimensions: Sequence[str]
+) -> None:
+    """NULL *data* in a grouping column would be indistinguishable from
+    the cube's NULL "don't care" marker (SQL disambiguates with the
+    GROUPING() function; we simply forbid it — the explanation pipeline
+    never groups by nullable columns)."""
+    for value, name in zip(dim_values, dimensions):
+        if value is NULL:
+            raise QueryError(
+                f"cube dimension {name!r} contains NULL; NULL grouping "
+                "values are ambiguous with the cube's don't-care marker"
+            )
+
+
+def cube_bruteforce(
+    table: Table,
+    dimensions: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Table:
+    """Reference cube: one :func:`group_by` per grouping set.
+
+    Used as the correctness oracle in tests; also the natural shape of
+    the 'No Cube' baseline in Figure 12 when fed pre-filtered inputs.
+    """
+    if len(table) and dimensions:
+        pos = table.positions(dimensions)
+        for row in table.rows():
+            _reject_null_dimensions(
+                tuple(row[i] for i in pos), dimensions
+            )
+    aliases = [a.alias for a in aggregates]
+    out_columns = list(dimensions) + aliases
+    out_rows: List[Row] = []
+    seen_keys = set()
+    for gset in grouping_sets(dimensions):
+        grouped = group_by(table, gset, aggregates)
+        positions = {c: grouped.position(c) for c in grouped.columns}
+        for row in grouped.rows():
+            key = tuple(
+                row[positions[d]] if d in gset else NULL for d in dimensions
+            )
+            if not gset and key in seen_keys:
+                continue
+            seen_keys.add(key)
+            out_rows.append(
+                key + tuple(row[positions[a]] for a in aliases)
+            )
+    return Table(out_columns, out_rows)
+
+
+def dummy_rewrite(cube_table: Table, dimensions: Sequence[str]) -> Table:
+    """Replace NULL with DUMMY in the dimension columns (Section 4.2).
+
+    After the rewrite the cube can participate in plain equi-joins:
+    ``NULL = NULL`` is false but ``DUMMY = DUMMY`` is true, so two
+    cubes join exactly on identical explanations.
+    """
+    pos = set(cube_table.positions(dimensions))
+    rows = [
+        tuple(
+            DUMMY if (i in pos and v is NULL) else v
+            for i, v in enumerate(row)
+        )
+        for row in cube_table.rows()
+    ]
+    return Table(cube_table.columns, rows)
+
+
+def undummy(table: Table, dimensions: Sequence[str]) -> Table:
+    """Inverse of :func:`dummy_rewrite` for presenting results."""
+    pos = set(table.positions(dimensions))
+    rows = [
+        tuple(
+            NULL if (i in pos and v is DUMMY) else v
+            for i, v in enumerate(row)
+        )
+        for row in table.rows()
+    ]
+    return Table(table.columns, rows)

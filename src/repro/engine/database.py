@@ -1,0 +1,234 @@
+"""Database instances and interventions (tuple-set deltas).
+
+A :class:`Database` is a schema plus one :class:`Relation` per schema
+relation.  A :class:`Delta` is "a set of tuples to be deleted from D"
+(Section 2.2): one subset per relation.  The intervention fixpoint in
+:mod:`repro.core.intervention` manipulates Deltas; ``D - delta`` is
+:meth:`Database.subtract`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import IntegrityError, SchemaError
+from .relation import Relation
+from .schema import DatabaseSchema, ForeignKey
+from .types import Row, Value
+
+
+class Database:
+    """A database instance: one relation per schema relation."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        relations: Optional[Mapping[str, Iterable[Sequence[Value]]]] = None,
+    ) -> None:
+        self.schema = schema
+        self.relations: Dict[str, Relation] = {
+            rs.name: Relation(rs) for rs in schema.relations
+        }
+        if relations is not None:
+            for name, rows in relations.items():
+                self.relation(name).insert_many(rows)
+
+    # -- access ---------------------------------------------------------
+
+    def relation(self, name: str) -> Relation:
+        """The relation instance called *name*."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(f"no relation named {name!r}") from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Relation names in schema order."""
+        return self.schema.relation_names
+
+    def total_rows(self) -> int:
+        """Total number of tuples across all relations (the paper's n)."""
+        return sum(len(r) for r in self.relations.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self.schema == other.schema and all(
+            self.relations[n] == other.relations[n] for n in self.relation_names
+        )
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{n}={len(r)}" for n, r in self.relations.items()
+        )
+        return f"Database({sizes})"
+
+    # -- integrity --------------------------------------------------------
+
+    def check_integrity(self) -> None:
+        """Verify every foreign key references an existing target tuple.
+
+        Raises :class:`IntegrityError` on the first dangling reference.
+        Primary keys are enforced at insertion time by
+        :class:`Relation`, so only referential integrity is checked
+        here.
+        """
+        for fk in self.schema.foreign_keys:
+            source = self.relation(fk.source)
+            target = self.relation(fk.target)
+            target_keys = {
+                tuple(row[i] for i in target.schema.indexes_of(fk.target_attrs))
+                for row in target
+            }
+            src_pos = source.schema.indexes_of(fk.source_attrs)
+            for row in source:
+                key = tuple(row[i] for i in src_pos)
+                if key not in target_keys:
+                    raise IntegrityError(
+                        f"dangling foreign key {fk}: {fk.source} row {row} "
+                        f"references missing key {key}"
+                    )
+
+    # -- copying / mutation ------------------------------------------------
+
+    def copy(self) -> "Database":
+        """A deep copy (rows are immutable, so sharing them is safe)."""
+        clone = Database(self.schema)
+        for name, rel in self.relations.items():
+            clone.relations[name] = rel.copy()
+        return clone
+
+    def subtract(self, delta: "Delta") -> "Database":
+        """The residual database ``D - delta`` (non-destructive)."""
+        residual = Database(self.schema)
+        for name, rel in self.relations.items():
+            residual.relations[name] = rel.without(delta.rows_for(name))
+        return residual
+
+
+class Delta:
+    """An intervention: one set of rows to delete per relation.
+
+    Deltas are immutable-by-convention value objects; all combining
+    operations return new instances.  They support the subset ordering
+    used by the minimality statements of Theorem 3.3.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        parts: Optional[Mapping[str, Iterable[Sequence[Value]]]] = None,
+    ) -> None:
+        self.schema = schema
+        self._parts: Dict[str, FrozenSet[Row]] = {
+            name: frozenset() for name in schema.relation_names
+        }
+        if parts is not None:
+            for name, rows in parts.items():
+                if name not in self._parts:
+                    raise SchemaError(f"delta names unknown relation {name!r}")
+                self._parts[name] = frozenset(tuple(r) for r in rows)
+
+    @classmethod
+    def empty(cls, schema: DatabaseSchema) -> "Delta":
+        """The empty intervention."""
+        return cls(schema)
+
+    @classmethod
+    def all_of(cls, database: Database) -> "Delta":
+        """The trivial intervention that deletes the whole database."""
+        return cls(
+            database.schema,
+            {name: rel.rows() for name, rel in database.relations.items()},
+        )
+
+    # -- access -----------------------------------------------------------
+
+    def rows_for(self, relation: str) -> FrozenSet[Row]:
+        """The rows to delete from *relation*."""
+        try:
+            return self._parts[relation]
+        except KeyError:
+            raise SchemaError(f"no relation named {relation!r}") from None
+
+    def __getitem__(self, relation: str) -> FrozenSet[Row]:
+        return self.rows_for(relation)
+
+    def size(self) -> int:
+        """Total number of tuples deleted."""
+        return sum(len(rows) for rows in self._parts.values())
+
+    def is_empty(self) -> bool:
+        """True iff nothing is deleted."""
+        return all(not rows for rows in self._parts.values())
+
+    def parts(self) -> Dict[str, FrozenSet[Row]]:
+        """A copy of the per-relation row sets."""
+        return dict(self._parts)
+
+    # -- algebra ------------------------------------------------------------
+
+    def union(self, other: "Delta") -> "Delta":
+        """Per-relation set union."""
+        self._check_schema(other)
+        merged = {
+            name: self._parts[name] | other._parts[name]
+            for name in self._parts
+        }
+        return Delta(self.schema, merged)
+
+    def with_rows(
+        self, relation: str, rows: Iterable[Sequence[Value]]
+    ) -> "Delta":
+        """A new delta with *rows* added to *relation*'s part."""
+        if relation not in self._parts:
+            raise SchemaError(f"no relation named {relation!r}")
+        merged = dict(self._parts)
+        merged[relation] = self._parts[relation] | {
+            tuple(r) for r in rows
+        }
+        return Delta(self.schema, merged)
+
+    def issubset(self, other: "Delta") -> bool:
+        """Per-relation subset test (the minimality order)."""
+        self._check_schema(other)
+        return all(
+            self._parts[name] <= other._parts[name] for name in self._parts
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Delta):
+            return NotImplemented
+        return self.schema == other.schema and self._parts == other._parts
+
+    def __le__(self, other: "Delta") -> bool:
+        return self.issubset(other)
+
+    def __or__(self, other: "Delta") -> "Delta":
+        return self.union(other)
+
+    def _check_schema(self, other: "Delta") -> None:
+        if self.schema.relation_names != other.schema.relation_names:
+            raise SchemaError("deltas over different schemas are incomparable")
+
+    def __repr__(self) -> str:
+        nonempty = {
+            name: len(rows) for name, rows in self._parts.items() if rows
+        }
+        return f"Delta({nonempty or 'empty'})"
+
+    def describe(self) -> str:
+        """A readable multi-line listing of the deleted tuples."""
+        lines = []
+        for name in self.schema.relation_names:
+            rows = self._parts[name]
+            if rows:
+                listing = ", ".join(str(r) for r in sorted(rows, key=str))
+                lines.append(f"  {name}: {listing}")
+            else:
+                lines.append(f"  {name}: (none)")
+        return "Delta[\n" + "\n".join(lines) + "\n]"

@@ -1,0 +1,437 @@
+"""Scalar and boolean expression AST evaluated against named rows.
+
+Expressions are evaluated against an *environment*: a mapping from
+column names to values (a row of the universal relation, a cube row,
+or a joined row).  The AST supports the numeric operators the paper
+allows in numerical query expressions ``E`` (``+ - * / log exp``,
+Eq. (1)) plus comparisons and boolean connectives used by candidate
+explanation predicates.
+
+NULL propagates through arithmetic (any NULL operand yields NULL) and
+makes comparisons false, mirroring SQL three-valued logic collapsed to
+two values (UNKNOWN is treated as false at filter boundaries, which is
+the only place the engine consumes booleans).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Sequence, Tuple, Union
+
+from ..errors import QueryError
+from .types import (
+    NULL,
+    Value,
+    is_null,
+    sql_eq,
+    sql_ge,
+    sql_gt,
+    sql_le,
+    sql_lt,
+    sql_ne,
+)
+
+Environment = Mapping[str, Value]
+
+
+class Expression:
+    """Base class for all expression nodes."""
+
+    def evaluate(self, env: Environment) -> Value:
+        """Evaluate this expression against *env*."""
+        raise NotImplementedError
+
+    def columns(self) -> Tuple[str, ...]:
+        """All column names referenced by this expression."""
+        raise NotImplementedError
+
+    # Operator sugar so expressions compose naturally: Col("x") + 1 etc.
+    def __add__(self, other: "ExpressionLike") -> "Arithmetic":
+        return Arithmetic("+", self, lift(other))
+
+    def __radd__(self, other: "ExpressionLike") -> "Arithmetic":
+        return Arithmetic("+", lift(other), self)
+
+    def __sub__(self, other: "ExpressionLike") -> "Arithmetic":
+        return Arithmetic("-", self, lift(other))
+
+    def __rsub__(self, other: "ExpressionLike") -> "Arithmetic":
+        return Arithmetic("-", lift(other), self)
+
+    def __mul__(self, other: "ExpressionLike") -> "Arithmetic":
+        return Arithmetic("*", self, lift(other))
+
+    def __rmul__(self, other: "ExpressionLike") -> "Arithmetic":
+        return Arithmetic("*", lift(other), self)
+
+    def __truediv__(self, other: "ExpressionLike") -> "Arithmetic":
+        return Arithmetic("/", self, lift(other))
+
+    def __rtruediv__(self, other: "ExpressionLike") -> "Arithmetic":
+        return Arithmetic("/", lift(other), self)
+
+    def eq(self, other: "ExpressionLike") -> "Comparison":
+        """``self = other`` comparison node."""
+        return Comparison("=", self, lift(other))
+
+    def ne(self, other: "ExpressionLike") -> "Comparison":
+        """``self <> other`` comparison node."""
+        return Comparison("<>", self, lift(other))
+
+    def lt(self, other: "ExpressionLike") -> "Comparison":
+        """``self < other`` comparison node."""
+        return Comparison("<", self, lift(other))
+
+    def le(self, other: "ExpressionLike") -> "Comparison":
+        """``self <= other`` comparison node."""
+        return Comparison("<=", self, lift(other))
+
+    def gt(self, other: "ExpressionLike") -> "Comparison":
+        """``self > other`` comparison node."""
+        return Comparison(">", self, lift(other))
+
+    def ge(self, other: "ExpressionLike") -> "Comparison":
+        """``self >= other`` comparison node."""
+        return Comparison(">=", self, lift(other))
+
+
+ExpressionLike = Union[Expression, int, float, str, bool]
+
+
+def lift(value: ExpressionLike) -> Expression:
+    """Wrap a plain Python value into a :class:`Const` node."""
+    if isinstance(value, Expression):
+        return value
+    return Const(value)
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """A literal constant."""
+
+    value: Value
+
+    def evaluate(self, env: Environment) -> Value:
+        return self.value
+
+    def columns(self) -> Tuple[str, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Col(Expression):
+    """A reference to a named column of the environment row."""
+
+    name: str
+
+    def evaluate(self, env: Environment) -> Value:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise QueryError(f"unknown column {self.name!r} in expression") from None
+
+    def columns(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_ARITH_OPS: Dict[str, Callable[[float, float], float]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """A binary arithmetic node (+, -, *, /).
+
+    Division follows the paper's experimental setup: the evaluation
+    section adds a small epsilon to counts to avoid division by zero,
+    so callers who want that behaviour add the epsilon explicitly;
+    the raw operator returns ``float('inf')`` (matching the paper's
+    reported "infinity" aggravation degrees) when dividing a positive
+    number by zero, and NULL for 0/0.
+    """
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/"):
+            raise QueryError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, env: Environment) -> Value:
+        a = self.left.evaluate(env)
+        b = self.right.evaluate(env)
+        if is_null(a) or is_null(b):
+            return NULL
+        if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+            raise QueryError(
+                f"arithmetic {self.op} on non-numeric values {a!r}, {b!r}"
+            )
+        if self.op == "/":
+            if b == 0:
+                if a == 0:
+                    return NULL
+                return math.inf if a > 0 else -math.inf
+            return a / b
+        return _ARITH_OPS[self.op](a, b)
+
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(self.left.columns() + self.right.columns()))
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Unary(Expression):
+    """A unary function node: ``-x``, ``log(x)``, ``exp(x)``, ``abs(x)``."""
+
+    op: str
+    operand: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in ("neg", "log", "exp", "abs"):
+            raise QueryError(f"unknown unary operator {self.op!r}")
+
+    def evaluate(self, env: Environment) -> Value:
+        v = self.operand.evaluate(env)
+        if is_null(v):
+            return NULL
+        if not isinstance(v, (int, float)):
+            raise QueryError(f"unary {self.op} on non-numeric value {v!r}")
+        if self.op == "neg":
+            return -v
+        if self.op == "abs":
+            return abs(v)
+        if self.op == "exp":
+            return math.exp(v)
+        # log: NULL for non-positive arguments (SQL would error; the
+        # explanation ranking treats undefined degrees as missing).
+        if v <= 0:
+            return NULL
+        return math.log(v)
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.operand.columns()
+
+    def __str__(self) -> str:
+        if self.op == "neg":
+            return f"(-{self.operand})"
+        return f"{self.op}({self.operand})"
+
+
+def neg(expr: ExpressionLike) -> Unary:
+    """Arithmetic negation node."""
+    return Unary("neg", lift(expr))
+
+
+def log(expr: ExpressionLike) -> Unary:
+    """Natural logarithm node (NULL on non-positive input)."""
+    return Unary("log", lift(expr))
+
+
+def exp(expr: ExpressionLike) -> Unary:
+    """Exponential node."""
+    return Unary("exp", lift(expr))
+
+
+_COMPARATORS: Dict[str, Callable[[Value, Value], bool]] = {
+    "=": sql_eq,
+    "<>": sql_ne,
+    "!=": sql_ne,
+    "<": sql_lt,
+    "<=": sql_le,
+    ">": sql_gt,
+    ">=": sql_ge,
+}
+
+COMPARISON_OPS = tuple(_COMPARATORS)
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A comparison node producing a boolean (NULL-safe: NULL -> False)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, env: Environment) -> bool:
+        return _COMPARATORS[self.op](
+            self.left.evaluate(env), self.right.evaluate(env)
+        )
+
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(self.left.columns() + self.right.columns()))
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Boolean conjunction over any number of operands (empty = True)."""
+
+    operands: Tuple[Expression, ...]
+
+    def evaluate(self, env: Environment) -> bool:
+        return all(op.evaluate(env) for op in self.operands)
+
+    def columns(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for op in self.operands:
+            for c in op.columns():
+                seen.setdefault(c)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "TRUE"
+        return " AND ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Boolean disjunction over any number of operands (empty = False)."""
+
+    operands: Tuple[Expression, ...]
+
+    def evaluate(self, env: Environment) -> bool:
+        return any(op.evaluate(env) for op in self.operands)
+
+    def columns(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for op in self.operands:
+            for c in op.columns():
+                seen.setdefault(c)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "FALSE"
+        return " OR ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Boolean negation."""
+
+    operand: Expression
+
+    def evaluate(self, env: Environment) -> bool:
+        return not self.operand.evaluate(env)
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.operand.columns()
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+def conj(*operands: Expression) -> Expression:
+    """Conjunction helper that flattens nested Ands."""
+    flat = []
+    for op in operands:
+        if isinstance(op, And):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*operands: Expression) -> Expression:
+    """Disjunction helper that flattens nested Ors."""
+    flat = []
+    for op in operands:
+        if isinstance(op, Or):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def row_environment(columns: Sequence[str], row: Sequence[Value]) -> Dict[str, Value]:
+    """Build an evaluation environment from parallel column/value lists."""
+    return dict(zip(columns, row))
+
+
+def compile_predicate(expr: Expression, columns: Sequence[str]):
+    """Compile a boolean expression into a fast ``row -> bool`` callable.
+
+    Column references become direct positional accesses, avoiding the
+    per-row environment dict that :meth:`Expression.evaluate` needs.
+    Supported nodes: :class:`Comparison` over :class:`Col`/:class:`Const`
+    operands, :class:`And`, :class:`Or`, :class:`Not`.  Anything else
+    falls back to environment-based evaluation (still correct, just
+    slower).  Raises :class:`~repro.errors.QueryError` for unknown
+    columns, like the interpreted path.
+    """
+    positions = {c: i for i, c in enumerate(columns)}
+
+    def fallback(node: Expression):
+        cols = list(columns)
+        return lambda row: node.evaluate(dict(zip(cols, row)))
+
+    def build(node: Expression):
+        if isinstance(node, Comparison):
+            op = _COMPARATORS[node.op]
+            left, right = node.left, node.right
+            if isinstance(left, Col) and isinstance(right, Const):
+                if left.name not in positions:
+                    raise QueryError(
+                        f"unknown column {left.name!r} in expression"
+                    )
+                i = positions[left.name]
+                c = right.value
+                return lambda row: op(row[i], c)
+            if isinstance(left, Const) and isinstance(right, Col):
+                if right.name not in positions:
+                    raise QueryError(
+                        f"unknown column {right.name!r} in expression"
+                    )
+                i = positions[right.name]
+                c = left.value
+                return lambda row: op(c, row[i])
+            if isinstance(left, Col) and isinstance(right, Col):
+                for name in (left.name, right.name):
+                    if name not in positions:
+                        raise QueryError(
+                            f"unknown column {name!r} in expression"
+                        )
+                i, j = positions[left.name], positions[right.name]
+                return lambda row: op(row[i], row[j])
+            return fallback(node)
+        if isinstance(node, And):
+            parts = [build(op_) for op_ in node.operands]
+            if not parts:
+                return lambda row: True
+            return lambda row: all(p(row) for p in parts)
+        if isinstance(node, Or):
+            parts = [build(op_) for op_ in node.operands]
+            if not parts:
+                return lambda row: False
+            return lambda row: any(p(row) for p in parts)
+        if isinstance(node, Not):
+            inner = build(node.operand)
+            return lambda row: not inner(row)
+        return fallback(node)
+
+    return build(expr)

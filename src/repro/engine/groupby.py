@@ -1,0 +1,70 @@
+"""Hash group-by over :class:`~repro.engine.table.Table`.
+
+``group_by(table, keys, aggregates)`` produces one output row per
+distinct combination of key values, with one extra column per
+aggregate.  The cube operator (:mod:`repro.engine.cube`) reuses this
+for each grouping set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from .aggregates import Accumulator, AggregateSpec
+from .table import Table
+from .types import Row, Value
+
+
+def group_by(
+    table: Table,
+    keys: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Table:
+    """Group *table* by *keys* and compute *aggregates* per group.
+
+    With an empty key list the result is a single row of grand totals
+    (even over an empty input, matching SQL's scalar aggregates).
+    Aggregate aliases must not clash with key columns.
+    """
+    if not aggregates:
+        raise QueryError("group_by requires at least one aggregate")
+    aliases = [a.alias for a in aggregates]
+    if len(set(aliases)) != len(aliases):
+        raise QueryError(f"duplicate aggregate aliases: {aliases}")
+    clash = set(aliases) & set(keys)
+    if clash:
+        raise QueryError(f"aggregate aliases clash with keys: {sorted(clash)}")
+
+    key_pos = table.positions(keys)
+    arg_pos: List[Optional[int]] = [
+        table.position(a.argument) if a.argument is not None else None
+        for a in aggregates
+    ]
+
+    groups: Dict[Row, List[Accumulator]] = {}
+    for row in table.rows():
+        key = tuple(row[i] for i in key_pos)
+        accs = groups.get(key)
+        if accs is None:
+            accs = [a.make_accumulator() for a in aggregates]
+            groups[key] = accs
+        for acc, pos in zip(accs, arg_pos):
+            acc.add(row[pos] if pos is not None else None)
+
+    if not keys and not groups:
+        # Scalar aggregate over empty input: one row of defaults.
+        groups[()] = [a.make_accumulator() for a in aggregates]
+
+    out_columns = list(keys) + aliases
+    out_rows = [
+        key + tuple(acc.result() for acc in accs)
+        for key, accs in groups.items()
+    ]
+    return Table(out_columns, out_rows)
+
+
+def scalar_aggregate(table: Table, aggregate: AggregateSpec) -> Value:
+    """A single aggregate over the whole table (no grouping)."""
+    result = group_by(table, (), (aggregate,))
+    return result.rows()[0][0]

@@ -1,0 +1,190 @@
+"""Join algorithms: hash equi-join, semijoin, antijoin, full outer join.
+
+All joins are hash based.  Equi-joins never match NULL keys (SQL
+semantics); the cube pipeline therefore rewrites cube NULLs to the
+DUMMY constant before joining (Section 4.2), and :func:`full_outer_join`
+implements the m-way combination step of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from .table import Table
+from .types import NULL, Row, Value, is_null
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_on: Sequence[str],
+    right_on: Sequence[str],
+    *,
+    right_keep: Optional[Sequence[str]] = None,
+) -> Table:
+    """Inner hash equi-join of two tables.
+
+    Output columns are the left columns followed by the right columns,
+    except that right join columns (which duplicate left values) are
+    dropped; ``right_keep`` can restrict which non-join right columns
+    survive.  Column-name clashes raise :class:`QueryError` — callers
+    qualify names first.
+    """
+    if len(left_on) != len(right_on):
+        raise QueryError("join key lists must have equal length")
+    left_pos = left.positions(left_on)
+    right_join_cols = set(right_on)
+    if right_keep is None:
+        keep_cols = [c for c in right.columns if c not in right_join_cols]
+    else:
+        keep_cols = [c for c in right_keep if c not in right_join_cols]
+    keep_pos = right.positions(keep_cols)
+    out_columns = list(left.columns) + keep_cols
+    if len(set(out_columns)) != len(out_columns):
+        raise QueryError(
+            f"join would produce duplicate columns: {out_columns}"
+        )
+    index = right.index_on(right_on)
+    out_rows: List[Row] = []
+    for lrow in left.rows():
+        key = tuple(lrow[i] for i in left_pos)
+        if any(is_null(v) for v in key):
+            continue
+        for rrow in index.get(key, ()):
+            out_rows.append(lrow + tuple(rrow[i] for i in keep_pos))
+    return Table(out_columns, out_rows)
+
+
+def natural_join(left: Table, right: Table) -> Table:
+    """Natural join on all shared column names."""
+    shared = [c for c in left.columns if right.has_column(c)]
+    if not shared:
+        raise QueryError(
+            f"no shared columns between {left.columns} and {right.columns}"
+        )
+    return hash_join(left, right, shared, shared)
+
+
+def semijoin(
+    left: Table,
+    right: Table,
+    left_on: Sequence[str],
+    right_on: Sequence[str],
+) -> Table:
+    """Rows of *left* that join with at least one row of *right*."""
+    if len(left_on) != len(right_on):
+        raise QueryError("semijoin key lists must have equal length")
+    left_pos = left.positions(left_on)
+    keys = set(right.index_on(right_on))
+    out = [
+        row
+        for row in left.rows()
+        if not any(is_null(row[i]) for i in left_pos)
+        and tuple(row[i] for i in left_pos) in keys
+    ]
+    return Table(left.columns, out)
+
+
+def antijoin(
+    left: Table,
+    right: Table,
+    left_on: Sequence[str],
+    right_on: Sequence[str],
+) -> Table:
+    """Rows of *left* that join with no row of *right*.
+
+    Rows whose key contains NULL never join, so they are *kept* — the
+    complement of :func:`semijoin`.
+    """
+    if len(left_on) != len(right_on):
+        raise QueryError("antijoin key lists must have equal length")
+    left_pos = left.positions(left_on)
+    keys = set(right.index_on(right_on))
+    out = [
+        row
+        for row in left.rows()
+        if any(is_null(row[i]) for i in left_pos)
+        or tuple(row[i] for i in left_pos) not in keys
+    ]
+    return Table(left.columns, out)
+
+
+def full_outer_join(
+    left: Table,
+    right: Table,
+    on: Sequence[str],
+    *,
+    fill: Value = NULL,
+) -> Table:
+    """Full outer equi-join on the shared key columns *on*.
+
+    Non-key columns from both sides are kept; rows unmatched on either
+    side get *fill* (default NULL) in the other side's non-key columns.
+    This is the combination step of Algorithm 1: cubes for different
+    aggregate queries may contain different explanation rows, and an
+    explanation absent from a cube must survive with a default value.
+
+    Both tables must contain all columns in *on*.  Key columns are
+    emitted once.
+    """
+    left_key_pos = left.positions(on)
+    right_key_pos = right.positions(on)
+    left_rest = [c for c in left.columns if c not in set(on)]
+    right_rest = [c for c in right.columns if c not in set(on)]
+    clash = set(left_rest) & set(right_rest)
+    if clash:
+        raise QueryError(f"full outer join value-column clash: {sorted(clash)}")
+    left_rest_pos = left.positions(left_rest)
+    right_rest_pos = right.positions(right_rest)
+    out_columns = list(on) + left_rest + right_rest
+
+    # Index the right side; NULL keys on either side are treated as
+    # ordinary unmatched rows (they appear with fill on the other side).
+    right_index: Dict[Row, List[Row]] = {}
+    right_null_rows: List[Row] = []
+    for rrow in right.rows():
+        key = tuple(rrow[i] for i in right_key_pos)
+        if any(is_null(v) for v in key):
+            right_null_rows.append(rrow)
+        else:
+            right_index.setdefault(key, []).append(rrow)
+
+    out_rows: List[Row] = []
+    matched_keys = set()
+    for lrow in left.rows():
+        key = tuple(lrow[i] for i in left_key_pos)
+        lvals = tuple(lrow[i] for i in left_rest_pos)
+        if not any(is_null(v) for v in key) and key in right_index:
+            matched_keys.add(key)
+            for rrow in right_index[key]:
+                rvals = tuple(rrow[i] for i in right_rest_pos)
+                out_rows.append(key + lvals + rvals)
+        else:
+            out_rows.append(key + lvals + (fill,) * len(right_rest))
+    for key, rrows in right_index.items():
+        if key in matched_keys:
+            continue
+        for rrow in rrows:
+            rvals = tuple(rrow[i] for i in right_rest_pos)
+            out_rows.append(key + (fill,) * len(left_rest) + rvals)
+    for rrow in right_null_rows:
+        key = tuple(rrow[i] for i in right_key_pos)
+        rvals = tuple(rrow[i] for i in right_rest_pos)
+        out_rows.append(key + (fill,) * len(left_rest) + rvals)
+    return Table(out_columns, out_rows)
+
+
+def full_outer_join_many(
+    tables: Sequence[Table],
+    on: Sequence[str],
+    *,
+    fill: Value = NULL,
+) -> Table:
+    """Left-deep chain of full outer joins over *tables*."""
+    if not tables:
+        raise QueryError("full_outer_join_many needs at least one table")
+    result = tables[0]
+    for table in tables[1:]:
+        result = full_outer_join(result, table, on, fill=fill)
+    return result

@@ -1,0 +1,72 @@
+"""Functional relational-algebra wrappers over :class:`Table`.
+
+These are thin, composable aliases for the Table methods plus the join
+module, so query code can read like the algebra in the paper:
+
+    select(sigma, project(U, cols))  ~  Π_cols(σ_sigma(U))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .expressions import Expression, Not
+from .joins import antijoin, hash_join, natural_join, semijoin
+from .table import Table
+
+__all__ = [
+    "select",
+    "select_not",
+    "project",
+    "rename",
+    "distinct",
+    "union",
+    "difference",
+    "intersect",
+    "hash_join",
+    "natural_join",
+    "semijoin",
+    "antijoin",
+]
+
+
+def select(table: Table, predicate: Expression) -> Table:
+    """σ_predicate(table)."""
+    return table.filter(predicate)
+
+
+def select_not(table: Table, predicate: Expression) -> Table:
+    """σ_{¬predicate}(table) — used by Rule (i) of program P."""
+    return table.filter(Not(predicate))
+
+
+def project(
+    table: Table, columns: Sequence[str], distinct: bool = True
+) -> Table:
+    """Π_columns(table); set semantics by default, like the paper."""
+    return table.project(columns, distinct=distinct)
+
+
+def rename(table: Table, mapping: Dict[str, str]) -> Table:
+    """ρ_mapping(table)."""
+    return table.rename(mapping)
+
+
+def distinct(table: Table) -> Table:
+    """Duplicate elimination."""
+    return table.distinct()
+
+
+def union(left: Table, right: Table) -> Table:
+    """Bag union."""
+    return left.union(right)
+
+
+def difference(left: Table, right: Table) -> Table:
+    """Set difference."""
+    return left.difference(right)
+
+
+def intersect(left: Table, right: Table) -> Table:
+    """Set intersection."""
+    return left.intersect(right)

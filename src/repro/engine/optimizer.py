@@ -1,0 +1,200 @@
+"""A small rule-based plan optimizer.
+
+Rewrites :mod:`repro.engine.plan` trees into equivalent, cheaper ones.
+Rules (applied to fixpoint, top-down):
+
+* **merge-selects** — ``Select(Select(x, p), q)`` → ``Select(x, p ∧ q)``;
+* **push-select-through-project** — when the predicate only reads
+  retained columns;
+* **push-select-below-join** — split a conjunction by which join side
+  its columns come from; conjuncts touching only one side move below
+  the join (the classic selection push-down, which shrinks hash-join
+  inputs);
+* **prune-topk-below-distinct**? — not needed for our plan shapes.
+
+The optimizer never changes results: every rewrite preserves the bag
+semantics of the original plan, which the tests verify by executing
+both plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence, Set, Tuple
+
+from .database import Database
+from .expressions import And, Expression, conj
+from .plan import (
+    AntiJoin,
+    CubePlan,
+    Distinct,
+    GroupBy,
+    Join,
+    PlanNode,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    SemiJoin,
+    TopK,
+    UniversalScan,
+)
+
+
+def _conjuncts(expr: Expression) -> Tuple[Expression, ...]:
+    if isinstance(expr, And):
+        return expr.operands
+    return (expr,)
+
+
+def _columns_of_side(
+    node: PlanNode, database: Optional[Database]
+) -> Optional[Set[str]]:
+    """Statically known output columns of a plan node, or None.
+
+    Scans resolve against *database* when one is supplied to
+    :func:`optimize`; Projects and Renames carry their columns in the
+    plan itself.
+    """
+    if isinstance(node, Scan) and database is not None:
+        rs = database.schema.relation(node.relation)
+        if node.qualify:
+            return {f"{node.relation}.{a}" for a in rs.attribute_names}
+        return set(rs.attribute_names)
+    if isinstance(node, Project):
+        return set(node.columns)
+    if isinstance(node, Rename):
+        inner = _columns_of_side(node.child, database)
+        if inner is None:
+            return None
+        mapping = dict(node.mapping)
+        return {mapping.get(c, c) for c in inner}
+    if isinstance(node, Select):
+        return _columns_of_side(node.child, database)
+    if isinstance(node, (Join,)):
+        left = _columns_of_side(node.left, database)
+        right = _columns_of_side(node.right, database)
+        if left is None or right is None:
+            return None
+        return left | {c for c in right if c not in set(node.right_on)}
+    return None
+
+
+def optimize(plan: PlanNode, database: Optional[Database] = None) -> PlanNode:
+    """Apply the rewrite rules until no rule fires.
+
+    ``database`` (optional) lets the optimizer resolve Scan columns,
+    enabling selection push-down below joins over base relations.
+    """
+    changed = True
+    current = plan
+    while changed:
+        current, changed = _rewrite(current, database)
+    return current
+
+
+def _rewrite(
+    node: PlanNode, database: Optional[Database] = None
+) -> Tuple[PlanNode, bool]:
+    # Bottom-up: rewrite children first.
+    changed = False
+    if isinstance(node, Select):
+        child, child_changed = _rewrite(node.child, database)
+        node = Select(child, node.predicate)
+        changed |= child_changed
+        rewritten = _rewrite_select(node, database)
+        if rewritten is not None:
+            return rewritten, True
+        return node, changed
+    if isinstance(node, Project):
+        child, child_changed = _rewrite(node.child, database)
+        return Project(child, node.columns, node.distinct), child_changed
+    if isinstance(node, Rename):
+        child, child_changed = _rewrite(node.child, database)
+        return Rename(child, node.mapping), child_changed
+    if isinstance(node, Distinct):
+        child, child_changed = _rewrite(node.child, database)
+        return Distinct(child), child_changed
+    if isinstance(node, GroupBy):
+        child, child_changed = _rewrite(node.child, database)
+        return GroupBy(child, node.keys, node.aggregates), child_changed
+    if isinstance(node, CubePlan):
+        child, child_changed = _rewrite(node.child, database)
+        return CubePlan(child, node.dimensions, node.aggregates), child_changed
+    if isinstance(node, TopK):
+        child, child_changed = _rewrite(node.child, database)
+        return (
+            TopK(child, node.by, node.k, node.descending),
+            child_changed,
+        )
+    if isinstance(node, (Join, SemiJoin, AntiJoin)):
+        left, lc = _rewrite(node.left, database)
+        right, rc = _rewrite(node.right, database)
+        cls = type(node)
+        return (
+            cls(left, right, node.left_on, node.right_on),
+            lc or rc,
+        )
+    return node, False
+
+
+def _rewrite_select(
+    node: Select, database: Optional[Database] = None
+) -> Optional[PlanNode]:
+    child = node.child
+    # merge-selects
+    if isinstance(child, Select):
+        merged = conj(
+            *(_conjuncts(child.predicate) + _conjuncts(node.predicate))
+        )
+        return Select(child.child, merged)
+    # push-select-through-project (predicate must only read kept columns)
+    if isinstance(child, Project):
+        needed = set(node.predicate.columns())
+        if needed <= set(child.columns) and not child.distinct:
+            return Project(
+                Select(child.child, node.predicate),
+                child.columns,
+                child.distinct,
+            )
+        if needed <= set(child.columns) and child.distinct:
+            # Selection commutes with duplicate elimination too.
+            return Project(
+                Select(child.child, node.predicate),
+                child.columns,
+                True,
+            )
+    # push-select-below-join
+    if isinstance(child, Join):
+        left_cols = _columns_of_side(child.left, database)
+        right_cols = _columns_of_side(child.right, database)
+        if left_cols is not None or right_cols is not None:
+            left_parts: List[Expression] = []
+            right_parts: List[Expression] = []
+            keep_parts: List[Expression] = []
+            for part in _conjuncts(node.predicate):
+                cols = set(part.columns())
+                if left_cols is not None and cols <= left_cols:
+                    left_parts.append(part)
+                elif right_cols is not None and cols <= right_cols:
+                    right_parts.append(part)
+                else:
+                    keep_parts.append(part)
+            if left_parts or right_parts:
+                new_left = (
+                    Select(child.left, conj(*left_parts))
+                    if left_parts
+                    else child.left
+                )
+                new_right = (
+                    Select(child.right, conj(*right_parts))
+                    if right_parts
+                    else child.right
+                )
+                new_join = Join(
+                    new_left, new_right, child.left_on, child.right_on
+                )
+                if keep_parts:
+                    return Select(new_join, conj(*keep_parts))
+                return new_join
+    return None

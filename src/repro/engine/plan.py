@@ -1,0 +1,362 @@
+"""Logical query plans with EXPLAIN / EXPLAIN ANALYZE.
+
+The functional operators in :mod:`repro.engine.operators` execute
+eagerly; this module adds a composable *plan* layer on top — the shape
+a real engine exposes — so that pipelines (like Algorithm 1's cube
+construction) can be built, inspected and executed as operator trees:
+
+    plan = TopK(
+        CubePlan(Select(UniversalScan(), predicate), dims, aggs),
+        by="c", k=10)
+    table = plan.execute(database)
+    print(explain(plan))            # operator tree
+    print(explain_analyze(plan, database))  # + actual row counts
+
+Plans are immutable dataclasses; execution threads a
+:class:`PlanContext` carrying the database and (for ANALYZE) observed
+cardinalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from .aggregates import AggregateSpec
+from .cube import cube as run_cube
+from .database import Database
+from .expressions import Expression
+from .groupby import group_by
+from .joins import antijoin as run_antijoin
+from .joins import hash_join
+from .joins import semijoin as run_semijoin
+from .table import Table
+from .topk import top_k
+from .universal import JoinTree, universal_table
+
+
+class PlanContext:
+    """Execution context: the database plus per-node statistics."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.observed_rows: Dict[int, int] = {}
+
+    def record(self, node: "PlanNode", table: Table) -> Table:
+        self.observed_rows[id(node)] = len(table)
+        return table
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class for all plan operators."""
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        """Child operators, left to right."""
+        return ()
+
+    def label(self) -> str:
+        """One-line description for EXPLAIN output."""
+        raise NotImplementedError
+
+    def run(self, ctx: PlanContext) -> Table:
+        """Produce this operator's output (children already wired in)."""
+        raise NotImplementedError
+
+    def execute(self, database: Database) -> Table:
+        """Execute the plan against *database*."""
+        return self.run(PlanContext(database))
+
+
+@dataclass(frozen=True)
+class Scan(PlanNode):
+    """Scan one stored relation (optionally with qualified columns)."""
+
+    relation: str
+    qualify: bool = False
+
+    def label(self) -> str:
+        suffix = " (qualified)" if self.qualify else ""
+        return f"Scan {self.relation}{suffix}"
+
+    def run(self, ctx: PlanContext) -> Table:
+        table = Table.from_relation(
+            ctx.database.relation(self.relation), qualify=self.qualify
+        )
+        return ctx.record(self, table)
+
+
+@dataclass(frozen=True)
+class UniversalScan(PlanNode):
+    """Materialize the universal relation U(D) (qualified columns)."""
+
+    def label(self) -> str:
+        return "UniversalScan U(D)"
+
+    def run(self, ctx: PlanContext) -> Table:
+        return ctx.record(self, universal_table(ctx.database))
+
+
+@dataclass(frozen=True)
+class Select(PlanNode):
+    """σ_predicate."""
+
+    child: PlanNode
+    predicate: Expression
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Select [{self.predicate}]"
+
+    def run(self, ctx: PlanContext) -> Table:
+        return ctx.record(self, self.child.run(ctx).filter(self.predicate))
+
+
+@dataclass(frozen=True)
+class Project(PlanNode):
+    """Π_columns (set semantics when ``distinct``)."""
+
+    child: PlanNode
+    columns: Tuple[str, ...]
+    distinct: bool = False
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        kind = "distinct " if self.distinct else ""
+        return f"Project {kind}{list(self.columns)}"
+
+    def run(self, ctx: PlanContext) -> Table:
+        return ctx.record(
+            self,
+            self.child.run(ctx).project(list(self.columns), distinct=self.distinct),
+        )
+
+
+@dataclass(frozen=True)
+class Rename(PlanNode):
+    """ρ_mapping."""
+
+    child: PlanNode
+    mapping: Tuple[Tuple[str, str], ...]
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        pairs = ", ".join(f"{a}→{b}" for a, b in self.mapping)
+        return f"Rename {pairs}"
+
+    def run(self, ctx: PlanContext) -> Table:
+        return ctx.record(self, self.child.run(ctx).rename(dict(self.mapping)))
+
+
+@dataclass(frozen=True)
+class Join(PlanNode):
+    """Inner hash equi-join."""
+
+    left: PlanNode
+    right: PlanNode
+    left_on: Tuple[str, ...]
+    right_on: Tuple[str, ...]
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        cond = " AND ".join(
+            f"{a} = {b}" for a, b in zip(self.left_on, self.right_on)
+        )
+        return f"HashJoin on {cond}"
+
+    def run(self, ctx: PlanContext) -> Table:
+        return ctx.record(
+            self,
+            hash_join(
+                self.left.run(ctx),
+                self.right.run(ctx),
+                list(self.left_on),
+                list(self.right_on),
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class SemiJoin(PlanNode):
+    """Left semijoin."""
+
+    left: PlanNode
+    right: PlanNode
+    left_on: Tuple[str, ...]
+    right_on: Tuple[str, ...]
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return f"SemiJoin on {list(self.left_on)} = {list(self.right_on)}"
+
+    def run(self, ctx: PlanContext) -> Table:
+        return ctx.record(
+            self,
+            run_semijoin(
+                self.left.run(ctx),
+                self.right.run(ctx),
+                list(self.left_on),
+                list(self.right_on),
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class AntiJoin(PlanNode):
+    """Left antijoin."""
+
+    left: PlanNode
+    right: PlanNode
+    left_on: Tuple[str, ...]
+    right_on: Tuple[str, ...]
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return f"AntiJoin on {list(self.left_on)} = {list(self.right_on)}"
+
+    def run(self, ctx: PlanContext) -> Table:
+        return ctx.record(
+            self,
+            run_antijoin(
+                self.left.run(ctx),
+                self.right.run(ctx),
+                list(self.left_on),
+                list(self.right_on),
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class GroupBy(PlanNode):
+    """Hash aggregation."""
+
+    child: PlanNode
+    keys: Tuple[str, ...]
+    aggregates: Tuple[AggregateSpec, ...]
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        return f"GroupBy {list(self.keys)} [{aggs}]"
+
+    def run(self, ctx: PlanContext) -> Table:
+        return ctx.record(
+            self,
+            group_by(self.child.run(ctx), list(self.keys), list(self.aggregates)),
+        )
+
+
+@dataclass(frozen=True)
+class CubePlan(PlanNode):
+    """GROUP BY ... WITH CUBE."""
+
+    child: PlanNode
+    dimensions: Tuple[str, ...]
+    aggregates: Tuple[AggregateSpec, ...]
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        return f"Cube {list(self.dimensions)} [{aggs}]"
+
+    def run(self, ctx: PlanContext) -> Table:
+        return ctx.record(
+            self,
+            run_cube(
+                self.child.run(ctx),
+                list(self.dimensions),
+                list(self.aggregates),
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TopK(PlanNode):
+    """ORDER BY <by> LIMIT k."""
+
+    child: PlanNode
+    by: str
+    k: int
+    descending: bool = True
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        order = "DESC" if self.descending else "ASC"
+        return f"TopK {self.k} BY {self.by} {order}"
+
+    def run(self, ctx: PlanContext) -> Table:
+        return ctx.record(
+            self,
+            top_k(
+                self.child.run(ctx),
+                self.by,
+                self.k,
+                descending=self.descending,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Distinct(PlanNode):
+    """Duplicate elimination."""
+
+    child: PlanNode
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Distinct"
+
+    def run(self, ctx: PlanContext) -> Table:
+        return ctx.record(self, self.child.run(ctx).distinct())
+
+
+def explain(plan: PlanNode) -> str:
+    """Render the operator tree, one line per node."""
+    lines: List[str] = []
+
+    def walk(node: PlanNode, depth: int) -> None:
+        lines.append("  " * depth + "-> " + node.label())
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(plan, 0)
+    return "\n".join(lines)
+
+
+def explain_analyze(plan: PlanNode, database: Database) -> str:
+    """Execute the plan and render the tree with actual row counts."""
+    ctx = PlanContext(database)
+    plan.run(ctx)
+    lines: List[str] = []
+
+    def walk(node: PlanNode, depth: int) -> None:
+        rows = ctx.observed_rows.get(id(node), "?")
+        lines.append(
+            "  " * depth + f"-> {node.label()}  (rows={rows})"
+        )
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(plan, 0)
+    return "\n".join(lines)

@@ -1,0 +1,237 @@
+"""The :class:`Relation` tuple store.
+
+A relation is a *set* of rows (tuples of engine values) under a
+:class:`~repro.engine.schema.RelationSchema`.  Rows are deduplicated on
+insertion and the primary-key constraint is enforced.  A hash index on
+the primary key is always maintained; secondary hash indexes on
+arbitrary attribute subsets are built lazily and cached, which is what
+makes the semijoin reducer and the fixpoint program fast enough for the
+paper's scaling experiments.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..errors import IntegrityError, SchemaError
+from .schema import RelationSchema
+from .types import NULL, Row, Value, is_null, sort_key
+
+
+class Relation:
+    """A named set of rows with a primary key and lazy secondary indexes.
+
+    The store is intentionally simple: a Python set of row tuples plus
+    dict-based hash indexes.  All mutating operations keep the PK index
+    coherent and invalidate the secondary-index cache.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Optional[Iterable[Sequence[Value]]] = None,
+    ) -> None:
+        self.schema = schema
+        self._rows: Set[Row] = set()
+        self._pk_index: Dict[Row, Row] = {}
+        self._secondary: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
+        if rows is not None:
+            self.insert_many(rows)
+
+    # -- basic protocol -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The relation name from the schema."""
+        return self.schema.name
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.schema.attributes)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[Value]) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.schema == other.schema and self._rows == other._rows
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are mutable
+        raise TypeError("Relation objects are mutable and unhashable")
+
+    def rows(self) -> FrozenSet[Row]:
+        """A frozen snapshot of the current rows."""
+        return frozenset(self._rows)
+
+    def sorted_rows(self) -> List[Row]:
+        """Rows in a deterministic total order (for tests and display)."""
+        return sorted(self._rows, key=lambda r: tuple(sort_key(v) for v in r))
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, row: Sequence[Value]) -> bool:
+        """Insert one row; returns True if it was new.
+
+        Raises :class:`IntegrityError` on arity mismatch or when a
+        *different* row with the same primary key already exists.
+        Re-inserting an identical row is a silent no-op.
+        """
+        tup = tuple(row)
+        if len(tup) != self.arity:
+            raise IntegrityError(
+                f"{self.name}: row arity {len(tup)} != schema arity {self.arity}"
+            )
+        if tup in self._rows:
+            return False
+        key = self._pk_of(tup)
+        existing = self._pk_index.get(key)
+        if existing is not None and existing != tup:
+            raise IntegrityError(
+                f"{self.name}: duplicate primary key {key} "
+                f"(existing row {existing}, new row {tup})"
+            )
+        self._rows.add(tup)
+        self._pk_index[key] = tup
+        self._secondary.clear()
+        return True
+
+    def insert_many(self, rows: Iterable[Sequence[Value]]) -> int:
+        """Insert many rows; returns the number actually added."""
+        added = 0
+        for row in rows:
+            if self.insert(row):
+                added += 1
+        return added
+
+    def delete(self, row: Sequence[Value]) -> bool:
+        """Delete one row; returns True if it was present."""
+        tup = tuple(row)
+        if tup not in self._rows:
+            return False
+        self._rows.discard(tup)
+        self._pk_index.pop(self._pk_of(tup), None)
+        self._secondary.clear()
+        return True
+
+    def delete_many(self, rows: Iterable[Sequence[Value]]) -> int:
+        """Delete many rows; returns the number actually removed."""
+        removed = 0
+        for row in rows:
+            if self.delete(row):
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        """Remove all rows."""
+        self._rows.clear()
+        self._pk_index.clear()
+        self._secondary.clear()
+
+    # -- lookups ---------------------------------------------------------
+
+    def _pk_of(self, row: Row) -> Row:
+        return tuple(row[i] for i in self.schema.pk_indexes)
+
+    def pk_values(self) -> FrozenSet[Row]:
+        """All primary-key values currently present."""
+        return frozenset(self._pk_index)
+
+    def lookup_pk(self, key: Sequence[Value]) -> Optional[Row]:
+        """The unique row with primary key *key*, or None."""
+        return self._pk_index.get(tuple(key))
+
+    def index_on(self, attributes: Sequence[str]) -> Dict[Row, List[Row]]:
+        """A hash index keyed by the values of *attributes*.
+
+        Indexes are cached until the next mutation.  Rows whose key
+        contains NULL are excluded, matching equi-join semantics.
+        """
+        positions = self.schema.indexes_of(attributes)
+        cached = self._secondary.get(positions)
+        if cached is not None:
+            return cached
+        index: Dict[Row, List[Row]] = {}
+        for row in self._rows:
+            key = tuple(row[i] for i in positions)
+            if any(is_null(v) for v in key):
+                continue
+            index.setdefault(key, []).append(row)
+        self._secondary[positions] = index
+        return index
+
+    def project_values(self, attribute: str) -> Set[Value]:
+        """The set of distinct values of *attribute* (NULL excluded)."""
+        position = self.schema.index_of(attribute)
+        return {row[position] for row in self._rows if not is_null(row[position])}
+
+    def value_of(self, row: Sequence[Value], attribute: str) -> Value:
+        """The value of *attribute* in *row*."""
+        return tuple(row)[self.schema.index_of(attribute)]
+
+    # -- copying ----------------------------------------------------------
+
+    def copy(self) -> "Relation":
+        """A new relation with the same schema and rows."""
+        clone = Relation(self.schema)
+        clone._rows = set(self._rows)
+        clone._pk_index = dict(self._pk_index)
+        return clone
+
+    def restricted_to(self, rows: Iterable[Sequence[Value]]) -> "Relation":
+        """A new relation containing only the given rows of this one.
+
+        Rows not present in this relation are ignored, so this is a
+        safe way to materialize ``R ∩ S`` snapshots.
+        """
+        keep = {tuple(r) for r in rows} & self._rows
+        clone = Relation(self.schema)
+        clone.insert_many(keep)
+        return clone
+
+    def without(self, rows: Iterable[Sequence[Value]]) -> "Relation":
+        """A new relation equal to this one minus *rows* (set difference)."""
+        drop = {tuple(r) for r in rows}
+        clone = Relation(self.schema)
+        clone.insert_many(r for r in self._rows if r not in drop)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema.name}, {len(self)} rows)"
+
+    def pretty(self, limit: int = 20) -> str:
+        """A small fixed-width rendering for debugging and examples."""
+        headers = list(self.schema.attribute_names)
+        body = [[repr(v) for v in row] for row in self.sorted_rows()[:limit]]
+        widths = [
+            max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+            for i, h in enumerate(headers)
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in body
+        )
+        if len(self) > limit:
+            lines.append(f"... ({len(self) - limit} more rows)")
+        return "\n".join(lines)

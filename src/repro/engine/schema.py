@@ -1,0 +1,339 @@
+"""Schema objects: attributes, relation schemas, foreign keys, databases.
+
+The paper's framework (Section 2) assumes a database of relations
+``R_1 … R_k``, each with a primary key, connected by foreign keys of two
+flavours:
+
+* **standard** foreign keys ``R_j.fk -> R_i.pk`` with SQL cascade-delete
+  semantics: deleting the referenced tuple deletes the referencing one;
+* **back-and-forth** foreign keys ``R_j.fk <-> R_i.pk`` where in
+  addition deleting the referencing tuple deletes the referenced one
+  (every member of a collection is necessary for the collection).
+
+A :class:`DatabaseSchema` validates itself on construction and exposes
+the *schema causal graph* (Definition 3.8) through
+:mod:`repro.core.causality`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, informally typed attribute of a relation.
+
+    ``dtype`` is advisory ("int", "float", "str", "bool", "any"); the
+    engine stores plain Python values and only uses dtype for CSV
+    parsing and pretty printing.
+    """
+
+    name: str
+    dtype: str = "any"
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+        if self.dtype not in ("any", "int", "float", "str", "bool"):
+            raise SchemaError(f"invalid dtype {self.dtype!r} for {self.name}")
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of one relation: name, ordered attributes, primary key.
+
+    The primary key is a subset of the attributes; the paper assumes
+    every relation has one (Section 2).
+    """
+
+    name: str
+    attributes: Tuple[Attribute, ...]
+    primary_key: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid relation name: {self.name!r}")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in {self.name}: {names}")
+        if not self.primary_key:
+            raise SchemaError(f"relation {self.name} must declare a primary key")
+        for key_attr in self.primary_key:
+            if key_attr not in names:
+                raise SchemaError(
+                    f"primary key attribute {key_attr!r} not in relation {self.name}"
+                )
+        if len(set(self.primary_key)) != len(self.primary_key):
+            raise SchemaError(f"duplicate primary key attributes in {self.name}")
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """The attribute names in declaration order."""
+        return tuple(a.name for a in self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        """Position of *attribute* in the row tuples.
+
+        Raises :class:`SchemaError` for unknown attributes.
+        """
+        for i, a in enumerate(self.attributes):
+            if a.name == attribute:
+                return i
+        raise SchemaError(f"relation {self.name} has no attribute {attribute!r}")
+
+    def indexes_of(self, attributes: Sequence[str]) -> Tuple[int, ...]:
+        """Positions of several attributes, in the given order."""
+        return tuple(self.index_of(a) for a in attributes)
+
+    @property
+    def pk_indexes(self) -> Tuple[int, ...]:
+        """Positions of the primary-key attributes."""
+        return self.indexes_of(self.primary_key)
+
+    def has_attribute(self, attribute: str) -> bool:
+        """True iff this relation declares *attribute*."""
+        return any(a.name == attribute for a in self.attributes)
+
+    def __str__(self) -> str:
+        cols = ", ".join(
+            f"{a.name}*" if a.name in self.primary_key else a.name
+            for a in self.attributes
+        )
+        return f"{self.name}({cols})"
+
+
+def make_schema(
+    name: str,
+    columns: Sequence[str],
+    primary_key: Sequence[str],
+    dtypes: Optional[Dict[str, str]] = None,
+) -> RelationSchema:
+    """Convenience constructor from plain column-name lists.
+
+    ``make_schema("Author", ["id", "name"], ["id"])`` is the short form
+    of spelling out :class:`Attribute` objects by hand.
+    """
+    dtypes = dtypes or {}
+    attrs = tuple(Attribute(c, dtypes.get(c, "any")) for c in columns)
+    return RelationSchema(name, attrs, tuple(primary_key))
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key ``source.source_attrs -> target.target_attrs``.
+
+    ``back_and_forth=True`` turns it into the paper's back-and-forth
+    foreign key ``source.fk <-> target.pk`` (Section 2.2): in addition
+    to the ordinary cascade (deleting the target tuple deletes its
+    referencing source tuples), deleting a source tuple deletes the
+    target tuple it references.
+    """
+
+    source: str
+    source_attrs: Tuple[str, ...]
+    target: str
+    target_attrs: Tuple[str, ...]
+    back_and_forth: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.source_attrs) != len(self.target_attrs):
+            raise SchemaError(
+                f"foreign key {self} has mismatched attribute counts"
+            )
+        if not self.source_attrs:
+            raise SchemaError("foreign key must reference at least one attribute")
+        if self.source == self.target:
+            raise SchemaError(
+                f"self-referencing foreign key on {self.source} is not supported"
+            )
+
+    def __str__(self) -> str:
+        arrow = "<->" if self.back_and_forth else "->"
+        return (
+            f"{self.source}.({','.join(self.source_attrs)}) {arrow} "
+            f"{self.target}.({','.join(self.target_attrs)})"
+        )
+
+
+def foreign_key(
+    source: str,
+    source_attr: str,
+    target: str,
+    target_attr: str,
+    *,
+    back_and_forth: bool = False,
+) -> ForeignKey:
+    """Single-attribute foreign key shorthand."""
+    return ForeignKey(
+        source, (source_attr,), target, (target_attr,), back_and_forth
+    )
+
+
+@dataclass(frozen=True)
+class DatabaseSchema:
+    """A database schema: relations plus foreign keys.
+
+    Validation performed on construction:
+
+    * relation names are unique;
+    * every foreign key references existing relations and attributes;
+    * every foreign key targets the *full primary key* of its target
+      (the paper's foreign keys always point at primary keys);
+    * the join graph induced by the foreign keys is connected and
+      acyclic when ``require_acyclic`` (the default), matching the
+      paper's standing assumption (Section 2) that the universal
+      relation is well defined.
+    """
+
+    relations: Tuple[RelationSchema, ...]
+    foreign_keys: Tuple[ForeignKey, ...] = field(default_factory=tuple)
+    require_acyclic: bool = True
+
+    def __post_init__(self) -> None:
+        names = [r.name for r in self.relations]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate relation names: {names}")
+        if not self.relations:
+            raise SchemaError("a database schema needs at least one relation")
+        by_name = {r.name: r for r in self.relations}
+        for fk in self.foreign_keys:
+            if fk.source not in by_name:
+                raise SchemaError(f"foreign key source {fk.source!r} unknown")
+            if fk.target not in by_name:
+                raise SchemaError(f"foreign key target {fk.target!r} unknown")
+            src, tgt = by_name[fk.source], by_name[fk.target]
+            for a in fk.source_attrs:
+                if not src.has_attribute(a):
+                    raise SchemaError(f"{fk}: {fk.source} has no attribute {a!r}")
+            for a in fk.target_attrs:
+                if not tgt.has_attribute(a):
+                    raise SchemaError(f"{fk}: {fk.target} has no attribute {a!r}")
+            if tuple(sorted(fk.target_attrs)) != tuple(sorted(tgt.primary_key)):
+                raise SchemaError(
+                    f"{fk}: target attributes must be the primary key "
+                    f"{tgt.primary_key} of {tgt.name}"
+                )
+        if self.require_acyclic and len(self.relations) > 1:
+            self._check_join_graph(by_name)
+
+    def _check_join_graph(self, by_name: Dict[str, RelationSchema]) -> None:
+        """Reject disconnected or cyclic foreign-key join graphs."""
+        adjacency: Dict[str, List[str]] = {r.name: [] for r in self.relations}
+        edges = set()
+        for fk in self.foreign_keys:
+            edge = frozenset((fk.source, fk.target))
+            if edge in edges:
+                # Two FKs between the same pair of relations create a
+                # cycle in the undirected join graph.
+                raise SchemaError(
+                    f"multiple foreign keys between {fk.source} and "
+                    f"{fk.target}; the schema causal graph must be simple"
+                )
+            edges.add(edge)
+            adjacency[fk.source].append(fk.target)
+            adjacency[fk.target].append(fk.source)
+        # A connected acyclic undirected graph on k nodes has k-1 edges.
+        if len(edges) != len(self.relations) - 1:
+            raise SchemaError(
+                f"foreign-key join graph must be a tree: "
+                f"{len(self.relations)} relations need "
+                f"{len(self.relations) - 1} foreign keys, got {len(edges)}"
+            )
+        seen = set()
+        stack = [self.relations[0].name]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency[node])
+        if len(seen) != len(self.relations):
+            missing = sorted(set(by_name) - seen)
+            raise SchemaError(f"join graph is disconnected; unreachable: {missing}")
+
+    # -- lookups -------------------------------------------------------
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Relation names in declaration order."""
+        return tuple(r.name for r in self.relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        """The schema of relation *name* (raises SchemaError if unknown)."""
+        for r in self.relations:
+            if r.name == name:
+                return r
+        raise SchemaError(f"no relation named {name!r}")
+
+    def has_relation(self, name: str) -> bool:
+        """True iff a relation called *name* exists."""
+        return any(r.name == name for r in self.relations)
+
+    def foreign_keys_from(self, source: str) -> Tuple[ForeignKey, ...]:
+        """All foreign keys whose referencing side is *source*."""
+        return tuple(fk for fk in self.foreign_keys if fk.source == source)
+
+    def foreign_keys_to(self, target: str) -> Tuple[ForeignKey, ...]:
+        """All foreign keys whose referenced side is *target*."""
+        return tuple(fk for fk in self.foreign_keys if fk.target == target)
+
+    @property
+    def back_and_forth_keys(self) -> Tuple[ForeignKey, ...]:
+        """Only the back-and-forth foreign keys."""
+        return tuple(fk for fk in self.foreign_keys if fk.back_and_forth)
+
+    @property
+    def has_back_and_forth(self) -> bool:
+        """True iff any foreign key is back-and-forth."""
+        return any(fk.back_and_forth for fk in self.foreign_keys)
+
+    def attribute_owner(self, attribute: str) -> Tuple[str, ...]:
+        """Names of all relations declaring *attribute*.
+
+        Attribute names shared between relations are how natural joins
+        find their join columns, so several owners are legal.
+        """
+        return tuple(
+            r.name for r in self.relations if r.has_attribute(attribute)
+        )
+
+    def qualified(self, spec: str) -> Tuple[str, str]:
+        """Resolve ``"Relation.attr"`` or a bare ``"attr"`` to a pair.
+
+        Bare attribute names are accepted when exactly one relation
+        declares them.
+        """
+        if "." in spec:
+            rel, attr = spec.split(".", 1)
+            if not self.has_relation(rel):
+                raise SchemaError(f"no relation named {rel!r} in {spec!r}")
+            if not self.relation(rel).has_attribute(attr):
+                raise SchemaError(f"relation {rel} has no attribute {attr!r}")
+            return rel, attr
+        owners = self.attribute_owner(spec)
+        if not owners:
+            raise SchemaError(f"no relation declares attribute {spec!r}")
+        if len(owners) > 1:
+            raise SchemaError(
+                f"attribute {spec!r} is ambiguous (in {owners}); qualify it"
+            )
+        return owners[0], spec
+
+    def __str__(self) -> str:
+        rels = "; ".join(str(r) for r in self.relations)
+        fks = "; ".join(str(fk) for fk in self.foreign_keys)
+        return f"Schema[{rels} | {fks}]"
+
+
+def single_table_schema(
+    name: str,
+    columns: Sequence[str],
+    primary_key: Sequence[str],
+    dtypes: Optional[Dict[str, str]] = None,
+) -> DatabaseSchema:
+    """A one-relation database schema (the natality experiments use one)."""
+    return DatabaseSchema((make_schema(name, columns, primary_key, dtypes),))

@@ -1,0 +1,135 @@
+"""Durable storage: schemas as JSON, databases as directories of CSVs.
+
+A saved database is a directory containing ``schema.json`` plus one
+``<Relation>.csv`` per relation.  The JSON carries everything the
+engine needs to rebuild the schema — attributes with dtypes, primary
+keys, and foreign keys including the back-and-forth flag — so a
+round-tripped database is equal to the original.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..errors import SchemaError
+from .csvio import dump_relation, load_relation
+from .database import Database
+from .schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+
+PathLike = Union[str, Path]
+
+SCHEMA_FILENAME = "schema.json"
+FORMAT_VERSION = 1
+
+
+def schema_to_dict(schema: DatabaseSchema) -> Dict:
+    """A JSON-serializable description of *schema*."""
+    return {
+        "version": FORMAT_VERSION,
+        "relations": [
+            {
+                "name": rs.name,
+                "attributes": [
+                    {"name": a.name, "dtype": a.dtype} for a in rs.attributes
+                ],
+                "primary_key": list(rs.primary_key),
+            }
+            for rs in schema.relations
+        ],
+        "foreign_keys": [
+            {
+                "source": fk.source,
+                "source_attrs": list(fk.source_attrs),
+                "target": fk.target,
+                "target_attrs": list(fk.target_attrs),
+                "back_and_forth": fk.back_and_forth,
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def schema_from_dict(data: Dict) -> DatabaseSchema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported schema format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    relations = tuple(
+        RelationSchema(
+            r["name"],
+            tuple(Attribute(a["name"], a["dtype"]) for a in r["attributes"]),
+            tuple(r["primary_key"]),
+        )
+        for r in data["relations"]
+    )
+    foreign_keys = tuple(
+        ForeignKey(
+            fk["source"],
+            tuple(fk["source_attrs"]),
+            fk["target"],
+            tuple(fk["target_attrs"]),
+            fk["back_and_forth"],
+        )
+        for fk in data["foreign_keys"]
+    )
+    return DatabaseSchema(relations, foreign_keys)
+
+
+def save_schema(schema: DatabaseSchema, path: PathLike) -> None:
+    """Write a schema to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(schema_to_dict(schema), handle, indent=2, sort_keys=True)
+
+
+def load_schema(path: PathLike) -> DatabaseSchema:
+    """Read a schema from a JSON file."""
+    with open(path) as handle:
+        return schema_from_dict(json.load(handle))
+
+
+def save_database(database: Database, directory: PathLike) -> None:
+    """Save a database as ``directory/schema.json`` + per-relation CSVs.
+
+    The directory is created if missing; existing files are
+    overwritten.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_schema(database.schema, directory / SCHEMA_FILENAME)
+    for name, relation in database.relations.items():
+        dump_relation(relation, directory / f"{name}.csv")
+
+
+def load_database(
+    directory: PathLike, *, check_integrity: bool = True
+) -> Database:
+    """Load a database saved by :func:`save_database`.
+
+    ``check_integrity`` (default) verifies all foreign keys after
+    loading, so a manually edited directory cannot smuggle in dangling
+    references.
+    """
+    directory = Path(directory)
+    schema_path = directory / SCHEMA_FILENAME
+    if not schema_path.exists():
+        raise SchemaError(f"{directory} has no {SCHEMA_FILENAME}")
+    schema = load_schema(schema_path)
+    database = Database(schema)
+    for rs in schema.relations:
+        csv_path = directory / f"{rs.name}.csv"
+        if not csv_path.exists():
+            raise SchemaError(f"missing relation file {csv_path}")
+        database.relations[rs.name] = load_relation(rs, csv_path)
+    if check_integrity:
+        database.check_integrity()
+    return database

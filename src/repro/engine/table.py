@@ -1,0 +1,282 @@
+"""Lightweight result tables for intermediate query processing.
+
+:class:`~repro.engine.relation.Relation` is the durable, schema'd,
+PK-enforcing store.  Query *results* — joins, projections, group-bys,
+cubes — have none of those constraints: they are bags/sets of rows
+under a flat list of (possibly qualified) column names.  :class:`Table`
+is that result type.  All relational operators in
+:mod:`repro.engine.operators`, :mod:`repro.engine.joins`,
+:mod:`repro.engine.groupby` and :mod:`repro.engine.cube` consume and
+produce Tables.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..errors import QueryError
+from .expressions import Environment, Expression
+from .relation import Relation
+from .types import Row, Value, is_null, sort_key
+
+
+class Table:
+    """An ordered list of rows under named columns.
+
+    Tables are bags by default (duplicates preserved); :meth:`distinct`
+    converts to a set.  Column names must be unique within a table;
+    joins qualify clashing names with the source prefix.
+    """
+
+    __slots__ = ("columns", "_rows", "_positions")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Value]] = ()):
+        self.columns: Tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise QueryError(f"duplicate column names in table: {self.columns}")
+        self._positions: Dict[str, int] = {
+            c: i for i, c in enumerate(self.columns)
+        }
+        self._rows: List[Row] = [tuple(r) for r in rows]
+        for row in self._rows:
+            if len(row) != len(self.columns):
+                raise QueryError(
+                    f"row arity {len(row)} != column count {len(self.columns)}"
+                )
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_relation(cls, relation: Relation, qualify: bool = False) -> "Table":
+        """Materialize a relation as a table.
+
+        With ``qualify=True`` column names become ``Relation.attr``,
+        which is the convention used throughout the explanation
+        pipeline (universal-relation columns are always qualified).
+        """
+        if qualify:
+            cols = [
+                f"{relation.name}.{a}" for a in relation.schema.attribute_names
+            ]
+        else:
+            cols = list(relation.schema.attribute_names)
+        return cls(cols, relation.rows())
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Table":
+        """An empty table with the given columns."""
+        return cls(columns, ())
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.columns == other.columns and sorted(
+            self._rows, key=_row_key
+        ) == sorted(other._rows, key=_row_key)
+
+    def position(self, column: str) -> int:
+        """Index of *column* in the row tuples."""
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise QueryError(
+                f"table has no column {column!r}; columns are {self.columns}"
+            ) from None
+
+    def positions(self, columns: Sequence[str]) -> Tuple[int, ...]:
+        """Indexes of several columns, in the given order."""
+        return tuple(self.position(c) for c in columns)
+
+    def has_column(self, column: str) -> bool:
+        """True iff *column* exists in this table."""
+        return column in self._positions
+
+    def rows(self) -> List[Row]:
+        """The underlying row list (do not mutate)."""
+        return self._rows
+
+    def sorted_rows(self) -> List[Row]:
+        """Rows in a deterministic total order."""
+        return sorted(self._rows, key=_row_key)
+
+    def environment(self, row: Sequence[Value]) -> Dict[str, Value]:
+        """An expression-evaluation environment for one row."""
+        return dict(zip(self.columns, row))
+
+    def iter_environments(self) -> Iterator[Dict[str, Value]]:
+        """Environments for every row, in order."""
+        for row in self._rows:
+            yield dict(zip(self.columns, row))
+
+    # -- core transformations ----------------------------------------------
+
+    def filter(self, predicate: Expression) -> "Table":
+        """Rows where *predicate* evaluates truthy.
+
+        Predicates built from comparisons and boolean connectives are
+        compiled to positional accessors (no per-row dict), which is
+        what keeps universal-table filters fast at benchmark scale.
+        """
+        needed = predicate.columns()
+        for col in needed:
+            self.position(col)  # raise early on unknown columns
+        from .expressions import compile_predicate
+
+        fn = compile_predicate(predicate, self.columns)
+        out = [row for row in self._rows if fn(row)]
+        return Table(self.columns, out)
+
+    def filter_rows(self, fn: Callable[[Environment], bool]) -> "Table":
+        """Rows where the Python callable *fn* (on the env dict) is true."""
+        out = [
+            row for row in self._rows if fn(dict(zip(self.columns, row)))
+        ]
+        return Table(self.columns, out)
+
+    def project(self, columns: Sequence[str], distinct: bool = False) -> "Table":
+        """Keep only *columns* (bag projection unless ``distinct``)."""
+        pos = self.positions(columns)
+        rows: Iterable[Row] = (tuple(r[i] for i in pos) for r in self._rows)
+        if distinct:
+            rows = _stable_unique(rows)
+        return Table(columns, rows)
+
+    def rename(self, mapping: Dict[str, str]) -> "Table":
+        """Rename columns according to *mapping* (missing keys kept)."""
+        new_cols = [mapping.get(c, c) for c in self.columns]
+        return Table(new_cols, self._rows)
+
+    def extend(self, column: str, expr: Expression) -> "Table":
+        """Append a computed column."""
+        if column in self._positions:
+            raise QueryError(f"column {column!r} already exists")
+        new_rows = [
+            row + (expr.evaluate(dict(zip(self.columns, row))),)
+            for row in self._rows
+        ]
+        return Table(list(self.columns) + [column], new_rows)
+
+    def distinct(self) -> "Table":
+        """Duplicate elimination (stable: first occurrence order kept)."""
+        return Table(self.columns, _stable_unique(self._rows))
+
+    def union(self, other: "Table") -> "Table":
+        """Bag union; columns must match exactly."""
+        self._check_compatible(other)
+        return Table(self.columns, self._rows + other._rows)
+
+    def difference(self, other: "Table") -> "Table":
+        """Set difference (rows of self not present in other)."""
+        self._check_compatible(other)
+        drop = set(other._rows)
+        return Table(self.columns, (r for r in self._rows if r not in drop))
+
+    def intersect(self, other: "Table") -> "Table":
+        """Set intersection."""
+        self._check_compatible(other)
+        keep = set(other._rows)
+        return Table(
+            self.columns, _stable_unique(r for r in self._rows if r in keep)
+        )
+
+    def order_by(
+        self,
+        columns: Sequence[str],
+        descending: bool = False,
+    ) -> "Table":
+        """Sort rows by *columns* using the engine's total order."""
+        pos = self.positions(columns)
+        key = lambda row: tuple(sort_key(row[i]) for i in pos)
+        return Table(
+            self.columns, sorted(self._rows, key=key, reverse=descending)
+        )
+
+    def limit(self, n: int) -> "Table":
+        """First *n* rows."""
+        return Table(self.columns, self._rows[:n])
+
+    def row_set(self) -> Set[Row]:
+        """Rows as a set (for containment checks)."""
+        return set(self._rows)
+
+    def index_on(self, columns: Sequence[str]) -> Dict[Row, List[Row]]:
+        """Hash index over *columns*; rows with NULL keys excluded."""
+        pos = self.positions(columns)
+        index: Dict[Row, List[Row]] = {}
+        for row in self._rows:
+            key = tuple(row[i] for i in pos)
+            if any(is_null(v) for v in key):
+                continue
+            index.setdefault(key, []).append(row)
+        return index
+
+    def column_values(self, column: str, distinct: bool = True) -> List[Value]:
+        """Values of one column (distinct & non-null by default)."""
+        pos = self.position(column)
+        values = (row[pos] for row in self._rows)
+        if distinct:
+            return list(
+                _stable_unique(v for v in values if not is_null(v))
+            )
+        return list(values)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_compatible(self, other: "Table") -> None:
+        if self.columns != other.columns:
+            raise QueryError(
+                f"incompatible tables: {self.columns} vs {other.columns}"
+            )
+
+    def pretty(self, limit: int = 20) -> str:
+        """A fixed-width rendering for debugging and examples."""
+        headers = list(self.columns)
+        body = [[repr(v) for v in row] for row in self._rows[:limit]]
+        widths = [
+            max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+            for i, h in enumerate(headers)
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in body
+        )
+        if len(self) > limit:
+            lines.append(f"... ({len(self) - limit} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Table({list(self.columns)}, {len(self)} rows)"
+
+
+def _row_key(row: Row):
+    return tuple(sort_key(v) for v in row)
+
+
+def _stable_unique(rows: Iterable) -> Iterator:
+    seen = set()
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            yield row

@@ -1,0 +1,82 @@
+"""Top-K selection over tables (``ORDER BY ... LIMIT K``).
+
+A heap-based top-K avoids sorting the whole table; ties are broken by
+the full row under the engine's deterministic total order, so results
+are reproducible run to run.  This is the building block for the three
+top-K explanation strategies of Section 4.3.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+from ..errors import QueryError
+from .table import Table
+from .types import Row, Value, is_missing, sort_key
+
+
+def top_k(
+    table: Table,
+    by: str,
+    k: int,
+    *,
+    descending: bool = True,
+    drop_missing: bool = True,
+) -> Table:
+    """The *k* rows with the largest (or smallest) values of column *by*.
+
+    Rows whose ranking value is NULL or DUMMY are excluded when
+    ``drop_missing`` (explanations with undefined degree cannot be
+    ranked).  Ties are resolved by comparing entire rows, which makes
+    the output deterministic.
+    """
+    if k < 0:
+        raise QueryError(f"top_k needs k >= 0, got {k}")
+    pos = table.position(by)
+    rows = table.rows()
+    if drop_missing:
+        rows = [r for r in rows if not is_missing(r[pos])]
+
+    def key(row: Row):
+        return (sort_key(row[pos]),) + tuple(sort_key(v) for v in row)
+
+    if descending:
+        chosen = heapq.nlargest(k, rows, key=key)
+    else:
+        chosen = heapq.nsmallest(k, rows, key=key)
+    return Table(table.columns, chosen)
+
+
+def top_1(
+    table: Table,
+    by: str,
+    *,
+    descending: bool = True,
+    drop_missing: bool = True,
+) -> Table:
+    """The single best row (a 0- or 1-row table)."""
+    return top_k(
+        table, by, 1, descending=descending, drop_missing=drop_missing
+    )
+
+
+def rank_of(
+    table: Table,
+    by: str,
+    row: Sequence[Value],
+    *,
+    descending: bool = True,
+) -> int:
+    """1-based rank of *row* in the ordering used by :func:`top_k`.
+
+    Used in tests to check statements like "the 5th minimal explanation
+    is the 14th unrestricted explanation" (Section 5.1.2).
+    """
+    pos = table.position(by)
+    target = tuple(row)
+    ordered = top_k(table, by, len(table), descending=descending)
+    for i, r in enumerate(ordered.rows(), start=1):
+        if r == target:
+            return i
+    raise QueryError("row not found in table while computing rank")

@@ -1,0 +1,162 @@
+"""The universal relation ``U(D) = R_1 ⋈ … ⋈ R_k`` (Section 2).
+
+The foreign keys of an acyclic schema form a join tree over the
+relations; :class:`JoinTree` materializes that tree once per schema and
+is shared by the universal-relation computation here and the semijoin
+reducer in :mod:`repro.engine.reduction`.
+
+Universal-table columns are *qualified* (``Relation.attr``), matching
+the paper's predicate syntax ``[R_i.A op c]``.  Join columns from both
+sides are kept (e.g. both ``Authored.id`` and ``Author.id`` appear,
+always equal within a row), so projecting a universal row onto any
+relation's attribute set is a simple column selection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SchemaError
+from .database import Database
+from .joins import hash_join
+from .schema import DatabaseSchema, ForeignKey
+from .table import Table
+from .types import Row, Value
+
+
+class JoinTree:
+    """The foreign-key join tree of an acyclic schema.
+
+    Edges are the schema's foreign keys.  ``traversal_order`` is a BFS
+    order from an arbitrary root; each entry after the first carries
+    the foreign key linking the new relation to the already-joined
+    part.
+    """
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+        self.root = schema.relations[0].name
+        adjacency: Dict[str, List[ForeignKey]] = {
+            name: [] for name in schema.relation_names
+        }
+        for fk in schema.foreign_keys:
+            adjacency[fk.source].append(fk)
+            adjacency[fk.target].append(fk)
+        order: List[Tuple[str, Optional[ForeignKey]]] = [(self.root, None)]
+        seen: Set[str] = {self.root}
+        frontier = [self.root]
+        while frontier:
+            node = frontier.pop(0)
+            for fk in adjacency[node]:
+                neighbour = fk.target if fk.source == node else fk.source
+                if neighbour in seen:
+                    continue
+                seen.add(neighbour)
+                order.append((neighbour, fk))
+                frontier.append(neighbour)
+        if len(order) != len(schema.relations):
+            missing = sorted(set(schema.relation_names) - seen)
+            raise SchemaError(f"join tree disconnected; unreachable: {missing}")
+        self.traversal_order = order
+        #: parent[r] = (parent relation, fk joining r to parent); root absent.
+        self.parent: Dict[str, Tuple[str, ForeignKey]] = {}
+        joined: Set[str] = {self.root}
+        for name, fk in order[1:]:
+            assert fk is not None
+            other = fk.target if fk.source == name else fk.source
+            self.parent[name] = (other, fk)
+            joined.add(name)
+
+    def children_of(self, name: str) -> List[str]:
+        """Direct children of *name* in the rooted tree."""
+        return [n for n, (p, _) in self.parent.items() if p == name]
+
+    def bottom_up_edges(self) -> List[Tuple[str, str, ForeignKey]]:
+        """(child, parent, fk) triples, leaves first."""
+        ordered = [name for name, _ in self.traversal_order]
+        return [
+            (name, self.parent[name][0], self.parent[name][1])
+            for name in reversed(ordered)
+            if name in self.parent
+        ]
+
+    def top_down_edges(self) -> List[Tuple[str, str, ForeignKey]]:
+        """(child, parent, fk) triples, root's children first."""
+        return list(reversed(self.bottom_up_edges()))
+
+
+def qualified_columns(schema: DatabaseSchema, relation: str) -> List[str]:
+    """``Relation.attr`` names for all attributes of *relation*."""
+    rs = schema.relation(relation)
+    return [f"{relation}.{a}" for a in rs.attribute_names]
+
+
+def fk_join_columns(fk: ForeignKey, side: str) -> List[str]:
+    """The qualified join columns contributed by one side of *fk*.
+
+    ``side`` is the relation name; it must be the foreign key's source
+    or target.
+    """
+    if side == fk.source:
+        return [f"{fk.source}.{a}" for a in fk.source_attrs]
+    if side == fk.target:
+        return [f"{fk.target}.{a}" for a in fk.target_attrs]
+    raise SchemaError(f"{side!r} is not a side of foreign key {fk}")
+
+
+def universal_table(
+    database: Database, join_tree: Optional[JoinTree] = None
+) -> Table:
+    """Materialize ``U(D)`` with qualified columns.
+
+    Joins follow the join tree in BFS order; each step is a hash join
+    on the linking foreign key's attribute lists.  For a single-table
+    schema this is just the qualified table.
+    """
+    tree = join_tree or JoinTree(database.schema)
+    result: Optional[Table] = None
+    for name, fk in tree.traversal_order:
+        piece = Table.from_relation(database.relation(name), qualify=True)
+        if result is None:
+            result = piece
+            continue
+        assert fk is not None
+        other = fk.target if fk.source == name else fk.source
+        left_on = fk_join_columns(fk, other)
+        right_on = fk_join_columns(fk, name)
+        # 'other' is already inside result; keep all of piece's columns
+        # (including its join columns, for projections onto that
+        # relation) by renaming nothing and joining on the equality.
+        result = _join_keep_all(result, piece, left_on, right_on)
+    assert result is not None
+    return result
+
+
+def _join_keep_all(
+    left: Table, right: Table, left_on: Sequence[str], right_on: Sequence[str]
+) -> Table:
+    """Hash join keeping *all* right columns (including join columns)."""
+    left_pos = left.positions(left_on)
+    index = right.index_on(right_on)
+    out_columns = list(left.columns) + list(right.columns)
+    out_rows: List[Row] = []
+    for lrow in left.rows():
+        key = tuple(lrow[i] for i in left_pos)
+        for rrow in index.get(key, ()):
+            out_rows.append(lrow + rrow)
+    return Table(out_columns, out_rows)
+
+
+def project_universal(
+    universal: Table, schema: DatabaseSchema, relation: str
+) -> Table:
+    """``Π_{A_i}(U)`` — project the universal table onto one relation.
+
+    Output columns are unqualified attribute names; duplicates are
+    eliminated, so the result is exactly the semijoin-reduced relation
+    content.
+    """
+    rs = schema.relation(relation)
+    qualified = [f"{relation}.{a}" for a in rs.attribute_names]
+    projected = universal.project(qualified, distinct=True)
+    return projected.rename(dict(zip(qualified, rs.attribute_names)))

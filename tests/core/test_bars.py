@@ -1,0 +1,131 @@
+"""Tests for the bar-selection question builder (Section 2 workflow)."""
+
+import pytest
+
+from repro.core.bars import (
+    Bar,
+    bars_from_groupby,
+    double_ratio_question,
+    ratio_question,
+    trend_question,
+)
+from repro.core.question import Direction
+from repro.datasets import natality
+from repro.datasets import running_example as rex
+from repro.engine.expressions import Col, Comparison, Const
+from repro.engine.universal import universal_table
+from repro.errors import ExplanationError
+
+
+class TestBar:
+    def test_predicate_from_filters(self):
+        bar = Bar("asian-good", {"Birth.race": "Asian", "Birth.ap": "good"})
+        env = {"Birth.race": "Asian", "Birth.ap": "good"}
+        assert bar.predicate().evaluate(env)
+        env["Birth.ap"] = "poor"
+        assert not bar.predicate().evaluate(env)
+
+    def test_extra_predicate(self):
+        extra = Comparison(">=", Col("Publication.year"), Const(2000))
+        bar = Bar("recent-sigmod", {"Publication.venue": "SIGMOD"}, extra)
+        assert bar.predicate().evaluate(
+            {"Publication.venue": "SIGMOD", "Publication.year": 2005}
+        )
+        assert not bar.predicate().evaluate(
+            {"Publication.venue": "SIGMOD", "Publication.year": 1995}
+        )
+
+    def test_empty_bar_matches_everything(self):
+        assert Bar("all", {}).predicate() is None
+
+
+class TestRatioQuestion:
+    def test_builds_q_race(self):
+        question = ratio_question(
+            Bar("good", {"Birth.ap": "good", "Birth.race": "Asian"}),
+            Bar("poor", {"Birth.ap": "poor", "Birth.race": "Asian"}),
+            "high",
+        )
+        assert question.direction is Direction.HIGH
+        assert question.query.names == ("q1", "q2")
+        db = natality.generate(rows=3000, seed=1)
+        u = universal_table(db)
+        builtin = natality.q_race_question()
+        assert question.query.evaluate_universal(u) == pytest.approx(
+            builtin.query.evaluate_universal(u)
+        )
+
+    def test_count_distinct_mode(self):
+        db = rex.database()
+        u = universal_table(db)
+        question = ratio_question(
+            Bar("sigmod", {"Publication.venue": "SIGMOD"}),
+            Bar("vldb", {"Publication.venue": "VLDB"}),
+            "high",
+            count_column="Publication.pubid",
+            epsilon=0,
+        )
+        assert question.query.evaluate_universal(u) == 2.0  # 2 SIGMOD / 1 VLDB
+
+
+class TestDoubleRatioQuestion:
+    def test_four_bars(self):
+        bars = [
+            Bar("mg", {"Birth.marital": "married", "Birth.ap": "good"}),
+            Bar("mp", {"Birth.marital": "married", "Birth.ap": "poor"}),
+            Bar("ug", {"Birth.marital": "unmarried", "Birth.ap": "good"}),
+            Bar("up", {"Birth.marital": "unmarried", "Birth.ap": "poor"}),
+        ]
+        question = double_ratio_question(bars, "high")
+        db = natality.generate(rows=3000, seed=1)
+        u = universal_table(db)
+        builtin = natality.q_marital_question()
+        assert question.query.evaluate_universal(u) == pytest.approx(
+            builtin.query.evaluate_universal(u)
+        )
+
+    def test_wrong_bar_count(self):
+        with pytest.raises(ExplanationError):
+            double_ratio_question([Bar("a", {}), Bar("b", {})], "high")
+
+
+class TestTrendQuestion:
+    def test_slope_sign(self):
+        db = rex.database()
+        u = universal_table(db)
+        bars = [
+            Bar("2001", {"Publication.year": 2001}),
+            Bar("2011", {"Publication.year": 2011}),
+        ]
+        question = trend_question(bars, "low", count_column="Publication.pubid")
+        # 2001 has 2 pubs, 2011 has 1: slope = -1 over 2 points.
+        assert question.query.evaluate_universal(u) == pytest.approx(-1.0)
+
+    def test_needs_two_bars(self):
+        with pytest.raises(ExplanationError):
+            trend_question([Bar("only", {})], "high")
+
+
+class TestBarsFromGroupby:
+    def test_one_bar_per_group(self):
+        bars = bars_from_groupby(
+            {"married": 100, "unmarried": 50}, "Birth.marital"
+        )
+        assert len(bars) == 2
+        assert bars[0].filters == {"Birth.marital": "married"}
+        assert "married" in bars[0].label
+
+    def test_end_to_end_with_explainer(self):
+        """Full Section 2 workflow: chart -> selected bars -> question
+        -> ranked explanations."""
+        from repro.core import Explainer
+
+        db = natality.generate(rows=2000, seed=1)
+        question = ratio_question(
+            Bar("good", {"Birth.ap": "good", "Birth.race": "Asian"}),
+            Bar("poor", {"Birth.ap": "poor", "Birth.race": "Asian"}),
+            "high",
+        )
+        explainer = Explainer(db, question, ["Birth.marital", "Birth.tobacco"])
+        top = explainer.top(3)
+        assert len(top) >= 1

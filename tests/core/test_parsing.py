@@ -1,0 +1,141 @@
+"""Tests for the textual question syntax."""
+
+import pytest
+
+from repro.core.parsing import (
+    parse_aggregate_query,
+    parse_expression,
+    parse_numerical_query,
+    parse_question,
+)
+from repro.core.question import Direction
+from repro.datasets import running_example as rex
+from repro.engine.universal import universal_table
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def universal():
+    return universal_table(rex.database())
+
+
+class TestParseAggregateQuery:
+    def test_count_star(self, universal):
+        q = parse_aggregate_query("q1 := count(*)")
+        assert q.name == "q1"
+        assert q.evaluate(universal) == 6
+
+    def test_count_star_with_where(self, universal):
+        q = parse_aggregate_query(
+            "q := count(*) WHERE Author.dom = 'com'"
+        )
+        assert q.evaluate(universal) == 4
+
+    def test_count_distinct(self, universal):
+        q = parse_aggregate_query(
+            "q := count(distinct Publication.pubid) "
+            "WHERE Publication.venue = 'SIGMOD'"
+        )
+        assert q.evaluate(universal) == 2
+
+    def test_sum(self, universal):
+        q = parse_aggregate_query("q := sum(Publication.year)")
+        assert q.evaluate(universal) == 6 * 2001 + (2011 - 2001) * 2  # check below
+
+    def test_sum_value_correct(self, universal):
+        q = parse_aggregate_query("q := sum(Publication.year)")
+        years = [row[universal.position("Publication.year")] for row in universal.rows()]
+        assert q.evaluate(universal) == sum(years)
+
+    def test_min_max_avg(self, universal):
+        assert parse_aggregate_query("q := min(Publication.year)").evaluate(universal) == 2001
+        assert parse_aggregate_query("q := max(Publication.year)").evaluate(universal) == 2011
+        avg = parse_aggregate_query("q := avg(Publication.year)").evaluate(universal)
+        assert 2001 < avg < 2011
+
+    def test_range_predicates(self, universal):
+        q = parse_aggregate_query(
+            "q := count(*) WHERE Publication.year >= 2000 "
+            "AND Publication.year <= 2004"
+        )
+        assert q.evaluate(universal) == 4
+
+    def test_bad_syntax(self):
+        with pytest.raises(QueryError):
+            parse_aggregate_query("count(*)")  # missing name :=
+        with pytest.raises(QueryError):
+            parse_aggregate_query("q := median(x)")
+        with pytest.raises(QueryError):
+            parse_aggregate_query("q := sum(*)")
+
+
+class TestParseExpression:
+    def test_arithmetic(self):
+        expr = parse_expression("(q1 / q2) / (q3 / q4)")
+        env = {"q1": 8, "q2": 2, "q3": 4, "q4": 2}
+        assert expr.evaluate(env) == 2.0
+
+    def test_precedence(self):
+        expr = parse_expression("q1 + q2 * q3")
+        assert expr.evaluate({"q1": 1, "q2": 2, "q3": 3}) == 7
+
+    def test_unary_minus(self):
+        assert parse_expression("-q1").evaluate({"q1": 5}) == -5
+        assert parse_expression("3 - -q1").evaluate({"q1": 5}) == 8
+
+    def test_numbers(self):
+        assert parse_expression("0.5 * q1 + 1e-4").evaluate({"q1": 2}) == pytest.approx(1.0001)
+        assert parse_expression("2").evaluate({}) == 2
+
+    def test_errors(self):
+        with pytest.raises(QueryError):
+            parse_expression("q1 +")
+        with pytest.raises(QueryError):
+            parse_expression("(q1")
+        with pytest.raises(QueryError):
+            parse_expression("q1 q2")
+        with pytest.raises(QueryError):
+            parse_expression("q1 @ q2")
+
+
+class TestParseQuestion:
+    def test_full_question(self, universal):
+        question = parse_question(
+            "high",
+            "(q1 + 0.0001) / (q2 + 0.0001)",
+            [
+                "q1 := count(*) WHERE Author.dom = 'com'",
+                "q2 := count(*) WHERE Author.dom = 'edu'",
+            ],
+        )
+        assert question.direction is Direction.HIGH
+        assert question.query.evaluate_universal(universal) == pytest.approx(
+            4.0001 / 2.0001
+        )
+
+    def test_mixed_aggregate_inputs(self, universal):
+        pre_built = parse_aggregate_query("q1 := count(*)")
+        query = parse_numerical_query(
+            "q1 - q2",
+            [pre_built, "q2 := count(*) WHERE Author.dom = 'edu'"],
+        )
+        assert query.evaluate_universal(universal) == 4
+
+    def test_unknown_name_in_expression(self):
+        with pytest.raises(QueryError, match="unknown aggregates"):
+            parse_numerical_query("zzz", ["q1 := count(*)"])
+
+    def test_end_to_end_with_explainer(self):
+        from repro.core import Explainer
+
+        db = rex.database()
+        question = parse_question(
+            "high",
+            "q1",
+            [
+                "q1 := count(distinct Publication.pubid) "
+                "WHERE Publication.venue = 'SIGMOD'"
+            ],
+        )
+        explainer = Explainer(db, question, ["Author.name"])
+        assert explainer.top(2)

@@ -1,0 +1,188 @@
+"""Tests for candidate-explanation predicates."""
+
+import pytest
+
+from repro.core.predicates import (
+    AtomicPredicate,
+    DisjunctivePredicate,
+    Explanation,
+    parse_atom,
+    parse_explanation,
+)
+from repro.datasets import running_example as rex
+from repro.engine.types import DUMMY, NULL
+from repro.errors import ExplanationError
+
+
+ENV = {
+    "Author.name": "JG",
+    "Author.dom": "edu",
+    "Publication.year": 2001,
+}
+
+
+class TestAtomicPredicate:
+    def test_equality(self):
+        atom = AtomicPredicate("Author", "name", "=", "JG")
+        assert atom.evaluate(ENV)
+        assert atom.column == "Author.name"
+
+    def test_inequalities(self):
+        assert AtomicPredicate("Publication", "year", ">=", 2000).evaluate(ENV)
+        assert AtomicPredicate("Publication", "year", "<", 2002).evaluate(ENV)
+        assert not AtomicPredicate("Publication", "year", ">", 2001).evaluate(ENV)
+        assert AtomicPredicate("Publication", "year", "<=", 2001).evaluate(ENV)
+        assert AtomicPredicate("Publication", "year", "<>", 1999).evaluate(ENV)
+
+    def test_invalid_operator(self):
+        with pytest.raises(ExplanationError):
+            AtomicPredicate("R", "a", "~", 1)
+
+    def test_null_constant_rejected(self):
+        with pytest.raises(ExplanationError):
+            AtomicPredicate("R", "a", "=", NULL)
+        with pytest.raises(ExplanationError):
+            AtomicPredicate("R", "a", "=", DUMMY)
+
+    def test_str(self):
+        assert str(AtomicPredicate("R", "a", "=", 1)) == "[R.a = 1]"
+
+
+class TestExplanation:
+    def test_conjunction(self):
+        phi = Explanation.of(
+            AtomicPredicate("Author", "name", "=", "JG"),
+            AtomicPredicate("Publication", "year", "=", 2001),
+        )
+        assert phi.evaluate(ENV)
+        assert phi.size == 2
+
+    def test_failing_conjunct(self):
+        phi = Explanation.of(
+            AtomicPredicate("Author", "name", "=", "JG"),
+            AtomicPredicate("Publication", "year", "=", 1999),
+        )
+        assert not phi.evaluate(ENV)
+
+    def test_trivial_explanation(self):
+        phi = Explanation(())
+        assert phi.is_trivial()
+        assert phi.evaluate(ENV)
+        assert str(phi) == "[TRUE]"
+
+    def test_duplicate_equality_attribute_rejected(self):
+        with pytest.raises(ExplanationError):
+            Explanation.of(
+                AtomicPredicate("R", "a", "=", 1),
+                AtomicPredicate("R", "a", "=", 2),
+            )
+
+    def test_range_atoms_on_same_attribute_allowed(self):
+        phi = Explanation.of(
+            AtomicPredicate("Publication", "year", ">=", 2000),
+            AtomicPredicate("Publication", "year", "<", 2005),
+        )
+        assert phi.evaluate(ENV)
+
+    def test_equality_constructor(self):
+        schema = rex.schema()
+        phi = Explanation.equality(
+            schema, {"Author.name": "JG", "year": 2001}
+        )
+        assert phi.evaluate(ENV)
+        assert phi.assignments() == {
+            "Author.name": "JG",
+            "Publication.year": 2001,
+        }
+
+    def test_generalizes(self):
+        a = AtomicPredicate("Author", "name", "=", "JG")
+        b = AtomicPredicate("Publication", "year", "=", 2001)
+        general = Explanation.of(a)
+        specific = Explanation.of(a, b)
+        assert general.generalizes(specific)
+        assert not specific.generalizes(general)
+        assert general.generalizes(general)
+
+    def test_columns(self):
+        phi = Explanation.of(
+            AtomicPredicate("Author", "name", "=", "JG"),
+            AtomicPredicate("Publication", "year", "=", 2001),
+        )
+        assert phi.columns() == ("Author.name", "Publication.year")
+
+    def test_to_expression(self):
+        phi = Explanation.of(AtomicPredicate("Author", "name", "=", "JG"))
+        assert phi.to_expression().evaluate(ENV)
+
+
+class TestDisjunctivePredicate:
+    def test_disjunction(self):
+        phi = DisjunctivePredicate(
+            (
+                Explanation.of(AtomicPredicate("Author", "name", "=", "Levy")),
+                Explanation.of(AtomicPredicate("Author", "name", "=", "JG")),
+            )
+        )
+        assert phi.evaluate(ENV)
+
+    def test_all_disjuncts_false(self):
+        phi = DisjunctivePredicate(
+            (Explanation.of(AtomicPredicate("Author", "name", "=", "X")),)
+        )
+        assert not phi.evaluate(ENV)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExplanationError):
+            DisjunctivePredicate(())
+
+    def test_columns_deduplicated(self):
+        phi = DisjunctivePredicate(
+            (
+                Explanation.of(AtomicPredicate("Author", "name", "=", "a")),
+                Explanation.of(AtomicPredicate("Author", "name", "=", "b")),
+            )
+        )
+        assert phi.columns() == ("Author.name",)
+
+    def test_str(self):
+        phi = DisjunctivePredicate(
+            (Explanation.of(AtomicPredicate("A", "x", "=", 1)),)
+        )
+        assert "∨" in str(phi) or "[A.x = 1]" in str(phi)
+
+
+class TestParsing:
+    def test_parse_atom_variants(self):
+        assert parse_atom("[Author.name = 'JG']") == AtomicPredicate(
+            "Author", "name", "=", "JG"
+        )
+        assert parse_atom("Publication.year >= 2000") == AtomicPredicate(
+            "Publication", "year", ">=", 2000
+        )
+        assert parse_atom("R.x != 3").op == "<>"
+        assert parse_atom('R.s = "quoted"').constant == "quoted"
+        assert parse_atom("R.f = 1.5").constant == 1.5
+        assert parse_atom("R.b = true").constant is True
+
+    def test_parse_atom_bad(self):
+        with pytest.raises(ExplanationError):
+            parse_atom("nonsense")
+        with pytest.raises(ExplanationError):
+            parse_atom("noattr = 3")
+
+    def test_parse_explanation(self):
+        phi = parse_explanation(
+            "Author.name = 'JG' AND Publication.year = 2001"
+        )
+        assert phi.size == 2 and phi.evaluate(ENV)
+
+    def test_parse_separators(self):
+        for sep in (" AND ", " and ", " ∧ ", " & "):
+            phi = parse_explanation(f"Author.name = 'JG'{sep}Author.dom = 'edu'")
+            assert phi.size == 2
+
+    def test_parse_trivial(self):
+        assert parse_explanation("").is_trivial()
+        assert parse_explanation("TRUE").is_trivial()
+        assert parse_explanation("[TRUE]").is_trivial()

@@ -1,0 +1,48 @@
+"""Tests for user questions and degree sign conventions."""
+
+import pytest
+
+from repro.core.numquery import AggregateQuery, single_query
+from repro.core.question import Direction, UserQuestion
+from repro.engine.aggregates import count_star
+from repro.errors import ExplanationError
+
+
+def q():
+    return single_query(AggregateQuery("q", count_star("q")))
+
+
+class TestDirection:
+    def test_parse_strings(self):
+        assert Direction.parse("high") is Direction.HIGH
+        assert Direction.parse("LOW") is Direction.LOW
+
+    def test_parse_passthrough(self):
+        assert Direction.parse(Direction.HIGH) is Direction.HIGH
+
+    def test_parse_invalid(self):
+        with pytest.raises(ExplanationError):
+            Direction.parse("sideways")
+        with pytest.raises(ExplanationError):
+            Direction.parse(None)
+
+
+class TestUserQuestion:
+    def test_high_signs(self):
+        question = UserQuestion.high(q())
+        # Definition 2.4: dir=high -> mu_aggr = +Q(D_phi)
+        assert question.aggravation_sign == 1
+        # Definition 2.7: dir=high -> mu_interv = -Q(D - delta)
+        assert question.intervention_sign == -1
+
+    def test_low_signs(self):
+        question = UserQuestion.low(q())
+        assert question.aggravation_sign == -1
+        assert question.intervention_sign == 1
+
+    def test_signs_always_opposite(self):
+        for question in (UserQuestion.high(q()), UserQuestion.low(q())):
+            assert question.aggravation_sign == -question.intervention_sign
+
+    def test_str(self):
+        assert "high" in str(UserQuestion.high(q()))

@@ -1,0 +1,184 @@
+"""Tests for SQL / datalog rendering."""
+
+import pytest
+
+from repro.core.numquery import AggregateQuery, ratio_query, single_query
+from repro.core.predicates import parse_explanation
+from repro.core.question import UserQuestion
+from repro.core.sqlgen import (
+    aggregate_select,
+    algorithm1_script,
+    cube_select,
+    program_p_datalog,
+    sql_expression,
+    sql_literal,
+    universal_from_clause,
+)
+from repro.datasets import running_example as rex
+from repro.engine.aggregates import agg_sum, count_distinct, count_star
+from repro.engine.expressions import (
+    And,
+    Col,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    conj,
+    log,
+    neg,
+)
+from repro.engine.types import NULL
+from repro.errors import QueryError
+
+
+class TestLiterals:
+    def test_numbers(self):
+        assert sql_literal(3) == "3"
+        assert sql_literal(2.5) == "2.5"
+
+    def test_strings_escaped(self):
+        assert sql_literal("O'Brien") == "'O''Brien'"
+
+    def test_booleans(self):
+        assert sql_literal(True) == "TRUE"
+        assert sql_literal(False) == "FALSE"
+
+    def test_null(self):
+        assert sql_literal(NULL) == "NULL"
+
+
+class TestExpressions:
+    def test_comparison(self):
+        expr = Comparison("=", Col("Author.dom"), Const("com"))
+        assert sql_expression(expr) == "Author.dom = 'com'"
+
+    def test_arithmetic(self):
+        expr = (Col("q1") + 1) / Col("q2")
+        assert sql_expression(expr) == "((q1 + 1) / q2)"
+
+    def test_unary(self):
+        assert sql_expression(neg(Col("x"))) == "(-x)"
+        assert sql_expression(log(Col("x"))) == "LOG(x)"
+
+    def test_boolean(self):
+        expr = conj(
+            Comparison(">=", Col("year"), Const(2000)),
+            Comparison("<=", Col("year"), Const(2004)),
+        )
+        text = sql_expression(expr)
+        assert "year >= 2000" in text and "AND" in text
+
+    def test_or_and_not(self):
+        expr = Or((Comparison("=", Col("a"), Const(1)),))
+        assert "a = 1" in sql_expression(expr)
+        assert sql_expression(Not(Comparison("=", Col("a"), Const(1)))) == (
+            "NOT (a = 1)"
+        )
+
+    def test_empty_connectives(self):
+        assert sql_expression(And(())) == "TRUE"
+        assert sql_expression(Or(())) == "FALSE"
+
+
+class TestFromClause:
+    def test_joins_all_relations(self):
+        text = universal_from_clause(rex.schema())
+        assert "FROM Author" in text
+        assert "JOIN Authored" in text
+        assert "JOIN Publication" in text
+        assert "Authored.id = Author.id" in text
+        assert "Authored.pubid = Publication.pubid" in text
+
+    def test_single_table(self):
+        from repro.engine.schema import single_table_schema
+
+        text = universal_from_clause(single_table_schema("T", ["k"], ["k"]))
+        assert text == "FROM T"
+
+
+class TestAggregateSelect:
+    def test_count_distinct_with_where(self):
+        q = AggregateQuery(
+            "q1",
+            count_distinct("Publication.pubid", "q1"),
+            Comparison("=", Col("Publication.venue"), Const("SIGMOD")),
+        )
+        text = aggregate_select(rex.schema(), q)
+        assert "COUNT(DISTINCT Publication.pubid) AS q1" in text
+        assert "WHERE Publication.venue = 'SIGMOD'" in text
+        assert text.endswith(";")
+
+    def test_count_star(self):
+        q = AggregateQuery("q", count_star("q"))
+        text = aggregate_select(rex.schema(), q)
+        assert "COUNT(*) AS q" in text
+        assert "WHERE" not in text
+
+    def test_sum(self):
+        q = AggregateQuery("q", agg_sum("Publication.year", "q"))
+        assert "SUM(Publication.year)" in aggregate_select(rex.schema(), q)
+
+
+class TestCubeSelect:
+    def test_with_cube_clause(self):
+        q = AggregateQuery("q", count_star("q"))
+        text = cube_select(
+            rex.schema(), q, ["Author.name", "Publication.year"]
+        )
+        assert "GROUP BY Author.name, Publication.year WITH CUBE" in text
+        assert "COUNT(*) AS v_q" in text
+
+
+class TestAlgorithm1Script:
+    def test_script_structure(self):
+        q1 = AggregateQuery("q1", count_distinct("Publication.pubid", "q1"))
+        q2 = AggregateQuery(
+            "q2",
+            count_distinct("Publication.pubid", "q2"),
+            Comparison("=", Col("Author.dom"), Const("com")),
+        )
+        question = UserQuestion.high(ratio_query(q1, q2))
+        text = algorithm1_script(
+            rex.schema(), question, ["Author.inst", "Author.name"]
+        )
+        assert "CREATE TABLE C_q1" in text
+        assert "CREATE TABLE C_q2" in text
+        assert "WITH CUBE" in text
+        assert "FULL OUTER JOIN" in text
+        assert "__DUMMY__" in text  # the Section 4.2 rewrite
+        assert "COALESCE(v_q1, 0)" in text
+        assert "mu_interv" in text and "mu_aggr" in text
+
+
+class TestDatalog:
+    def test_rules_present(self):
+        text = program_p_datalog(rex.schema())
+        # Rule (i): one S_i and one Delta_i rule per relation.
+        assert text.count("S_Author(") >= 1
+        assert "Delta_Author" in text
+        assert "Delta_Authored" in text
+        assert "Delta_Publication" in text
+        # Rule (ii): T_i rules.
+        assert "T_Author" in text
+        # Rule (iii): only for the back-and-forth key.
+        assert "Delta_Publication(" in text.split("Rule (iii)")[1]
+
+    def test_no_rule_iii_without_bf(self):
+        text = program_p_datalog(rex.schema(back_and_forth=False))
+        tail = text.split("Rule (iii)")[1]
+        assert "Delta_" not in tail
+
+    def test_phi_embedded(self):
+        phi = parse_explanation("Author.name = 'JG'")
+        text = program_p_datalog(rex.schema(), phi)
+        assert "JG" in text
+
+    def test_join_variables_shared(self):
+        """FK-linked attributes use the same datalog variable."""
+        text = program_p_datalog(rex.schema())
+        # Authored(id, pubid) shares its variables with Author.id and
+        # Publication.pubid; the S rule body lists every relation, and
+        # the shared variable must appear at least twice.
+        body = text.splitlines()[2]
+        author_var = body.split("Author(")[1].split(",")[0]
+        assert body.count(author_var) >= 2

@@ -1,0 +1,118 @@
+"""Tests for the pre-flight validation module."""
+
+import pytest
+
+from repro.core import AggregateQuery, UserQuestion, single_query
+from repro.core.validation import validate_database, validate_question
+from repro.datasets import chains, natality
+from repro.datasets import running_example as rex
+from repro.engine.aggregates import count_distinct, count_star
+from repro.engine.expressions import Col, Comparison, Const
+
+
+def sigmod_question():
+    return UserQuestion.high(
+        single_query(
+            AggregateQuery(
+                "q",
+                count_distinct("Publication.pubid", "q"),
+                Comparison("=", Col("Publication.venue"), Const("SIGMOD")),
+            )
+        )
+    )
+
+
+class TestValidateDatabase:
+    def test_clean_database_passes(self):
+        report = validate_database(rex.database())
+        assert report.ok
+        names = [c.name for c in report.checks]
+        assert "referential integrity" in names
+        assert "semijoin-reduced" in names
+
+    def test_dangling_fk_fails(self):
+        db = rex.database()
+        db.relation("Authored").insert(("GHOST", "P1"))
+        report = validate_database(db)
+        assert not report.ok
+        failing = [c for c in report.checks if not c.passed]
+        assert any("integrity" in c.name for c in failing)
+
+    def test_unreduced_database_fails(self):
+        db = rex.database()
+        db.relation("Author").insert(("A9", "XX", "Y.edu", "edu"))
+        report = validate_database(db)
+        assert not report.ok
+        failing = [c for c in report.checks if not c.passed]
+        assert any("semijoin" in c.name for c in failing)
+        assert any("dangling" in c.detail for c in failing)
+
+    def test_prop_311_bound_reported(self):
+        report = validate_database(rex.database())
+        bound = next(c for c in report.checks if c.name == "convergence bound")
+        assert "Prop 3.11" in bound.detail
+        assert "4" in bound.detail  # 2*1 + 2
+
+    def test_chain_schema_bound_degrades(self):
+        db = chains.example_37_database(2)
+        report = validate_database(db)
+        bound = next(c for c in report.checks if c.name == "convergence bound")
+        assert "Prop 3.4" in bound.detail
+
+    def test_render(self):
+        text = validate_database(rex.database()).render()
+        assert "validation: OK" in text
+        assert "[PASS]" in text
+
+
+class TestValidateQuestion:
+    def test_good_question(self):
+        report = validate_question(
+            rex.database(),
+            sigmod_question(),
+            ["Author.name", "Publication.year"],
+        )
+        assert report.ok
+        query = next(c for c in report.checks if c.name == "query")
+        assert "Q(D) = 2" in query.detail
+
+    def test_additive_recommends_cube(self):
+        report = validate_question(rex.database(), sigmod_question())
+        additivity = next(c for c in report.checks if c.name == "additivity")
+        assert "cube" in additivity.detail
+
+    def test_non_additive_recommends_indexed(self):
+        question = UserQuestion.high(
+            single_query(AggregateQuery("q", count_star("q")))
+        )
+        report = validate_question(rex.database(), question)
+        additivity = next(c for c in report.checks if c.name == "additivity")
+        assert "indexed" in additivity.detail
+        assert report.ok  # non-additivity is advice, not failure
+
+    def test_unknown_attribute_fails(self):
+        report = validate_question(
+            rex.database(), sigmod_question(), ["Author.zzz"]
+        )
+        assert not report.ok
+        attrs = next(c for c in report.checks if c.name == "attributes")
+        assert "unknown" in attrs.detail
+
+    def test_natality_question(self):
+        db = natality.generate(rows=300, seed=1)
+        report = validate_question(
+            db,
+            natality.q_race_question(),
+            natality.default_attributes("race"),
+        )
+        assert report.ok
+
+
+class TestCliCheck:
+    def test_check_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "running-example"]) == 0
+        out = capsys.readouterr().out
+        assert "validation: OK" in out
+        assert "Q(D)" in out

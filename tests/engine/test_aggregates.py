@@ -1,0 +1,129 @@
+"""Tests for aggregate accumulators and specs."""
+
+import pytest
+
+from repro.engine.aggregates import (
+    AGGREGATE_KINDS,
+    AggregateSpec,
+    agg_avg,
+    agg_max,
+    agg_min,
+    agg_sum,
+    count_distinct,
+    count_star,
+)
+from repro.engine.types import NULL
+from repro.errors import QueryError
+
+
+def run(spec: AggregateSpec, values):
+    acc = spec.make_accumulator()
+    for v in values:
+        acc.add(v)
+    return acc.result()
+
+
+class TestCountStar:
+    def test_counts_everything(self):
+        assert run(count_star("c"), [1, NULL, "x"]) == 3
+
+    def test_empty(self):
+        assert run(count_star("c"), []) == 0
+
+    def test_argument_optional(self):
+        spec = count_star("c")
+        assert spec.argument is None
+
+
+class TestCount:
+    def test_skips_null(self):
+        assert run(AggregateSpec("count", "a", "c"), [1, NULL, 2]) == 2
+
+    def test_requires_argument(self):
+        with pytest.raises(QueryError):
+            AggregateSpec("count", None, "c")
+
+
+class TestCountDistinct:
+    def test_distinct(self):
+        assert run(count_distinct("a", "c"), [1, 1, 2, NULL, 2]) == 2
+
+    def test_empty(self):
+        assert run(count_distinct("a", "c"), []) == 0
+
+    def test_strings(self):
+        assert run(count_distinct("a", "c"), ["P1", "P1", "P2"]) == 2
+
+
+class TestSum:
+    def test_sum(self):
+        assert run(agg_sum("a", "s"), [1, 2, 3.5]) == 6.5
+
+    def test_null_inputs_skipped(self):
+        assert run(agg_sum("a", "s"), [1, NULL]) == 1
+
+    def test_all_null_is_null(self):
+        assert run(agg_sum("a", "s"), [NULL, NULL]) is NULL
+
+    def test_empty_is_null(self):
+        assert run(agg_sum("a", "s"), []) is NULL
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(QueryError):
+            run(agg_sum("a", "s"), ["x"])
+
+
+class TestAvg:
+    def test_avg(self):
+        assert run(agg_avg("a", "m"), [1, 2, 3]) == 2
+
+    def test_empty_is_null(self):
+        assert run(agg_avg("a", "m"), []) is NULL
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(QueryError):
+            run(agg_avg("a", "m"), ["x"])
+
+
+class TestMinMax:
+    def test_min_max(self):
+        assert run(agg_min("a", "m"), [3, 1, 2]) == 1
+        assert run(agg_max("a", "m"), [3, 1, 2]) == 3
+
+    def test_strings(self):
+        assert run(agg_min("a", "m"), ["b", "a"]) == "a"
+        assert run(agg_max("a", "m"), ["b", "a"]) == "b"
+
+    def test_null_skipped(self):
+        assert run(agg_min("a", "m"), [NULL, 5]) == 5
+
+    def test_empty_is_null(self):
+        assert run(agg_min("a", "m"), []) is NULL
+        assert run(agg_max("a", "m"), []) is NULL
+
+
+class TestSpecs:
+    def test_unknown_kind(self):
+        with pytest.raises(QueryError, match="unknown aggregate"):
+            AggregateSpec("median", "a", "m")
+
+    def test_empty_alias(self):
+        with pytest.raises(QueryError):
+            AggregateSpec("sum", "a", "")
+
+    def test_default_values(self):
+        assert count_star("c").default_value == 0
+        assert count_distinct("a", "c").default_value == 0
+        assert agg_sum("a", "s").default_value is NULL
+        assert agg_min("a", "m").default_value is NULL
+
+    def test_str(self):
+        assert str(count_star("c")) == "count(*) AS c"
+        assert str(count_distinct("pubid", "c")) == "count(distinct pubid) AS c"
+        assert str(agg_sum("x", "s")) == "sum(x) AS s"
+
+    def test_all_kinds_constructible(self):
+        for kind in AGGREGATE_KINDS:
+            arg = None if kind == "count_star" else "a"
+            spec = AggregateSpec(kind, arg, "out")
+            assert spec.make_accumulator() is not None

@@ -1,0 +1,105 @@
+"""Tests for the vectorized cube fast path."""
+
+import pytest
+
+from repro.engine.aggregates import agg_sum, count_distinct, count_star
+from repro.engine.cube import cube
+from repro.engine.fastpath import cube_numpy, supports
+from repro.engine.table import Table
+from repro.engine.types import NULL
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def name_year():
+    return Table(
+        ["name", "year", "pubid"],
+        [
+            ("JG", 2001, "P1"),
+            ("JG", 2011, "P2"),
+            ("RR", 2001, "P1"),
+            ("RR", 2001, "P3"),
+            ("CM", 2001, "P3"),
+            ("CM", 2011, "P2"),
+        ],
+    )
+
+
+class TestSupports:
+    def test_count_kinds_supported(self):
+        assert supports([count_star("c"), count_distinct("x", "d")])
+
+    def test_sum_unsupported(self):
+        assert not supports([agg_sum("x", "s")])
+
+    def test_sum_raises(self, name_year):
+        with pytest.raises(QueryError, match="supports"):
+            cube_numpy(name_year, ["name"], [agg_sum("year", "s")])
+
+
+class TestEquivalence:
+    def test_count_star_matches(self, name_year):
+        fast = cube_numpy(name_year, ["name", "year"], [count_star("c")])
+        slow = cube(name_year, ["name", "year"], [count_star("c")])
+        assert fast == slow
+
+    def test_count_distinct_matches(self, name_year):
+        fast = cube_numpy(
+            name_year, ["name", "year"], [count_distinct("pubid", "c")]
+        )
+        slow = cube(
+            name_year, ["name", "year"], [count_distinct("pubid", "c")]
+        )
+        assert fast == slow
+
+    def test_mixed_aggregates_match(self, name_year):
+        aggs = [count_star("n"), count_distinct("pubid", "d")]
+        assert cube_numpy(name_year, ["name"], aggs) == cube(
+            name_year, ["name"], aggs
+        )
+
+    def test_empty_input(self):
+        empty = Table(["a", "x"], [])
+        fast = cube_numpy(empty, ["a"], [count_star("c")])
+        assert fast.rows() == [(NULL, 0)]
+
+    def test_null_argument_ignored_in_distinct(self):
+        t = Table(["g", "x"], [("a", 1), ("a", NULL), ("b", NULL)])
+        fast = cube_numpy(t, ["g"], [count_distinct("x", "c")])
+        slow = cube(t, ["g"], [count_distinct("x", "c")])
+        assert fast == slow
+
+    def test_null_dimension_rejected(self):
+        t = Table(["g", "x"], [(NULL, 1)])
+        with pytest.raises(QueryError, match="don't-care"):
+            cube_numpy(t, ["g"], [count_star("c")])
+
+    def test_three_dimensions_random(self):
+        rows = [
+            (i % 3, (i * 7) % 4, (i * 13) % 2, f"v{i % 5}")
+            for i in range(200)
+        ]
+        t = Table(["a", "b", "c", "x"], rows)
+        aggs = [count_star("n"), count_distinct("x", "d")]
+        assert cube_numpy(t, ["a", "b", "c"], aggs) == cube(
+            t, ["a", "b", "c"], aggs
+        )
+
+    def test_zero_dimensions(self, name_year):
+        fast = cube_numpy(name_year, [], [count_star("c")])
+        assert fast.rows() == [(6,)]
+
+    def test_python_int_output(self, name_year):
+        fast = cube_numpy(name_year, ["name"], [count_star("c")])
+        for row in fast.rows():
+            assert type(row[-1]) is int
+
+    def test_validation_errors(self, name_year):
+        with pytest.raises(QueryError):
+            cube_numpy(name_year, ["name", "name"], [count_star("c")])
+        with pytest.raises(QueryError):
+            cube_numpy(name_year, ["name"], [count_star("name")])
+        with pytest.raises(QueryError):
+            cube_numpy(
+                name_year, ["name"], [count_star("c"), count_star("c")]
+            )

@@ -1,0 +1,87 @@
+"""Tests for hash group-by and scalar aggregates."""
+
+import pytest
+
+from repro.engine.aggregates import agg_avg, agg_sum, count_star
+from repro.engine.groupby import group_by, scalar_aggregate
+from repro.engine.table import Table
+from repro.engine.types import NULL
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def sales():
+    return Table(
+        ["region", "product", "amount"],
+        [
+            ("N", "a", 10),
+            ("N", "a", 20),
+            ("N", "b", 5),
+            ("S", "a", 7),
+        ],
+    )
+
+
+class TestGroupBy:
+    def test_single_key(self, sales):
+        out = group_by(sales, ["region"], [agg_sum("amount", "total")])
+        rows = dict(out.rows())
+        assert rows == {"N": 35, "S": 7}
+
+    def test_two_keys(self, sales):
+        out = group_by(sales, ["region", "product"], [count_star("c")])
+        assert len(out) == 3
+
+    def test_multiple_aggregates(self, sales):
+        out = group_by(
+            sales,
+            ["region"],
+            [count_star("c"), agg_sum("amount", "s"), agg_avg("amount", "m")],
+        )
+        by_region = {r[0]: r for r in out.rows()}
+        assert by_region["N"] == ("N", 3, 35, pytest.approx(35 / 3))
+
+    def test_empty_keys_scalar(self, sales):
+        out = group_by(sales, [], [count_star("c")])
+        assert out.rows() == [(4,)]
+
+    def test_empty_input_scalar_row(self):
+        empty = Table(["x"], [])
+        out = group_by(empty, [], [count_star("c"), agg_sum("x", "s")])
+        assert out.rows() == [(0, NULL)]
+
+    def test_empty_input_with_keys_is_empty(self):
+        empty = Table(["k", "x"], [])
+        out = group_by(empty, ["k"], [count_star("c")])
+        assert len(out) == 0
+
+    def test_null_key_forms_its_own_group(self):
+        t = Table(["k", "x"], [(NULL, 1), (NULL, 2), ("a", 3)])
+        out = group_by(t, ["k"], [count_star("c")])
+        rows = {repr(r[0]): r[1] for r in out.rows()}
+        assert rows == {"NULL": 2, "'a'": 1}
+
+    def test_requires_aggregate(self, sales):
+        with pytest.raises(QueryError):
+            group_by(sales, ["region"], [])
+
+    def test_alias_clash_with_key(self, sales):
+        with pytest.raises(QueryError):
+            group_by(sales, ["region"], [count_star("region")])
+
+    def test_duplicate_aliases(self, sales):
+        with pytest.raises(QueryError):
+            group_by(sales, [], [count_star("c"), agg_sum("amount", "c")])
+
+    def test_output_columns(self, sales):
+        out = group_by(sales, ["region"], [count_star("c")])
+        assert out.columns == ("region", "c")
+
+
+class TestScalarAggregate:
+    def test_scalar(self, sales):
+        assert scalar_aggregate(sales, count_star("c")) == 4
+        assert scalar_aggregate(sales, agg_sum("amount", "s")) == 42
+
+    def test_scalar_on_empty(self):
+        assert scalar_aggregate(Table(["x"], []), count_star("c")) == 0

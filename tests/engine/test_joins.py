@@ -1,0 +1,170 @@
+"""Tests for the join algorithms."""
+
+import pytest
+
+from repro.engine.joins import (
+    antijoin,
+    full_outer_join,
+    full_outer_join_many,
+    hash_join,
+    natural_join,
+    semijoin,
+)
+from repro.engine.table import Table
+from repro.engine.types import DUMMY, NULL
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def authors():
+    return Table(["id", "name"], [("A1", "JG"), ("A2", "RR"), ("A3", "CM")])
+
+
+@pytest.fixture
+def authored():
+    return Table(
+        ["aid", "pubid"],
+        [("A1", "P1"), ("A2", "P1"), ("A1", "P2"), ("A9", "P9")],
+    )
+
+
+class TestHashJoin:
+    def test_basic(self, authors, authored):
+        out = hash_join(authored, authors, ["aid"], ["id"])
+        assert out.columns == ("aid", "pubid", "name")
+        assert len(out) == 3  # A9 dangles
+
+    def test_join_column_dropped_from_right(self, authors, authored):
+        out = hash_join(authored, authors, ["aid"], ["id"])
+        assert "id" not in out.columns
+
+    def test_right_keep(self, authors, authored):
+        out = hash_join(authored, authors, ["aid"], ["id"], right_keep=[])
+        assert out.columns == ("aid", "pubid")
+
+    def test_null_keys_never_match(self):
+        left = Table(["k", "v"], [(NULL, 1), ("a", 2)])
+        right = Table(["k", "w"], [(NULL, 10), ("a", 20)])
+        out = hash_join(left, right, ["k"], ["k"], right_keep=["w"])
+        assert len(out) == 1 and out.rows()[0] == ("a", 2, 20)
+
+    def test_dummy_keys_do_match(self):
+        left = Table(["k", "v"], [(DUMMY, 1)])
+        right = Table(["k", "w"], [(DUMMY, 10)])
+        out = hash_join(left, right, ["k"], ["k"])
+        assert len(out) == 1
+
+    def test_key_length_mismatch(self, authors, authored):
+        with pytest.raises(QueryError):
+            hash_join(authored, authors, ["aid"], ["id", "name"])
+
+    def test_column_clash_rejected(self):
+        left = Table(["k", "v"], [("a", 1)])
+        right = Table(["k2", "v"], [("a", 1)])
+        with pytest.raises(QueryError, match="duplicate columns"):
+            hash_join(left, right, ["k"], ["k2"])
+
+    def test_multi_column_key(self):
+        left = Table(["a", "b", "x"], [(1, 2, "l")])
+        right = Table(["a", "b", "y"], [(1, 2, "r"), (1, 3, "no")])
+        out = hash_join(left, right, ["a", "b"], ["a", "b"])
+        assert len(out) == 1 and out.rows()[0] == (1, 2, "l", "r")
+
+
+class TestNaturalJoin:
+    def test_shared_columns(self):
+        left = Table(["id", "x"], [("A1", 1)])
+        right = Table(["id", "y"], [("A1", 2)])
+        out = natural_join(left, right)
+        assert out.rows() == [("A1", 1, 2)]
+
+    def test_no_shared_columns_rejected(self):
+        with pytest.raises(QueryError):
+            natural_join(Table(["a"], []), Table(["b"], []))
+
+
+class TestSemiAntiJoin:
+    def test_semijoin(self, authors, authored):
+        out = semijoin(authors, authored, ["id"], ["aid"])
+        assert {r[0] for r in out.rows()} == {"A1", "A2"}
+
+    def test_antijoin(self, authors, authored):
+        out = antijoin(authors, authored, ["id"], ["aid"])
+        assert {r[0] for r in out.rows()} == {"A3"}
+
+    def test_semijoin_null_key_excluded(self):
+        left = Table(["k"], [(NULL,), ("a",)])
+        right = Table(["k"], [("a",), (NULL,)])
+        assert len(semijoin(left, right, ["k"], ["k"])) == 1
+
+    def test_antijoin_keeps_null_keys(self):
+        left = Table(["k"], [(NULL,), ("a",)])
+        right = Table(["k"], [("a",)])
+        out = antijoin(left, right, ["k"], ["k"])
+        assert len(out) == 1 and out.rows()[0][0] is NULL
+
+    def test_semijoin_plus_antijoin_partition(self, authors, authored):
+        semi = semijoin(authors, authored, ["id"], ["aid"])
+        anti = antijoin(authors, authored, ["id"], ["aid"])
+        assert len(semi) + len(anti) == len(authors)
+
+    def test_key_length_mismatch(self, authors, authored):
+        with pytest.raises(QueryError):
+            semijoin(authors, authored, ["id"], [])
+        with pytest.raises(QueryError):
+            antijoin(authors, authored, ["id"], [])
+
+
+class TestFullOuterJoin:
+    def test_matched_and_unmatched(self):
+        left = Table(["k", "v1"], [("a", 1), ("b", 2)])
+        right = Table(["k", "v2"], [("b", 20), ("c", 30)])
+        out = full_outer_join(left, right, ["k"])
+        rows = {r[0]: r for r in out.rows()}
+        assert rows["a"] == ("a", 1, NULL)
+        assert rows["b"] == ("b", 2, 20)
+        assert rows["c"] == ("c", NULL, 30)
+
+    def test_custom_fill(self):
+        left = Table(["k", "v1"], [("a", 1)])
+        right = Table(["k", "v2"], [("b", 2)])
+        out = full_outer_join(left, right, ["k"], fill=0)
+        rows = {r[0]: r for r in out.rows()}
+        assert rows["a"] == ("a", 1, 0) and rows["b"] == ("b", 0, 2)
+
+    def test_null_keys_emit_unmatched(self):
+        left = Table(["k", "v1"], [(NULL, 1)])
+        right = Table(["k", "v2"], [(NULL, 2)])
+        out = full_outer_join(left, right, ["k"])
+        assert len(out) == 2  # nulls never match each other
+
+    def test_dummy_keys_match(self):
+        left = Table(["k", "v1"], [(DUMMY, 1)])
+        right = Table(["k", "v2"], [(DUMMY, 2)])
+        out = full_outer_join(left, right, ["k"])
+        assert out.rows() == [(DUMMY, 1, 2)]
+
+    def test_value_column_clash_rejected(self):
+        left = Table(["k", "v"], [("a", 1)])
+        right = Table(["k", "v"], [("a", 2)])
+        with pytest.raises(QueryError):
+            full_outer_join(left, right, ["k"])
+
+    def test_one_to_many(self):
+        left = Table(["k", "v1"], [("a", 1)])
+        right = Table(["k", "v2"], [("a", 10), ("a", 20)])
+        out = full_outer_join(left, right, ["k"])
+        assert len(out) == 2
+
+    def test_many_chain(self):
+        t1 = Table(["k", "a"], [("x", 1)])
+        t2 = Table(["k", "b"], [("y", 2)])
+        t3 = Table(["k", "c"], [("x", 3)])
+        out = full_outer_join_many([t1, t2, t3], ["k"], fill=0)
+        rows = {r[0]: r for r in out.rows()}
+        assert rows["x"] == ("x", 1, 0, 3)
+        assert rows["y"] == ("y", 0, 2, 0)
+
+    def test_many_requires_input(self):
+        with pytest.raises(QueryError):
+            full_outer_join_many([], ["k"])

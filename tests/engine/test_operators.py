@@ -1,0 +1,54 @@
+"""Tests for the functional relational-algebra wrappers."""
+
+import pytest
+
+from repro.engine.expressions import Col
+from repro.engine.operators import (
+    difference,
+    distinct,
+    intersect,
+    project,
+    rename,
+    select,
+    select_not,
+    union,
+)
+from repro.engine.table import Table
+
+
+@pytest.fixture
+def t():
+    return Table(["a", "b"], [(1, "x"), (2, "y"), (2, "y"), (3, "z")])
+
+
+class TestOperators:
+    def test_select(self, t):
+        assert len(select(t, Col("a").eq(2))) == 2
+
+    def test_select_not_complements(self, t):
+        pred = Col("a").eq(2)
+        assert len(select(t, pred)) + len(select_not(t, pred)) == len(t)
+
+    def test_project_is_distinct_by_default(self, t):
+        out = project(t, ["b"])
+        assert sorted(r[0] for r in out.rows()) == ["x", "y", "z"]
+
+    def test_project_bag(self, t):
+        assert len(project(t, ["b"], distinct=False)) == 4
+
+    def test_rename(self, t):
+        assert rename(t, {"a": "k"}).columns == ("k", "b")
+
+    def test_distinct(self, t):
+        assert len(distinct(t)) == 3
+
+    def test_union(self, t):
+        assert len(union(t, t)) == 8
+
+    def test_difference(self, t):
+        minus = Table(["a", "b"], [(1, "x")])
+        assert len(difference(t, minus)) == 3
+
+    def test_intersect(self, t):
+        other = Table(["a", "b"], [(1, "x"), (9, "q")])
+        assert intersect(t, other).rows() == [(1, "x")]

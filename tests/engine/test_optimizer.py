@@ -1,0 +1,186 @@
+"""Tests for the rule-based plan optimizer."""
+
+import pytest
+
+from repro.datasets import running_example as rex
+from repro.engine.aggregates import count_star
+from repro.engine.expressions import Col, Comparison, Const, conj
+from repro.engine.optimizer import optimize
+from repro.engine.plan import (
+    GroupBy,
+    Join,
+    PlanContext,
+    Project,
+    Scan,
+    Select,
+    TopK,
+    explain,
+    explain_analyze,
+)
+
+
+@pytest.fixture
+def db():
+    return rex.database()
+
+
+def eq(column, value):
+    return Comparison("=", Col(column), Const(value))
+
+
+class TestMergeSelects:
+    def test_merged(self, db):
+        plan = Select(
+            Select(Scan("Publication"), eq("venue", "SIGMOD")),
+            eq("year", 2001),
+        )
+        optimized = optimize(plan)
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, Scan)
+        assert plan.execute(db) == optimized.execute(db)
+
+    def test_triple_merge(self, db):
+        plan = Select(
+            Select(
+                Select(Scan("Author"), eq("dom", "com")),
+                eq("inst", "M.com"),
+            ),
+            eq("name", "RR"),
+        )
+        optimized = optimize(plan)
+        assert isinstance(optimized.child, Scan)
+        assert plan.execute(db) == optimized.execute(db)
+
+
+class TestPushThroughProject:
+    def test_pushed_when_columns_kept(self, db):
+        plan = Select(
+            Project(Scan("Publication"), ("venue", "year")),
+            eq("venue", "SIGMOD"),
+        )
+        optimized = optimize(plan)
+        assert isinstance(optimized, Project)
+        assert isinstance(optimized.child, Select)
+        assert plan.execute(db) == optimized.execute(db)
+
+    def test_not_pushed_when_column_projected_away(self, db):
+        plan = Select(
+            Project(Scan("Publication"), ("venue",)),
+            eq("venue", "SIGMOD"),
+        )
+        # 'year' not referenced so this IS pushable; build one that
+        # isn't: predicate on a column that survives — all predicates
+        # must reference surviving columns to typecheck, so pushing is
+        # always legal here; just verify equivalence.
+        optimized = optimize(plan)
+        assert plan.execute(db) == optimized.execute(db)
+
+    def test_distinct_project_commutes(self, db):
+        plan = Select(
+            Project(Scan("Authored"), ("pubid",), distinct=True),
+            eq("pubid", "P1"),
+        )
+        optimized = optimize(plan)
+        assert isinstance(optimized, Project)
+        assert plan.execute(db) == optimized.execute(db)
+
+
+class TestPushBelowJoin:
+    def join_plan(self):
+        return Select(
+            Join(
+                Scan("Authored", qualify=True),
+                Scan("Author", qualify=True),
+                ("Authored.id",),
+                ("Author.id",),
+            ),
+            conj(
+                eq("Author.dom", "com"),
+                eq("Authored.pubid", "P1"),
+            ),
+        )
+
+    def test_split_and_pushed(self, db):
+        plan = self.join_plan()
+        optimized = optimize(plan, db)
+        # Both conjuncts are single-sided: the top node becomes the Join.
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Select)
+        assert isinstance(optimized.right, Select)
+        assert plan.execute(db) == optimized.execute(db)
+
+    def test_intermediate_rows_shrink(self, db):
+        plan = self.join_plan()
+        optimized = optimize(plan, db)
+        ctx_orig, ctx_opt = PlanContext(db), PlanContext(db)
+        plan.run(ctx_orig)
+        optimized.run(ctx_opt)
+        # Compare the Join nodes: the original joins unfiltered inputs
+        # (6 output rows); the optimized one joins pre-filtered inputs.
+        orig_join_rows = ctx_orig.observed_rows[id(plan.child)]
+        opt_join_rows = ctx_opt.observed_rows[id(optimized)]
+        assert orig_join_rows == 6
+        assert opt_join_rows < orig_join_rows
+
+    def test_without_database_no_push(self, db):
+        plan = self.join_plan()
+        optimized = optimize(plan)  # no schema info: cannot split
+        assert isinstance(optimized, Select)
+        assert plan.execute(db) == optimized.execute(db)
+
+    def test_mixed_predicate_keeps_cross_conjunct(self, db):
+        # A conjunct reading columns from both sides (and present in
+        # the join output) cannot be pushed.
+        cross = Comparison("<", Col("Authored.pubid"), Col("Author.name"))
+        plan = Select(
+            Join(
+                Scan("Authored", qualify=True),
+                Scan("Author", qualify=True),
+                ("Authored.id",),
+                ("Author.id",),
+            ),
+            conj(eq("Author.dom", "com"), cross),
+        )
+        optimized = optimize(plan, db)
+        # dom pushed right; the cross-side conjunct stays on top.
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, Join)
+        assert plan.execute(db) == optimized.execute(db)
+
+
+class TestPipelinesStayEquivalent:
+    def test_full_pipeline(self, db):
+        plan = TopK(
+            GroupBy(
+                Select(
+                    Select(
+                        Join(
+                            Scan("Authored", qualify=True),
+                            Scan("Publication", qualify=True),
+                            ("Authored.pubid",),
+                            ("Publication.pubid",),
+                        ),
+                        eq("Publication.venue", "SIGMOD"),
+                    ),
+                    eq("Publication.year", 2001),
+                ),
+                ("Authored.id",),
+                (count_star("c"),),
+            ),
+            by="c",
+            k=2,
+        )
+        optimized = optimize(plan, db)
+        assert plan.execute(db) == optimized.execute(db)
+        text = explain(optimized)
+        assert "Select" in text
+
+    def test_idempotent(self, db):
+        plan = self.__class__.test_full_pipeline.__wrapped__ if False else None
+        base = Select(
+            Select(Scan("Publication"), eq("venue", "SIGMOD")),
+            eq("year", 2001),
+        )
+        once = optimize(base, db)
+        twice = optimize(once, db)
+        assert once == twice

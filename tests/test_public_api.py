@@ -1,0 +1,96 @@
+"""Tests for the top-level package surface.
+
+The README and tutorial import from ``repro`` and ``repro.engine`` /
+``repro.core`` directly; these tests pin that surface so refactors
+cannot silently break documented imports.
+"""
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_all_names_resolve(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_engine_all_names_resolve(self):
+        import repro.engine as engine
+
+        for name in engine.__all__:
+            assert hasattr(engine, name), name
+
+    def test_documented_imports(self):
+        """The exact import lines used in README/tutorial."""
+        from repro import (
+            AggregateQuery,
+            Explainer,
+            UserQuestion,
+            compute_intervention,
+            count_distinct,
+            parse_explanation,
+            ratio_query,
+            render_ranking,
+            single_query,
+        )
+        from repro.core import (
+            Bar,
+            double_ratio_question,
+            explain_question,
+            parse_question,
+            trend_question,
+            validate_database,
+        )
+        from repro.datasets import chains, dblp, geodblp, natality, running_example
+        from repro.engine import (
+            Col,
+            Comparison,
+            Const,
+            Database,
+            DatabaseSchema,
+            ForeignKey,
+            foreign_key,
+            make_schema,
+            load_database,
+            save_database,
+            universal_table,
+        )
+
+        assert Explainer and Bar and Database  # imported successfully
+
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            ConvergenceError,
+            ExplanationError,
+            IntegrityError,
+            NotAdditiveError,
+            QueryError,
+            ReproError,
+            SchemaError,
+        )
+
+        for exc in (
+            SchemaError,
+            IntegrityError,
+            QueryError,
+            ExplanationError,
+            ConvergenceError,
+        ):
+            assert issubclass(exc, ReproError)
+        assert issubclass(NotAdditiveError, ExplanationError)
+
+    def test_py_typed_marker_shipped(self):
+        from pathlib import Path
+
+        marker = Path(repro.__file__).parent / "py.typed"
+        assert marker.exists()
