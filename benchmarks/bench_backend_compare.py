@@ -1,0 +1,99 @@
+"""Backend comparison on the Figure 12 workload.
+
+Times the three execution substrates building the same explanation
+table M for Q_Race — the in-memory engine, SQLite, and DuckDB (skipped
+when the optional extra is absent) — over the Figure 12a input-size
+sweep, and asserts top-5 ranking parity as a smoke check while at it.
+The point is not that one substrate wins (the in-memory fast path is
+hard to beat at these scales) but that the DBMS-backed Algorithm 1
+scales with the same shape, as the paper's SQL Server prototype does.
+"""
+
+import time
+
+from conftest import print_series
+
+from repro.backends import available_backends, get_backend
+from repro.core import Explainer
+from repro.core.topk import top_k_explanations
+from repro.datasets import natality
+
+SIZES = [500, 2_000, 8_000]
+TWO_ATTRS = ["Birth.marital", "Birth.prenatal"]
+
+BACKENDS = [n for n in ("memory", "sqlite", "duckdb")
+            if n in available_backends()]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _build(db, backend):
+    return get_backend(backend).build_explanation_table(
+        db, natality.q_race_question(), TWO_ATTRS
+    )
+
+
+class TestBackendCompare:
+    def test_backend_size_sweep(self, benchmark):
+        databases = {n: natality.generate(rows=n, seed=7) for n in SIZES}
+
+        def sweep():
+            rows = []
+            for n, db in databases.items():
+                timings = {}
+                rankings = {}
+                for backend in BACKENDS:
+                    t, m = _timed(lambda b=backend, d=db: _build(d, b))
+                    timings[backend] = t
+                    rankings[backend] = [
+                        r.explanation
+                        for r in top_k_explanations(
+                            m, 5, by="mu_interv", strategy="minimal_append"
+                        )
+                    ]
+                rows.append((n, timings, rankings))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        for backend in BACKENDS:
+            print_series(
+                f"backend sweep: size vs time ({backend})",
+                [(n, t[backend]) for n, t, _ in rows],
+                unit="s",
+            )
+        benchmark.extra_info["rows"] = [
+            (n, timings) for n, timings, _ in rows
+        ]
+        benchmark.extra_info["backends"] = BACKENDS
+        # Parity smoke check: every backend ranks identically.
+        for _, _, rankings in rows:
+            reference = rankings["memory"]
+            for backend in BACKENDS:
+                assert rankings[backend] == reference, backend
+
+    def test_backend_explainer_end_to_end(self, benchmark):
+        db = natality.generate(rows=2_000, seed=7)
+        attrs = natality.default_attributes("race")
+
+        def sweep():
+            timings = {}
+            for backend in BACKENDS:
+                t, _ = _timed(
+                    lambda b=backend: Explainer(
+                        db, natality.q_race_question(), attrs, backend=b
+                    ).top(5)
+                )
+                timings[backend] = t
+            return timings
+
+        timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_series(
+            "backend end-to-end (2k rows, 3 attrs)",
+            sorted(timings.items()),
+            unit="s",
+        )
+        benchmark.extra_info["rows"] = sorted(timings.items())

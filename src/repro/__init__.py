@@ -25,6 +25,13 @@ Quickstart::
         print(ranked.rank, ranked.explanation, ranked.degree)
 """
 
+from .backends import (
+    ExecutionBackend,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from .core import (
     AggregateQuery,
     AtomicPredicate,
@@ -86,6 +93,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AggregateQuery",
+    "ExecutionBackend",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "AtomicPredicate",
     "DegreeEvaluator",
     "Direction",

@@ -1,0 +1,96 @@
+"""Pluggable execution backends for Algorithm 1.
+
+The explanation pipeline can run its cube computation on three
+substrates, selected by name through
+``build_explanation_table(..., backend=...)``, ``Explainer(...,
+backend=...)`` or the CLI ``--backend`` flag:
+
+* ``"memory"`` — the pure-Python engine (the reference);
+* ``"sqlite"`` — stdlib :mod:`sqlite3`, always available;
+* ``"duckdb"`` — optional extra (``pip install repro[duckdb]``).
+
+All backends return the same :class:`~repro.core.cube_algorithm.ExplanationTable`
+layout, so the top-K strategies and rendering are backend-agnostic and
+rankings are identical across backends (the parity test suite under
+``tests/backends/`` enforces this).
+
+Third-party backends subclass :class:`ExecutionBackend` (or
+:class:`~repro.backends.sqlbase.SQLBackend` for DBMS-backed ones) and
+call :func:`register_backend`; see ``docs/backends.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type, Union
+
+from ..errors import ExplanationError
+from .base import ExecutionBackend, MemoryBackend
+from .duckdb_backend import DuckDBBackend
+from .sqlbase import SQLBackend
+from .sqlite_backend import SQLiteBackend
+
+_REGISTRY: Dict[str, Type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: Type[ExecutionBackend]) -> Type[ExecutionBackend]:
+    """Register a backend class under its ``name`` (usable as decorator)."""
+    if not cls.name:
+        raise ExplanationError(
+            f"backend class {cls.__name__} must set a non-empty name"
+        )
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+register_backend(MemoryBackend)
+register_backend(SQLiteBackend)
+register_backend(DuckDBBackend)
+
+
+def backend_names() -> Tuple[str, ...]:
+    """All registered backend names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backends whose dependencies are importable."""
+    return tuple(
+        name for name, cls in _REGISTRY.items() if cls.is_available()
+    )
+
+
+def get_backend(
+    spec: Union[str, ExecutionBackend, Type[ExecutionBackend]]
+) -> ExecutionBackend:
+    """Resolve a backend name, class or instance to a ready instance.
+
+    Raises :class:`~repro.errors.ExplanationError` for unknown names and
+    for backends whose dependencies are missing (with an install hint).
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, ExecutionBackend):
+        return spec()
+    cls = _REGISTRY.get(spec)  # type: ignore[arg-type]
+    if cls is None:
+        raise ExplanationError(
+            f"unknown backend {spec!r}; choose from {backend_names()}"
+        )
+    if not cls.is_available():
+        raise ExplanationError(
+            f"backend {spec!r} is not available: {cls.unavailable_reason()}"
+        )
+    return cls()
+
+
+__all__ = [
+    "DuckDBBackend",
+    "ExecutionBackend",
+    "MemoryBackend",
+    "SQLBackend",
+    "SQLiteBackend",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,107 @@
+"""The :class:`ExecutionBackend` contract and the in-memory reference.
+
+A backend is an execution substrate for Algorithm 1: given a database,
+a user question and the relevant attributes, it produces the
+materialized explanation table *M* as an
+:class:`~repro.core.cube_algorithm.ExplanationTable`.  Everything
+downstream — the top-K strategies, minimality post-processing,
+``render_ranking`` — consumes that table and is backend-agnostic.
+
+Two families exist:
+
+* :class:`MemoryBackend` — the pure-Python engine path of
+  :func:`repro.core.cube_algorithm.build_explanation_table` (the
+  reference implementation every other backend is tested against);
+* :class:`~repro.backends.sqlbase.SQLBackend` subclasses — push the
+  cube computation, the NULL→dummy rewrite and the m-way join into a
+  real DBMS, as the paper's SQL Server prototype does (Section 4).
+
+Backends are stateless service objects: one instance can serve many
+``build_explanation_table`` calls, each on a fresh DBMS connection.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, ClassVar, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.cube_algorithm import ExplanationTable
+    from ..core.question import UserQuestion
+    from ..engine.database import Database
+    from ..engine.table import Table
+
+
+class ExecutionBackend(abc.ABC):
+    """Abstract execution substrate for Algorithm 1.
+
+    Subclasses set :attr:`name` (the registry key used by
+    ``Explainer(backend=...)`` and the CLI ``--backend`` flag) and
+    implement :meth:`build_explanation_table`.  Backends whose
+    dependencies may be missing override :meth:`is_available` and
+    :meth:`unavailable_reason` so callers can degrade gracefully.
+    """
+
+    #: Registry key, e.g. ``"sqlite"``.
+    name: ClassVar[str] = ""
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """True iff this backend can run in the current environment."""
+        return True
+
+    @classmethod
+    def unavailable_reason(cls) -> str:
+        """Human-readable hint shown when the backend is unavailable."""
+        return f"backend {cls.name!r} is unavailable"
+
+    @abc.abstractmethod
+    def build_explanation_table(
+        self,
+        database: "Database",
+        question: "UserQuestion",
+        attributes: Sequence[str],
+        *,
+        universal: Optional["Table"] = None,
+        check_additivity: bool = True,
+        support_threshold: Optional[float] = None,
+    ) -> "ExplanationTable":
+        """Run Algorithm 1 and return the explanation table *M*.
+
+        Must match the in-memory reference: same columns (attributes,
+        ``v_<name>`` per aggregate, ``mu_interv``, ``mu_aggr``), DUMMY
+        marking don't-care attribute positions, and μ values computed
+        with the engine's arithmetic conventions.  Row order is
+        unconstrained (the top-K strategies are order-independent).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class MemoryBackend(ExecutionBackend):
+    """The pure-Python engine path — the reference implementation."""
+
+    name: ClassVar[str] = "memory"
+
+    def build_explanation_table(
+        self,
+        database: "Database",
+        question: "UserQuestion",
+        attributes: Sequence[str],
+        *,
+        universal: Optional["Table"] = None,
+        check_additivity: bool = True,
+        support_threshold: Optional[float] = None,
+    ) -> "ExplanationTable":
+        from ..core.cube_algorithm import build_explanation_table
+
+        return build_explanation_table(
+            database,
+            question,
+            attributes,
+            universal=universal,
+            check_additivity=check_additivity,
+            support_threshold=support_threshold,
+            backend="memory",
+        )

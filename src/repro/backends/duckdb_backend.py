@@ -1,0 +1,150 @@
+"""Algorithm 1 on DuckDB — optional extra (``pip install repro[duckdb]``).
+
+DuckDB speaks ``GROUP BY GROUPING SETS`` natively, so the cube is a
+single grouped query per aggregate rather than SQLite's ``UNION ALL``
+expansion.  Its columns are strictly typed, which rules out the paper's
+string-dummy UPDATE (a ``'__DUMMY__'`` cannot be written into a BIGINT
+grouping column); instead the don't-care marker stays NULL in-database,
+the cube join uses the null-safe ``IS NOT DISTINCT FROM``, and NULL
+keys are mapped to the engine's ``DUMMY`` singleton at marshal time.
+The two formulations are equivalent because the backend (like the
+engine cube) rejects NULL *data* in grouping columns up front.
+
+The module imports :mod:`duckdb` lazily so the rest of the package —
+and the backend registry — works when the extra is not installed;
+:meth:`DuckDBBackend.is_available` reports the situation and
+:func:`repro.backends.get_backend` raises a helpful error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Optional, Sequence, Tuple
+
+from ..engine.cube import grouping_sets
+from ..engine.types import Value, is_null
+from ..errors import ExplanationError, QueryError
+from .sqlbase import DUMMY, UNIVERSAL_VIEW, SQLBackend, qid
+
+_DTYPE_SQL = {
+    "int": "BIGINT",
+    "float": "DOUBLE",
+    "str": "VARCHAR",
+    "bool": "BOOLEAN",
+}
+
+
+def _import_duckdb():
+    try:
+        import duckdb
+    except ImportError:
+        return None
+    return duckdb
+
+
+class DuckDBBackend(SQLBackend):
+    """Execute Algorithm 1 inside an in-memory DuckDB database."""
+
+    name: ClassVar[str] = "duckdb"
+    dialect = "duckdb"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return _import_duckdb() is not None
+
+    @classmethod
+    def unavailable_reason(cls) -> str:
+        return (
+            "the duckdb package is not installed; "
+            "install the optional extra: pip install repro[duckdb]"
+        )
+
+    def _connect(self) -> Any:
+        duckdb = _import_duckdb()
+        if duckdb is None:
+            raise ExplanationError(self.unavailable_reason())
+        return duckdb.connect(":memory:")
+
+    def _column_type(
+        self, dtype: str, rows: Sequence[Tuple[Value, ...]], position: int
+    ) -> str:
+        """DuckDB columns are strictly typed; infer ``any`` from data."""
+        if dtype != "any":
+            return _DTYPE_SQL[dtype]
+        kinds = set()
+        for row in rows:
+            value = row[position]
+            if is_null(value):
+                continue
+            if isinstance(value, bool):
+                kinds.add("bool")
+            elif isinstance(value, int):
+                kinds.add("int")
+            elif isinstance(value, float):
+                kinds.add("float")
+            elif isinstance(value, str):
+                kinds.add("str")
+            else:
+                raise QueryError(
+                    f"cannot map value {value!r} to a DuckDB column type"
+                )
+        if not kinds:
+            return "VARCHAR"
+        if kinds == {"bool"}:
+            return "BOOLEAN"
+        if kinds == {"int"}:
+            return "BIGINT"
+        if kinds <= {"int", "float"}:
+            return "DOUBLE"
+        if kinds == {"str"}:
+            return "VARCHAR"
+        raise QueryError(
+            f"column mixes incompatible value types {sorted(kinds)}; "
+            "DuckDB columns are strictly typed — declare an explicit "
+            "dtype or clean the data"
+        )
+
+    def _cube_sql(
+        self,
+        attributes: Sequence[str],
+        aliases: Sequence[str],
+        aggregate: str,
+        value_column: str,
+        where_sql: Optional[str],
+    ) -> str:
+        cols = ", ".join(
+            f"{qid(attr)} AS {qid(alias)}"
+            for attr, alias in zip(attributes, aliases)
+        )
+        sets = ", ".join(
+            "(" + ", ".join(qid(attr) for attr in kept) + ")"
+            for kept in grouping_sets(attributes)
+        )
+        lines = [
+            f"SELECT {cols}, {aggregate} AS {qid(value_column)}",
+            f"FROM {qid(UNIVERSAL_VIEW)}",
+        ]
+        if where_sql:
+            lines.append(f"WHERE {where_sql}")
+        lines.append(f"GROUP BY GROUPING SETS ({sets})")
+        return "\n".join(lines)
+
+    # No _rewrite_dummies: the don't-care marker stays NULL in-database.
+
+    def _key_eq(self, left: str, right: str) -> str:
+        return f"{left} IS NOT DISTINCT FROM {right}"
+
+    def _key_to_engine(self, value: Any) -> Value:
+        return DUMMY if value is None else value
+
+    def _value_to_engine(self, value: Any) -> Value:
+        if value is None:
+            return super()._value_to_engine(value)
+        # DuckDB surfaces SUM(BIGINT) as Decimal in some versions;
+        # normalize numerics to the engine's int/float domain.
+        if type(value) not in (int, float, str, bool):
+            from decimal import Decimal
+
+            if isinstance(value, Decimal):
+                as_int = int(value)
+                return as_int if value == as_int else float(value)
+        return value

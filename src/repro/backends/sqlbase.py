@@ -1,0 +1,345 @@
+"""Shared machinery for DBMS-backed Algorithm 1 (:class:`SQLBackend`).
+
+This is the paper's Section 4 claim made literal: "the entire
+computation can be pushed inside the database engine".  A
+:class:`SQLBackend` runs one :meth:`build_explanation_table` call as a
+single in-database script against a fresh connection:
+
+1. load every relation of the engine :class:`~repro.engine.database.Database`
+   into a DBMS table (engine ``NULL`` → SQL ``NULL``);
+2. create the universal-relation view ``__U`` joining all relations
+   along the foreign-key join tree, with qualified column names
+   (``"Author.name"``) matching the engine's universal table;
+3. evaluate every ``u_j = q_j(D)`` as a scalar SELECT over ``__U``;
+4. materialize one cube table ``__C_<name>`` per aggregate query — the
+   dialect decides how (``GROUPING SETS`` on DuckDB, a ``UNION ALL``
+   expansion on SQLite) — and optionally perform the paper's
+   NULL→dummy UPDATE rewrite;
+5. build the driver table ``__K`` (the UNION of all cube keys) and
+   LEFT JOIN every cube back onto it — equivalent to the paper's m-way
+   full outer join but without nested COALESCE key chains;
+6. marshal the result rows back into an engine
+   :class:`~repro.engine.table.Table` (SQL ``NULL`` value → engine
+   ``NULL``, don't-care key → ``DUMMY``) and delegate the μ columns and
+   support filtering to
+   :func:`repro.core.cube_algorithm.finalize_explanation_table`, so the
+   degree arithmetic is bit-identical to the in-memory path.
+
+Dialect differences are isolated in five template methods
+(:meth:`SQLBackend._connect`, :meth:`~SQLBackend._column_type`,
+:meth:`~SQLBackend._cube_sql`, :meth:`~SQLBackend._rewrite_dummies`,
+:meth:`~SQLBackend._key_eq` / :meth:`~SQLBackend._key_to_engine`); a
+new DBMS backend only needs those.  See ``docs/backends.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.cube_algorithm import ExplanationTable, finalize_explanation_table
+from ..core.numquery import AggregateQuery
+from ..core.question import UserQuestion
+from ..core.sqlgen import aggregate_sql, sql_expression
+from ..core.additivity import analyze_additivity
+from ..engine.database import Database
+from ..engine.schema import DatabaseSchema
+from ..engine.table import Table
+from ..engine.types import DUMMY, NULL, Value, is_null
+from ..engine.universal import JoinTree, universal_table
+from ..errors import QueryError
+from .base import ExecutionBackend
+
+#: The string constant standing in for the engine's DUMMY singleton
+#: inside dynamically-typed DBMS columns (the paper's dummy value).
+DUMMY_TEXT = "__DUMMY__"
+
+#: In-database object names used by the script.  They are illegal as
+#: paper schema content only by convention, so collisions are checked.
+UNIVERSAL_VIEW = "__U"
+KEYS_TABLE = "__K"
+CUBE_PREFIX = "__C_"
+
+
+def qid(name: str) -> str:
+    """Quote *name* as a SQL identifier (handles dots and quotes)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _attribute_aliases(
+    attributes: Sequence[str], reserved: Sequence[str]
+) -> List[str]:
+    """Legal, unique column aliases for qualified attribute names.
+
+    ``Author.name`` → ``Author_name``; collisions with *reserved* names
+    (the ``v_<name>`` value columns) or with each other get a numeric
+    suffix.
+    """
+    aliases: List[str] = []
+    used = set(reserved)
+    for attr in attributes:
+        base = attr.replace(".", "_")
+        alias, i = base, 2
+        while alias in used:
+            alias = f"{base}_{i}"
+            i += 1
+        used.add(alias)
+        aliases.append(alias)
+    return aliases
+
+
+class SQLBackend(ExecutionBackend):
+    """Template-method base for backends that execute in a real DBMS."""
+
+    #: The :mod:`repro.core.sqlgen` dialect used for expression rendering.
+    dialect: str = "sqlite"
+
+    # -- dialect template methods --------------------------------------
+
+    def _connect(self) -> Any:
+        """Open a fresh in-memory DBMS connection."""
+        raise NotImplementedError
+
+    def _column_type(
+        self, dtype: str, rows: Sequence[Tuple[Value, ...]], position: int
+    ) -> str:
+        """SQL column type for one attribute ('' = untyped/dynamic)."""
+        return ""
+
+    def _cube_sql(
+        self,
+        attributes: Sequence[str],
+        aliases: Sequence[str],
+        aggregate: str,
+        value_column: str,
+        where_sql: Optional[str],
+    ) -> str:
+        """The SELECT computing one aggregate's cube over ``__U``."""
+        raise NotImplementedError
+
+    def _rewrite_dummies(
+        self, con: Any, table: str, aliases: Sequence[str]
+    ) -> None:
+        """Post-process a cube table (the NULL→dummy UPDATE, if any)."""
+
+    def _key_eq(self, left: str, right: str) -> str:
+        """The join condition between two cube key columns."""
+        return f"{left} = {right}"
+
+    def _key_to_engine(self, value: Any) -> Value:
+        """Map one SQL key value back to the engine domain."""
+        if value is None or value == DUMMY_TEXT:
+            return DUMMY
+        return value
+
+    # -- shared plumbing ------------------------------------------------
+
+    def _execute(self, con: Any, sql: str) -> None:
+        con.execute(sql)
+
+    def _fetchall(self, con: Any, sql: str) -> List[Tuple[Any, ...]]:
+        return con.execute(sql).fetchall()
+
+    def _value_to_engine(self, value: Any) -> Value:
+        return NULL if value is None else value
+
+    def _load_database(self, con: Any, database: Database) -> None:
+        """CREATE + INSERT every relation (engine NULL → SQL NULL)."""
+        for name in database.relation_names:
+            rs = database.schema.relation(name)
+            rows = database.relation(name).sorted_rows()
+            defs = []
+            for i, attribute in enumerate(rs.attributes):
+                col_type = self._column_type(attribute.dtype, rows, i)
+                defs.append(f"{qid(attribute.name)} {col_type}".rstrip())
+            self._execute(
+                con, f"CREATE TABLE {qid(name)} ({', '.join(defs)})"
+            )
+            if rows:
+                marks = ", ".join("?" for _ in rs.attributes)
+                con.executemany(
+                    f"INSERT INTO {qid(name)} VALUES ({marks})",
+                    [
+                        tuple(None if is_null(v) else v for v in row)
+                        for row in rows
+                    ],
+                )
+
+    def _create_universal_view(self, con: Any, schema: DatabaseSchema) -> None:
+        """``__U``: all relations joined along the FK tree, columns
+        qualified exactly like the engine's universal table."""
+        tree = JoinTree(schema)
+        select_parts: List[str] = []
+        from_lines: List[str] = []
+        for name, fk in tree.traversal_order:
+            for attr in schema.relation(name).attribute_names:
+                select_parts.append(
+                    f"{qid(name)}.{qid(attr)} AS {qid(f'{name}.{attr}')}"
+                )
+            if fk is None:
+                from_lines.append(f"FROM {qid(name)}")
+                continue
+            other = fk.target if fk.source == name else fk.source
+            if name == fk.source:
+                pairs = [
+                    (name, s, other, t)
+                    for s, t in zip(fk.source_attrs, fk.target_attrs)
+                ]
+            else:
+                pairs = [
+                    (other, s, name, t)
+                    for s, t in zip(fk.source_attrs, fk.target_attrs)
+                ]
+            conditions = " AND ".join(
+                f"{qid(a)}.{qid(b)} = {qid(c)}.{qid(d)}" for a, b, c, d in pairs
+            )
+            from_lines.append(f"JOIN {qid(name)} ON {conditions}")
+        self._execute(
+            con,
+            f"CREATE VIEW {qid(UNIVERSAL_VIEW)} AS\n"
+            f"SELECT {', '.join(select_parts)}\n" + "\n".join(from_lines),
+        )
+
+    def _check_dimension_values(
+        self, con: Any, attributes: Sequence[str]
+    ) -> None:
+        """Mirror the engine cube's NULL-dimension rejection."""
+        for attr in attributes:
+            hit = self._fetchall(
+                con,
+                f"SELECT 1 FROM {qid(UNIVERSAL_VIEW)} "
+                f"WHERE {qid(attr)} IS NULL LIMIT 1",
+            )
+            if hit:
+                raise QueryError(
+                    f"cube dimension {attr!r} contains NULL; NULL grouping "
+                    "values are ambiguous with the cube's don't-care marker"
+                )
+
+    def _scalar_aggregate(self, con: Any, q: AggregateQuery) -> Value:
+        """One ``u_j = q_j(D)`` as a scalar SELECT over ``__U``."""
+        select = aggregate_sql(q.aggregate, render_col=qid)
+        sql = f"SELECT {select} FROM {qid(UNIVERSAL_VIEW)}"
+        if q.where is not None:
+            sql += f" WHERE {sql_expression(q.where, self.dialect, render_col=qid)}"
+        return self._value_to_engine(self._fetchall(con, sql)[0][0])
+
+    # -- the algorithm --------------------------------------------------
+
+    def build_explanation_table(
+        self,
+        database: Database,
+        question: UserQuestion,
+        attributes: Sequence[str],
+        *,
+        universal: Optional[Table] = None,
+        check_additivity: bool = True,
+        support_threshold: Optional[float] = None,
+    ) -> ExplanationTable:
+        attributes = list(attributes)
+        schema = database.schema
+        for attr in attributes:
+            if "." not in attr:
+                raise QueryError(
+                    f"attribute {attr!r} must be a qualified universal "
+                    "column (Relation.attr)"
+                )
+            schema.qualified(attr)  # raises SchemaError on unknown names
+        query = question.query
+        if check_additivity:
+            u = universal if universal is not None else universal_table(database)
+            analyze_additivity(
+                database, query, universal=u
+            ).raise_if_not_additive()
+
+        cube_names = {q.name: f"{CUBE_PREFIX}{q.name}" for q in query.aggregates}
+        reserved = {UNIVERSAL_VIEW, KEYS_TABLE, *cube_names.values()}
+        clash = reserved & set(schema.relation_names)
+        if clash:
+            raise QueryError(
+                f"relation names {sorted(clash)} collide with the SQL "
+                "backend's internal object names"
+            )
+        value_columns = [f"v_{q.name}" for q in query.aggregates]
+        aliases = _attribute_aliases(attributes, value_columns)
+
+        con = self._connect()
+        try:
+            self._load_database(con, database)
+            self._create_universal_view(con, schema)
+            self._check_dimension_values(con, attributes)
+
+            # Step 1: the original aggregate values u_j.
+            q_original: Dict[str, Value] = {
+                q.name: self._scalar_aggregate(con, q)
+                for q in query.aggregates
+            }
+
+            # Step 2 (+2b): one cube table per aggregate, dummy-rewritten
+            # where the dialect supports it.
+            for q, value_column in zip(query.aggregates, value_columns):
+                select = aggregate_sql(q.aggregate, render_col=qid)
+                where_sql = (
+                    sql_expression(q.where, self.dialect, render_col=qid)
+                    if q.where is not None
+                    else None
+                )
+                body = self._cube_sql(
+                    attributes, aliases, select, value_column, where_sql
+                )
+                self._execute(
+                    con,
+                    f"CREATE TABLE {qid(cube_names[q.name])} AS\n{body}",
+                )
+                self._rewrite_dummies(con, cube_names[q.name], aliases)
+
+            # Step 3: combine the cubes.  The UNION of all cube keys is
+            # the set of candidate explanations; LEFT JOINing each cube
+            # onto it is the m-way full outer join without COALESCE
+            # chains (absent combinations stay NULL and get the
+            # aggregate defaults in finalize_explanation_table).
+            key_list = ", ".join(qid(a) for a in aliases)
+            keys_union = "\nUNION\n".join(
+                f"SELECT {key_list} FROM {qid(name)}"
+                for name in cube_names.values()
+            )
+            self._execute(
+                con, f"CREATE TABLE {qid(KEYS_TABLE)} AS\n{keys_union}"
+            )
+            select_parts = [f"{qid(KEYS_TABLE)}.{qid(a)}" for a in aliases]
+            select_parts += [
+                f"{qid(cube_names[q.name])}.{qid(vc)}"
+                for q, vc in zip(query.aggregates, value_columns)
+            ]
+            join_lines = []
+            for name in cube_names.values():
+                conditions = " AND ".join(
+                    self._key_eq(
+                        f"{qid(KEYS_TABLE)}.{qid(a)}", f"{qid(name)}.{qid(a)}"
+                    )
+                    for a in aliases
+                )
+                join_lines.append(f"LEFT JOIN {qid(name)} ON {conditions}")
+            rows = self._fetchall(
+                con,
+                f"SELECT {', '.join(select_parts)}\n"
+                f"FROM {qid(KEYS_TABLE)}\n" + "\n".join(join_lines),
+            )
+        finally:
+            con.close()
+
+        # Step 3b/4 run in Python on the marshalled rows so the μ
+        # arithmetic matches the in-memory reference exactly.
+        n = len(attributes)
+        marshalled = [
+            tuple(self._key_to_engine(v) for v in row[:n])
+            + tuple(self._value_to_engine(v) for v in row[n:])
+            for row in rows
+        ]
+        joined = Table(list(attributes) + value_columns, marshalled)
+        return finalize_explanation_table(
+            joined,
+            question,
+            attributes,
+            q_original,
+            support_threshold=support_threshold,
+        )

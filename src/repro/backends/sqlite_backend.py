@@ -1,0 +1,112 @@
+"""Algorithm 1 on SQLite — always available (stdlib :mod:`sqlite3`).
+
+SQLite is dynamically typed, which makes it the most faithful host for
+the paper's script: the NULL→dummy rewrite really is an ``UPDATE``
+writing the string dummy constant into the grouping columns, exactly as
+the SQL Server prototype does (Section 4.2), and the cube joins are
+plain equality.  SQLite has neither ``WITH CUBE`` nor ``GROUPING
+SETS``, so the cube is expanded into a ``UNION ALL`` over all 2^d
+grouping sets (d is small — the paper's relevant attribute sets have a
+handful of attributes).
+
+Because the dummy constant lives in the data domain, a *data* value
+equal to ``'__DUMMY__'`` would be ambiguous; like the engine's
+NULL-dimension check, the backend rejects it explicitly rather than
+silently merging explanations.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+from typing import Any, ClassVar, List, Optional, Sequence
+
+from ..engine.cube import grouping_sets
+from ..errors import QueryError
+from .sqlbase import DUMMY_TEXT, UNIVERSAL_VIEW, SQLBackend, qid
+
+
+def _sql_ln(value: Optional[float]) -> Optional[float]:
+    if value is None or value <= 0:
+        return None
+    return math.log(value)
+
+
+def _sql_exp(value: Optional[float]) -> Optional[float]:
+    if value is None:
+        return None
+    return math.exp(value)
+
+
+class SQLiteBackend(SQLBackend):
+    """Execute Algorithm 1 inside an in-memory SQLite database."""
+
+    name: ClassVar[str] = "sqlite"
+    dialect = "sqlite"
+
+    def _connect(self) -> sqlite3.Connection:
+        con = sqlite3.connect(":memory:")
+        # Predicate/expression rendering may emit LN/EXP; older SQLite
+        # builds lack the math functions, so provide them always.
+        con.create_function("LN", 1, _sql_ln, deterministic=True)
+        con.create_function("EXP", 1, _sql_exp, deterministic=True)
+        return con
+
+    def _cube_sql(
+        self,
+        attributes: Sequence[str],
+        aliases: Sequence[str],
+        aggregate: str,
+        value_column: str,
+        where_sql: Optional[str],
+    ) -> str:
+        arms: List[str] = []
+        for kept in grouping_sets(attributes):
+            kept_set = set(kept)
+            cols = ", ".join(
+                f"{qid(attr)} AS {qid(alias)}"
+                if attr in kept_set
+                else f"NULL AS {qid(alias)}"
+                for attr, alias in zip(attributes, aliases)
+            )
+            lines = [
+                f"SELECT {cols}, {aggregate} AS {qid(value_column)}",
+                f"FROM {qid(UNIVERSAL_VIEW)}",
+            ]
+            if where_sql:
+                lines.append(f"WHERE {where_sql}")
+            if kept:
+                lines.append(
+                    "GROUP BY " + ", ".join(qid(attr) for attr in kept)
+                )
+            arms.append("\n".join(lines))
+        return "\nUNION ALL\n".join(arms)
+
+    def _rewrite_dummies(
+        self, con: Any, table: str, aliases: Sequence[str]
+    ) -> None:
+        # The paper's Section 4.2 rewrite, verbatim: replace the cube's
+        # NULL don't-care markers with the dummy constant so the m-way
+        # join can use plain (NULL-blind) equality.
+        for alias in aliases:
+            con.execute(
+                f"UPDATE {qid(table)} SET {qid(alias)} = '{DUMMY_TEXT}' "
+                f"WHERE {qid(alias)} IS NULL"
+            )
+
+    def _check_dimension_values(
+        self, con: Any, attributes: Sequence[str]
+    ) -> None:
+        super()._check_dimension_values(con, attributes)
+        for attr in attributes:
+            hit = self._fetchall(
+                con,
+                f"SELECT 1 FROM {qid(UNIVERSAL_VIEW)} "
+                f"WHERE {qid(attr)} = '{DUMMY_TEXT}' LIMIT 1",
+            )
+            if hit:
+                raise QueryError(
+                    f"cube dimension {attr!r} contains the literal "
+                    f"{DUMMY_TEXT!r} string, which is reserved as the "
+                    "dummy constant of the SQLite backend"
+                )

@@ -50,7 +50,8 @@ from .core import (
     ratio_query,
     render_ranking,
 )
-from .core.sqlgen import algorithm1_script, program_p_datalog
+from .backends import backend_names
+from .core.sqlgen import DIALECTS, algorithm1_script, program_p_datalog
 from .datasets import dblp, geodblp, natality, running_example
 from .engine import Col, Comparison, Const, conj, count_star
 from .engine.csvio import load_table
@@ -93,7 +94,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
         args.dataset, args.rows, args.scale, args.seed
     )
     print(f"dataset: {db}")
-    explainer = Explainer(db, question, attributes)
+    explainer = Explainer(db, question, attributes, backend=args.backend)
     print(f"Q(D) = {explainer.original_value()}")
     ranking = explainer.top(args.top, by=args.by, strategy=args.strategy)
     print(render_ranking(ranking))
@@ -150,7 +151,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
     question = UserQuestion(query, Direction.parse(args.dir))
     attributes = [f"T.{a.strip()}" for a in args.attributes.split(",")]
     explainer = Explainer(
-        db, question, attributes, support_threshold=args.support
+        db, question, attributes,
+        support_threshold=args.support, backend=args.backend,
     )
     print(f"rows: {len(table)}   Q(D) = {explainer.original_value():.4f}")
     print(render_ranking(explainer.top(args.top, strategy=args.strategy)))
@@ -185,11 +187,18 @@ def cmd_ask(args: argparse.Namespace) -> int:
         db, _, _ = _demo_setup(args.dataset, args.rows, args.scale, args.seed)
     question = parse_question(args.dir, args.expr, args.agg)
     attributes = [a.strip() for a in args.attributes.split(",")]
-    explainer = Explainer(db, question, attributes, support_threshold=args.support)
+    explainer = Explainer(
+        db, question, attributes,
+        support_threshold=args.support, backend=args.backend,
+    )
     print(f"Q(D) = {explainer.original_value()}")
     report = explainer.additivity_report()
     print(report.explain())
-    method = args.method or ("cube" if report.additive else "indexed")
+    if args.backend != "memory":
+        # SQL backends implement only Algorithm 1 ("cube").
+        method = args.method or "cube"
+    else:
+        method = args.method or ("cube" if report.additive else "indexed")
     print(f"method: {method}")
     print(render_ranking(explainer.top(args.top, method=method)))
     return 0
@@ -228,7 +237,7 @@ def cmd_sql(args: argparse.Namespace) -> int:
     if args.datalog:
         print(program_p_datalog(db.schema))
     else:
-        print(algorithm1_script(db.schema, question, attributes))
+        print(algorithm1_script(db.schema, question, attributes, args.dialect))
     return 0
 
 
@@ -247,6 +256,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic DBLP/Geo-DBLP scale (default 1.0)")
         p.add_argument("--seed", type=int, default=2014)
 
+    def add_backend(p):
+        p.add_argument(
+            "--backend",
+            choices=backend_names(),
+            default="memory",
+            help="execution substrate for Algorithm 1 (default: memory)",
+        )
+
     demo = sub.add_parser("demo", help="run a built-in experiment")
     demo.add_argument("dataset", choices=DEMOS)
     demo.add_argument("--top", type=int, default=5)
@@ -258,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="minimal_append",
     )
     add_common(demo)
+    add_backend(demo)
     demo.set_defaults(func=cmd_demo)
 
     interv = sub.add_parser("intervene", help="compute Δ^φ for a predicate")
@@ -284,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("no_minimal", "minimal_self_join", "minimal_append"),
         default="minimal_append",
     )
+    add_backend(explain)
     explain.set_defaults(func=cmd_explain)
 
     check = sub.add_parser(
@@ -316,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("cube", "naive", "exact", "indexed"), default=None
     )
     add_common(ask)
+    add_backend(ask)
     ask.set_defaults(func=cmd_ask)
 
     report = sub.add_parser(
@@ -339,6 +359,8 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("dataset", choices=DEMOS)
     sql.add_argument("--datalog", action="store_true",
                      help="print program P as datalog instead of SQL")
+    sql.add_argument("--dialect", choices=DIALECTS, default="sqlserver",
+                     help="SQL dialect for the Algorithm 1 script")
     sql.set_defaults(func=cmd_sql)
     return parser
 

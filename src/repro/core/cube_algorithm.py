@@ -92,6 +92,7 @@ def build_explanation_table(
     support_threshold: Optional[float] = None,
     brute_force_cube: bool = False,
     use_fastpath: bool = True,
+    backend: object = "memory",
 ) -> ExplanationTable:
     """Run Algorithm 1 and return the materialized table *M*.
 
@@ -104,7 +105,27 @@ def build_explanation_table(
     cube implementation (the ablation/verification variant).
     ``use_fastpath`` (default) vectorizes count cubes with numpy —
     bit-identical output, much faster at the paper's data scales.
+
+    ``backend`` selects the execution substrate: ``"memory"`` (this
+    module's native path), ``"sqlite"`` / ``"duckdb"`` (push the whole
+    algorithm into a real DBMS — see :mod:`repro.backends`), or any
+    :class:`~repro.backends.ExecutionBackend` instance.  The ablation
+    knobs (``use_dummy_rewrite``, ``brute_force_cube``,
+    ``use_fastpath``) only apply to the in-memory path.
     """
+    if backend != "memory":
+        from ..backends import MemoryBackend, get_backend
+
+        impl = get_backend(backend)
+        if not isinstance(impl, MemoryBackend):
+            return impl.build_explanation_table(
+                database,
+                question,
+                attributes,
+                universal=universal,
+                check_additivity=check_additivity,
+                support_threshold=support_threshold,
+            )
     query = question.query
     u = universal if universal is not None else universal_table(database)
     for attr in attributes:
@@ -142,6 +163,38 @@ def build_explanation_table(
         joined = full_outer_join_many(cubes, attributes, fill=NULL)
     else:
         joined = _null_aware_outer_join(cubes, list(attributes))
+
+    # Steps 3b/4: fill defaults, μ columns, support filter.
+    return finalize_explanation_table(
+        joined,
+        question,
+        attributes,
+        q_original,
+        support_threshold=support_threshold,
+    )
+
+
+def finalize_explanation_table(
+    joined: Table,
+    question: UserQuestion,
+    attributes: Sequence[str],
+    q_original: Dict[str, Value],
+    *,
+    support_threshold: Optional[float] = None,
+) -> ExplanationTable:
+    """Steps 3b–4 of Algorithm 1: defaults, μ columns, support filter.
+
+    *joined* is the m-way combination of the per-aggregate cubes: the
+    explanation attributes (DUMMY marking "don't care") plus one
+    ``v_<name>`` column per aggregate, with NULL where an explanation
+    was missing from a cube.  Shared by the in-memory path above and
+    the SQL execution backends (:mod:`repro.backends`), which marshal
+    their in-database join result into *joined* and delegate here so
+    the degree arithmetic — including the ±∞ division conventions of
+    the engine expression evaluator — is identical across backends.
+    """
+    query = question.query
+    value_columns = [f"v_{q.name}" for q in query.aggregates]
     joined = _fill_missing_values(joined, query, value_columns)
 
     # Step 4: μ columns.

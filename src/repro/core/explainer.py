@@ -66,6 +66,13 @@ class Explainer:
     support_threshold:
         If set, drop explanations where no aggregate reaches it
         (Section 5.1.1 uses 1000).
+    backend:
+        Execution substrate for the ``"cube"`` method: ``"memory"``
+        (default), ``"sqlite"``, ``"duckdb"``, or an
+        :class:`~repro.backends.ExecutionBackend` instance.  The SQL
+        backends run Algorithm 1 inside a real DBMS and produce the
+        same rankings as the in-memory engine; the other methods
+        (``naive``/``exact``/``indexed``) are memory-only.
     """
 
     def __init__(
@@ -75,6 +82,7 @@ class Explainer:
         attributes: Sequence[str],
         *,
         support_threshold: Optional[float] = None,
+        backend: object = "memory",
     ) -> None:
         if not attributes:
             raise ExplanationError("Explainer needs at least one attribute")
@@ -82,6 +90,7 @@ class Explainer:
         self.question = question
         self.attributes = tuple(attributes)
         self.support_threshold = support_threshold
+        self.backend = backend
         self.join_tree = JoinTree(database.schema)
         self.universal = universal_table(database, self.join_tree)
         for attr in self.attributes:
@@ -110,6 +119,11 @@ class Explainer:
             raise ExplanationError(
                 f"unknown method {method!r}; choose from {METHODS}"
             )
+        if method != "cube" and self.backend != "memory":
+            raise ExplanationError(
+                f"method {method!r} runs only on the in-memory engine; "
+                f"SQL backends implement the 'cube' method"
+            )
         cache_key = method if not kwargs else None
         if cache_key and cache_key in self._tables:
             return self._tables[cache_key]
@@ -120,6 +134,7 @@ class Explainer:
                 self.attributes,
                 universal=self.universal,
                 support_threshold=self.support_threshold,
+                backend=self.backend,
                 **kwargs,
             )
         elif method == "naive":

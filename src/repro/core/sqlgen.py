@@ -12,14 +12,30 @@ debugging, and porting to a real DBMS this module renders:
   UPDATEs, the m-way full outer join, and the μ columns;
 * program **P** as the datalog program of Proposition 3.2.
 
-All output is plain text, deterministic, and tested against golden
-fragments.
+Every rendering function takes a ``dialect``:
+
+* ``"sqlserver"`` (default) — the paper's prototype dialect, with
+  ``GROUP BY … WITH CUBE``;
+* ``"sqlite"`` — executable SQL: the cube becomes a ``UNION ALL`` over
+  all 2^d grouping sets (SQLite has no CUBE/GROUPING SETS), and the
+  full outer join requires SQLite ≥ 3.39;
+* ``"duckdb"`` — executable SQL: the cube becomes ``GROUP BY GROUPING
+  SETS``, and the join uses ``IS NOT DISTINCT FROM`` instead of the
+  dummy-constant UPDATEs (DuckDB columns are strictly typed, so a
+  string dummy cannot be written into a numeric grouping column).
+
+The SQL Server output is tested against golden fragments; the SQLite
+output is tested by *executing* it against an in-memory database (see
+``tests/core/test_sqlgen.py``).  :mod:`repro.backends` builds on these
+primitives to run Algorithm 1 inside a real DBMS.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..engine.aggregates import AggregateSpec
+from ..engine.cube import grouping_sets
 from ..engine.expressions import (
     And,
     Arithmetic,
@@ -41,6 +57,15 @@ from .question import UserQuestion
 
 DUMMY_SQL = "'__DUMMY__'"
 
+DIALECTS = ("sqlserver", "sqlite", "duckdb")
+
+
+def _check_dialect(dialect: str) -> None:
+    if dialect not in DIALECTS:
+        raise QueryError(
+            f"unknown SQL dialect {dialect!r}; choose from {DIALECTS}"
+        )
+
 
 def sql_literal(value: Value) -> str:
     """Render a Python value as a SQL literal."""
@@ -54,35 +79,72 @@ def sql_literal(value: Value) -> str:
     return f"'{escaped}'"
 
 
-def sql_expression(expr: Expression) -> str:
-    """Render an engine expression as SQL text."""
-    if isinstance(expr, Const):
-        return sql_literal(expr.value)
-    if isinstance(expr, Col):
-        return expr.name
-    if isinstance(expr, Arithmetic):
-        return (
-            f"({sql_expression(expr.left)} {expr.op} "
-            f"{sql_expression(expr.right)})"
+def sql_expression(
+    expr: Expression,
+    dialect: str = "sqlserver",
+    render_col: Optional[Callable[[str], str]] = None,
+) -> str:
+    """Render an engine expression as SQL text.
+
+    ``render_col`` customizes column-reference rendering (the backends
+    quote universal-view columns, whose names contain dots); the
+    default renders bare names, which parse as ``table.attr``
+    references over the base-table join of
+    :func:`universal_from_clause`.
+    """
+    _check_dialect(dialect)
+    col = render_col if render_col is not None else (lambda name: name)
+
+    def render(expr: Expression) -> str:
+        if isinstance(expr, Const):
+            return sql_literal(expr.value)
+        if isinstance(expr, Col):
+            return col(expr.name)
+        if isinstance(expr, Arithmetic):
+            return f"({render(expr.left)} {expr.op} {render(expr.right)})"
+        if isinstance(expr, Unary):
+            if expr.op == "neg":
+                return f"(-{render(expr.operand)})"
+            name = expr.op.upper()
+            if expr.op == "log" and dialect in ("sqlite", "duckdb"):
+                # LOG is base-10 in both dialects; the engine's log is
+                # natural, which is LN there (SQL Server's LOG is
+                # already natural).
+                name = "LN"
+            return f"{name}({render(expr.operand)})"
+        if isinstance(expr, Comparison):
+            op = "<>" if expr.op == "!=" else expr.op
+            return f"{render(expr.left)} {op} {render(expr.right)}"
+        if isinstance(expr, And):
+            if not expr.operands:
+                return "TRUE"
+            return " AND ".join(f"({render(o)})" for o in expr.operands)
+        if isinstance(expr, Or):
+            if not expr.operands:
+                return "FALSE"
+            return " OR ".join(f"({render(o)})" for o in expr.operands)
+        if isinstance(expr, Not):
+            return f"NOT ({render(expr.operand)})"
+        raise QueryError(
+            f"cannot render expression of type {type(expr).__name__}"
         )
-    if isinstance(expr, Unary):
-        if expr.op == "neg":
-            return f"(-{sql_expression(expr.operand)})"
-        return f"{expr.op.upper()}({sql_expression(expr.operand)})"
-    if isinstance(expr, Comparison):
-        op = "<>" if expr.op == "!=" else expr.op
-        return f"{sql_expression(expr.left)} {op} {sql_expression(expr.right)}"
-    if isinstance(expr, And):
-        if not expr.operands:
-            return "TRUE"
-        return " AND ".join(f"({sql_expression(o)})" for o in expr.operands)
-    if isinstance(expr, Or):
-        if not expr.operands:
-            return "FALSE"
-        return " OR ".join(f"({sql_expression(o)})" for o in expr.operands)
-    if isinstance(expr, Not):
-        return f"NOT ({sql_expression(expr.operand)})"
-    raise QueryError(f"cannot render expression of type {type(expr).__name__}")
+
+    return render(expr)
+
+
+def aggregate_sql(
+    spec: AggregateSpec,
+    render_col: Optional[Callable[[str], str]] = None,
+) -> str:
+    """One aggregate spec as a SQL aggregate expression."""
+    col = render_col if render_col is not None else (lambda name: name)
+    if spec.kind == "count_star":
+        return "COUNT(*)"
+    if spec.kind == "count_distinct":
+        return f"COUNT(DISTINCT {col(spec.argument)})"
+    if spec.kind == "count":
+        return f"COUNT({col(spec.argument)})"
+    return f"{spec.kind.upper()}({col(spec.argument)})"
 
 
 def _column_alias(qualified: str) -> str:
@@ -116,20 +178,15 @@ def universal_from_clause(schema: DatabaseSchema) -> str:
     return "\n".join(lines)
 
 
-def aggregate_select(schema: DatabaseSchema, q: AggregateQuery) -> str:
+def aggregate_select(
+    schema: DatabaseSchema, q: AggregateQuery, dialect: str = "sqlserver"
+) -> str:
     """One ``q_j`` as a SELECT statement over the universal join."""
-    agg = q.aggregate
-    if agg.kind == "count_star":
-        select = "COUNT(*)"
-    elif agg.kind == "count_distinct":
-        select = f"COUNT(DISTINCT {agg.argument})"
-    elif agg.kind == "count":
-        select = f"COUNT({agg.argument})"
-    else:
-        select = f"{agg.kind.upper()}({agg.argument})"
+    _check_dialect(dialect)
+    select = aggregate_sql(q.aggregate)
     lines = [f"SELECT {select} AS {q.name}", universal_from_clause(schema)]
     if q.where is not None:
-        lines.append(f"WHERE {sql_expression(q.where)}")
+        lines.append(f"WHERE {sql_expression(q.where, dialect)}")
     return "\n".join(lines) + ";"
 
 
@@ -137,24 +194,56 @@ def cube_select(
     schema: DatabaseSchema,
     q: AggregateQuery,
     attributes: Sequence[str],
+    dialect: str = "sqlserver",
 ) -> str:
-    """The per-aggregate cube of Algorithm 1 step 2, as SQL Server-style
-    ``GROUP BY … WITH CUBE``."""
-    agg = q.aggregate
-    if agg.kind == "count_star":
-        select_agg = "COUNT(*)"
-    elif agg.kind == "count_distinct":
-        select_agg = f"COUNT(DISTINCT {agg.argument})"
-    else:
-        select_agg = f"{agg.kind.upper()}({agg.argument})"
+    """The per-aggregate cube of Algorithm 1 step 2.
+
+    Output grouping columns are aliased to legal identifiers
+    (``Author.name`` → ``Author_name``) so that the dummy-rewrite
+    UPDATEs and the m-way join of :func:`algorithm1_script` can refer
+    to them.  The SQL Server dialect renders ``GROUP BY … WITH CUBE``;
+    DuckDB gets ``GROUP BY GROUPING SETS``; SQLite, which has neither,
+    gets the equivalent ``UNION ALL`` over all 2^d grouping sets.
+    """
+    _check_dialect(dialect)
+    select_agg = aggregate_sql(q.aggregate)
+    from_clause = universal_from_clause(schema)
+    where = (
+        f"WHERE {sql_expression(q.where, dialect)}"
+        if q.where is not None
+        else None
+    )
     attr_list = ", ".join(attributes)
-    lines = [
-        f"SELECT {attr_list}, {select_agg} AS v_{q.name}",
-        universal_from_clause(schema),
-    ]
-    if q.where is not None:
-        lines.append(f"WHERE {sql_expression(q.where)}")
-    lines.append(f"GROUP BY {attr_list} WITH CUBE")
+    select_attrs = ", ".join(
+        f"{a} AS {_column_alias(a)}" for a in attributes
+    )
+    if dialect == "sqlite":
+        arms: List[str] = []
+        for kept in grouping_sets(attributes):
+            kept_set = set(kept)
+            cols = ", ".join(
+                f"{a} AS {_column_alias(a)}"
+                if a in kept_set
+                else f"NULL AS {_column_alias(a)}"
+                for a in attributes
+            )
+            lines = [f"SELECT {cols}, {select_agg} AS v_{q.name}", from_clause]
+            if where:
+                lines.append(where)
+            if kept:
+                lines.append(f"GROUP BY {', '.join(kept)}")
+            arms.append("\n".join(lines))
+        return "\nUNION ALL\n".join(arms) + ";"
+    lines = [f"SELECT {select_attrs}, {select_agg} AS v_{q.name}", from_clause]
+    if where:
+        lines.append(where)
+    if dialect == "duckdb":
+        sets = ", ".join(
+            "(" + ", ".join(kept) + ")" for kept in grouping_sets(attributes)
+        )
+        lines.append(f"GROUP BY GROUPING SETS ({sets})")
+    else:
+        lines.append(f"GROUP BY {attr_list} WITH CUBE")
     return "\n".join(lines) + ";"
 
 
@@ -162,53 +251,88 @@ def algorithm1_script(
     schema: DatabaseSchema,
     question: UserQuestion,
     attributes: Sequence[str],
+    dialect: str = "sqlserver",
 ) -> str:
     """The full Algorithm 1 as a SQL script (cubes, dummy rewrite,
-    m-way full outer join, μ columns)."""
+    m-way full outer join, μ columns).
+
+    The ``sqlserver`` and ``sqlite`` scripts perform the paper's
+    NULL→dummy UPDATEs and then join with plain equality; the
+    ``duckdb`` script skips the rewrite (strictly typed columns) and
+    joins with the null-safe ``IS NOT DISTINCT FROM`` instead.  The
+    sqlite script executes as-is on SQLite ≥ 3.39 (full outer join
+    support).
+    """
+    _check_dialect(dialect)
     query = question.query
     parts: List[str] = ["-- Algorithm 1: explanation table M", ""]
     parts.append("-- Step 1: original aggregate values u_j")
     for q in query.aggregates:
         parts.append(f"-- u_{q.name}:")
-        parts.append(aggregate_select(schema, q))
+        parts.append(aggregate_select(schema, q, dialect))
         parts.append("")
     parts.append("-- Step 2: one cube per aggregate query")
     for q in query.aggregates:
         parts.append(f"CREATE TABLE C_{q.name} AS")
-        parts.append(cube_select(schema, q, attributes))
+        parts.append(cube_select(schema, q, attributes, dialect))
         parts.append("")
-    parts.append("-- Step 2b: NULL -> dummy rewrite (Section 4.2)")
-    for q in query.aggregates:
-        for attr in attributes:
-            alias = _column_alias(attr)
-            parts.append(
-                f"UPDATE C_{q.name} SET {alias} = {DUMMY_SQL} "
-                f"WHERE {alias} IS NULL;"
-            )
+    names = [q.name for q in query.aggregates]
+    aliases = [_column_alias(a) for a in attributes]
+    if dialect == "duckdb":
+        parts.append(
+            "-- Step 2b: (dummy rewrite skipped: DuckDB columns are "
+            "strictly typed; the join below uses IS NOT DISTINCT FROM)"
+        )
+
+        def key_eq(left: str, right: str) -> str:
+            return f"{left} IS NOT DISTINCT FROM {right}"
+
+    else:
+        parts.append("-- Step 2b: NULL -> dummy rewrite (Section 4.2)")
+        for q in query.aggregates:
+            for alias in aliases:
+                parts.append(
+                    f"UPDATE C_{q.name} SET {alias} = {DUMMY_SQL} "
+                    f"WHERE {alias} IS NULL;"
+                )
+
+        def key_eq(left: str, right: str) -> str:
+            return f"{left} = {right}"
+
     parts.append("")
     parts.append("-- Step 3: full outer join of the cubes on the attributes")
-    names = [q.name for q in query.aggregates]
-    join_cols = " AND ".join(
-        f"C_{names[0]}.{_column_alias(a)} = C_{{other}}.{_column_alias(a)}"
-        for a in attributes
-    )
     from_clause = f"FROM C_{names[0]}"
-    for other in names[1:]:
-        cond = " AND ".join(
-            f"C_{names[0]}.{_column_alias(a)} = C_{other}.{_column_alias(a)}"
-            for a in attributes
+    for i, other in enumerate(names[1:], start=1):
+        joined_so_far = names[:i]
+        conditions = []
+        for alias in aliases:
+            refs = [f"C_{n}.{alias}" for n in joined_so_far]
+            left = refs[0] if len(refs) == 1 else f"COALESCE({', '.join(refs)})"
+            conditions.append(key_eq(left, f"C_{other}.{alias}"))
+        from_clause += (
+            f"\n  FULL OUTER JOIN C_{other} ON " + " AND ".join(conditions)
         )
-        from_clause += f"\n  FULL OUTER JOIN C_{other} ON {cond}"
-    v_list = ", ".join(f"COALESCE(v_{n}, 0) AS v_{n}" for n in names)
-    attr_list = ", ".join(
-        f"C_{names[0]}.{_column_alias(a)}" for a in attributes
-    )
+    v_parts = []
+    for q in query.aggregates:
+        default = q.aggregate.default_value
+        if is_null(default):
+            v_parts.append(f"v_{q.name}")
+        else:
+            v_parts.append(
+                f"COALESCE(v_{q.name}, {sql_literal(default)}) AS v_{q.name}"
+            )
+    key_parts = []
+    for alias in aliases:
+        refs = [f"C_{n}.{alias}" for n in names]
+        if len(refs) == 1:
+            key_parts.append(f"{refs[0]} AS {alias}")
+        else:
+            key_parts.append(f"COALESCE({', '.join(refs)}) AS {alias}")
     parts.append("CREATE TABLE M AS")
-    parts.append(f"SELECT {attr_list}, {v_list}")
+    parts.append(f"SELECT {', '.join(key_parts)}, {', '.join(v_parts)}")
     parts.append(from_clause + ";")
     parts.append("")
     parts.append("-- Step 4: degree columns")
-    interv_env = {n: Arithmetic("-", Col(f"u_{n}"), Col(f"v_{n}")) for n in names}
     parts.append(
         f"-- mu_interv = {question.intervention_sign} * "
         f"E(u_1 - v_1, ..., u_m - v_m)"
@@ -216,7 +340,7 @@ def algorithm1_script(
     parts.append(
         f"-- mu_aggr   = {question.aggravation_sign} * E(v_1, ..., v_m)"
     )
-    parts.append(f"--   where E = {sql_expression(query.expression)}")
+    parts.append(f"--   where E = {sql_expression(query.expression, dialect)}")
     return "\n".join(parts)
 
 

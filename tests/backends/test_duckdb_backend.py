@@ -1,0 +1,100 @@
+"""Tests for the DuckDB backend.
+
+The dialect hooks (type mapping, cube SQL, key handling) are pure and
+run without duckdb installed; the end-to-end tests skip cleanly when
+the optional extra is absent.
+"""
+
+import pytest
+
+from repro.backends import DuckDBBackend
+from repro.engine.types import DUMMY, NULL
+from repro.errors import ExplanationError, QueryError
+
+needs_duckdb = pytest.mark.skipif(
+    not DuckDBBackend.is_available(),
+    reason="duckdb not installed (optional extra)",
+)
+
+
+class TestColumnTypes:
+    def setup_method(self):
+        self.backend = DuckDBBackend()
+
+    def test_declared_dtypes(self):
+        assert self.backend._column_type("int", [], 0) == "BIGINT"
+        assert self.backend._column_type("float", [], 0) == "DOUBLE"
+        assert self.backend._column_type("str", [], 0) == "VARCHAR"
+        assert self.backend._column_type("bool", [], 0) == "BOOLEAN"
+
+    def test_any_inferred_from_data(self):
+        assert self.backend._column_type("any", [(1,), (2,)], 0) == "BIGINT"
+        assert self.backend._column_type("any", [(1.5,)], 0) == "DOUBLE"
+        assert self.backend._column_type("any", [(1,), (2.5,)], 0) == "DOUBLE"
+        assert self.backend._column_type("any", [("a",)], 0) == "VARCHAR"
+        assert self.backend._column_type("any", [(True,)], 0) == "BOOLEAN"
+
+    def test_any_with_only_nulls_is_varchar(self):
+        assert self.backend._column_type("any", [(NULL,)], 0) == "VARCHAR"
+        assert self.backend._column_type("any", [], 0) == "VARCHAR"
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(QueryError, match="strictly typed"):
+            self.backend._column_type("any", [(1,), ("a",)], 0)
+
+
+class TestDialectHooks:
+    def setup_method(self):
+        self.backend = DuckDBBackend()
+
+    def test_cube_uses_grouping_sets(self):
+        sql = self.backend._cube_sql(
+            ["T.g1", "T.g2"], ["T_g1", "T_g2"], "COUNT(*)", "v_q", None
+        )
+        assert "GROUP BY GROUPING SETS" in sql
+        assert '("T.g1", "T.g2"), ("T.g1"), ("T.g2"), ()' in sql
+        assert "UNION ALL" not in sql
+
+    def test_join_is_null_safe(self):
+        assert (
+            self.backend._key_eq("a", "b") == "a IS NOT DISTINCT FROM b"
+        )
+
+    def test_null_key_maps_to_dummy(self):
+        assert self.backend._key_to_engine(None) is DUMMY
+        assert self.backend._key_to_engine("x") == "x"
+
+    def test_null_value_maps_to_engine_null(self):
+        assert self.backend._value_to_engine(None) is NULL
+        assert self.backend._value_to_engine(3) == 3
+
+    def test_decimal_values_normalized(self):
+        from decimal import Decimal
+
+        assert self.backend._value_to_engine(Decimal("4")) == 4
+        assert type(self.backend._value_to_engine(Decimal("4"))) is int
+        assert self.backend._value_to_engine(Decimal("4.5")) == 4.5
+
+
+class TestUnavailable:
+    def test_connect_raises_with_hint_when_missing(self):
+        if DuckDBBackend.is_available():
+            pytest.skip("duckdb installed; unavailability path not reachable")
+        with pytest.raises(ExplanationError, match="pip install repro\\[duckdb\\]"):
+            DuckDBBackend()._connect()
+
+
+@needs_duckdb
+class TestEndToEnd:
+    def test_running_example_matches_memory(self):
+        from repro.cli import _demo_setup
+        from repro.core import build_explanation_table
+
+        db, question, attributes = _demo_setup("running-example", 0, 0.0, 0)
+        mem = build_explanation_table(db, question, attributes)
+        ddb = build_explanation_table(
+            db, question, attributes, backend="duckdb"
+        )
+        assert sorted(ddb.table.rows(), key=str) == sorted(
+            mem.table.rows(), key=str
+        )

@@ -1,0 +1,77 @@
+"""Tests for the backend registry (`repro.backends`)."""
+
+import pytest
+
+from repro.backends import (
+    DuckDBBackend,
+    ExecutionBackend,
+    MemoryBackend,
+    SQLiteBackend,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.backends.sqlbase import SQLBackend
+from repro.errors import ExplanationError
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        assert backend_names() == ("memory", "sqlite", "duckdb")
+
+    def test_memory_and_sqlite_always_available(self):
+        names = available_backends()
+        assert "memory" in names
+        assert "sqlite" in names
+
+    def test_get_backend_by_name(self):
+        assert isinstance(get_backend("memory"), MemoryBackend)
+        assert isinstance(get_backend("sqlite"), SQLiteBackend)
+
+    def test_get_backend_passthrough_instance(self):
+        instance = SQLiteBackend()
+        assert get_backend(instance) is instance
+
+    def test_get_backend_by_class(self):
+        assert isinstance(get_backend(SQLiteBackend), SQLiteBackend)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ExplanationError, match="unknown backend"):
+            get_backend("oracle")
+
+    def test_unavailable_backend_raises_with_hint(self):
+        if DuckDBBackend.is_available():
+            pytest.skip("duckdb installed; unavailability path not reachable")
+        with pytest.raises(ExplanationError, match="pip install repro\\[duckdb\\]"):
+            get_backend("duckdb")
+
+    def test_register_custom_backend(self):
+        class NullBackend(ExecutionBackend):
+            name = "null-test"
+
+            def build_explanation_table(self, *args, **kwargs):
+                raise NotImplementedError
+
+        try:
+            register_backend(NullBackend)
+            assert "null-test" in backend_names()
+            assert isinstance(get_backend("null-test"), NullBackend)
+        finally:
+            from repro import backends
+
+            backends._REGISTRY.pop("null-test", None)
+
+    def test_register_requires_name(self):
+        class Anonymous(ExecutionBackend):
+            def build_explanation_table(self, *args, **kwargs):
+                raise NotImplementedError
+
+        with pytest.raises(ExplanationError, match="non-empty name"):
+            register_backend(Anonymous)
+
+    def test_sqlite_is_a_sql_backend(self):
+        assert issubclass(SQLiteBackend, SQLBackend)
+        assert issubclass(DuckDBBackend, SQLBackend)
+        assert SQLiteBackend.dialect == "sqlite"
+        assert DuckDBBackend.dialect == "duckdb"

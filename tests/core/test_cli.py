@@ -266,3 +266,54 @@ class TestAsk:
             ]
         )
         assert code == 2
+
+
+class TestBackendFlag:
+    def test_demo_sqlite_matches_memory(self, capsys):
+        assert main(["demo", "running-example", "--top", "5"]) == 0
+        memory_out = capsys.readouterr().out
+        assert (
+            main(
+                ["demo", "running-example", "--top", "5",
+                 "--backend", "sqlite"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == memory_out
+
+    def test_unavailable_backend_reports_error(self, capsys):
+        from repro.backends import DuckDBBackend
+
+        if DuckDBBackend.is_available():
+            pytest.skip("duckdb installed; unavailability path not reachable")
+        code = main(
+            ["demo", "running-example", "--backend", "duckdb"]
+        )
+        assert code == 2
+        assert "pip install repro[duckdb]" in capsys.readouterr().err
+
+    def test_ask_defaults_to_cube_on_sql_backend(self, capsys):
+        code = main(
+            [
+                "ask",
+                "--dataset", "running-example",
+                "--dir", "high",
+                "--expr", "q1",
+                "--agg",
+                "q1 := count(distinct Publication.pubid)"
+                " WHERE Publication.venue = 'SIGMOD'",
+                "--attributes", "Author.name",
+                "--backend", "sqlite",
+            ]
+        )
+        assert code == 0
+        assert "method: cube" in capsys.readouterr().out
+
+    def test_sql_dialect_flag(self, capsys):
+        assert main(["sql", "running-example", "--dialect", "sqlite"]) == 0
+        out = capsys.readouterr().out
+        assert "UNION ALL" in out
+        assert "WITH CUBE" not in out
+        assert main(["sql", "running-example", "--dialect", "duckdb"]) == 0
+        out = capsys.readouterr().out
+        assert "GROUPING SETS" in out

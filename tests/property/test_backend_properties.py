@@ -1,0 +1,105 @@
+"""Property-based cross-backend parity (hypothesis).
+
+Random small single-table databases; the ratio question's top-K
+rankings and μ values must match the in-memory engine on every
+available SQL backend, within float tolerance.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Explainer
+from repro.backends import available_backends
+from repro.core import AggregateQuery, UserQuestion, ratio_query
+from repro.engine import Col, Comparison, Const, count_star
+from repro.engine.database import Database
+from repro.engine.schema import single_table_schema
+from repro.engine.types import is_null
+
+pytestmark = pytest.mark.backend
+
+SQL_BACKENDS = [n for n in available_backends() if n != "memory"]
+
+common = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_tables(draw):
+    """Rows (id, g1, g2, cls) with small categorical domains."""
+    n = draw(st.integers(min_value=1, max_value=30))
+    g1s = st.sampled_from(["x", "y", "z"])
+    g2s = st.sampled_from([0, 1, 2, 3])
+    clss = st.sampled_from(["a", "b"])
+    return [
+        (i, draw(g1s), draw(g2s), draw(clss)) for i in range(n)
+    ]
+
+
+def make_db(rows):
+    schema = single_table_schema(
+        "T",
+        ["id", "g1", "g2", "cls"],
+        ["id"],
+        dtypes={"id": "int", "g1": "str", "g2": "int", "cls": "str"},
+    )
+    return Database(schema, {"T": rows})
+
+
+def make_question():
+    q1 = AggregateQuery(
+        "q1", count_star("q1"), Comparison("=", Col("T.cls"), Const("a"))
+    )
+    q2 = AggregateQuery("q2", count_star("q2"))
+    return UserQuestion.high(ratio_query(q1, q2, epsilon=0.001))
+
+
+def degrees_close(a, b):
+    if is_null(a) or is_null(b):
+        return is_null(a) and is_null(b)
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@pytest.mark.parametrize("backend_name", SQL_BACKENDS)
+class TestBackendProperties:
+    @common
+    @given(rows=small_tables())
+    def test_topk_and_mu_match_memory(self, backend_name, rows):
+        db = make_db(rows)
+        question = make_question()
+        attributes = ["T.g1", "T.g2"]
+        mem = Explainer(db, question, attributes).top(8)
+        other = Explainer(
+            db, question, attributes, backend=backend_name
+        ).top(8)
+        assert [r.explanation for r in other] == [r.explanation for r in mem]
+        for a, b in zip(mem, other):
+            assert degrees_close(a.degree, b.degree), (a, b)
+
+    @common
+    @given(rows=small_tables())
+    def test_explanation_table_rows_match_memory(self, backend_name, rows):
+        db = make_db(rows)
+        question = make_question()
+        attributes = ["T.g1", "T.g2"]
+        mem = Explainer(db, question, attributes).explanation_table()
+        other = Explainer(
+            db, question, attributes, backend=backend_name
+        ).explanation_table()
+        assert len(other) == len(mem)
+        key = lambda row: str(row[:2])
+        for mrow, orow in zip(
+            sorted(mem.table.rows(), key=key),
+            sorted(other.table.rows(), key=key),
+        ):
+            assert mrow[:2] == orow[:2]
+            for a, b in zip(mrow[2:], orow[2:]):
+                assert degrees_close(a, b), (mrow, orow)
