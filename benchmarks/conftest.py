@@ -8,11 +8,89 @@ not SQL Server's absolute numbers.  Each module prints the series it
 regenerates so ``pytest benchmarks/ --benchmark-only -s`` doubles as a
 report generator; the same numbers are attached to
 ``benchmark.extra_info`` for machine consumption.
+
+Machine-readable output: every ``bench_*`` script accepts a shared
+``--json PATH`` flag::
+
+    pytest benchmarks/bench_fig12_cube_vs_naive.py --json fig12.json
+
+Each test that uses the ``benchmark`` fixture contributes one record —
+its node id, ``extra_info`` series, and timing stats — collected by an
+autouse fixture and written once at session end, so BENCH_*.json
+trajectories can accumulate across runs without per-module plumbing.
+Tests can add free-form records via the ``json_record`` fixture.
 """
+
+import json
 
 import pytest
 
 from repro.datasets import dblp, geodblp, natality
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write machine-readable benchmark results to PATH",
+    )
+
+
+def pytest_configure(config):
+    config._repro_json_records = []
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--json", default=None)
+    if not path:
+        return
+    records = getattr(session.config, "_repro_json_records", [])
+    with open(path, "w") as fh:
+        json.dump(
+            {"records": records}, fh, indent=2, sort_keys=True, default=str
+        )
+        fh.write("\n")
+
+
+@pytest.fixture
+def json_record(request):
+    """Append one free-form record to the ``--json`` report."""
+
+    def record(name, **payload):
+        request.config._repro_json_records.append(
+            {"bench": name, "test": request.node.nodeid, **payload}
+        )
+
+    return record
+
+
+@pytest.fixture(autouse=True)
+def _collect_benchmark_json(request):
+    """Auto-capture ``benchmark`` extra_info + stats for ``--json``."""
+    wanted = request.config.getoption("--json", default=None) is not None
+    bench = (
+        request.getfixturevalue("benchmark")
+        if wanted and "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    if bench is None:
+        return
+    record = {
+        "test": request.node.nodeid,
+        "extra_info": dict(getattr(bench, "extra_info", {}) or {}),
+    }
+    stats = getattr(bench, "stats", None)
+    inner = getattr(stats, "stats", None)
+    if inner is not None:
+        record["stats"] = {
+            name: getattr(inner, name)
+            for name in ("min", "max", "mean", "stddev", "rounds")
+            if hasattr(inner, name)
+        }
+    request.config._repro_json_records.append(record)
 
 # Scales chosen so the whole benchmark suite completes in minutes on a
 # laptop while still showing the growth trends of Figures 12-14.

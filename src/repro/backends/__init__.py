@@ -83,6 +83,34 @@ def get_backend(
     return cls()
 
 
+def get_backend_with_fallback(
+    spec: Union[str, ExecutionBackend, Type[ExecutionBackend]]
+) -> Tuple[ExecutionBackend, str]:
+    """Resolve *spec*, degrading to ``memory`` when unavailable.
+
+    Unknown names still raise (a typo should not silently change the
+    execution substrate), but a *known* backend whose dependency is
+    missing — ``duckdb`` without the optional extra — resolves to
+    :class:`MemoryBackend` instead.  Returns ``(backend, warning)``
+    where *warning* is ``""`` when no degradation happened; rankings
+    are unaffected because all backends are parity-tested against the
+    memory reference.  This is the resolution rule the serving layer
+    (:mod:`repro.service`) uses.
+    """
+    if isinstance(spec, str):
+        cls = _REGISTRY.get(spec)
+        if cls is None:
+            raise ExplanationError(
+                f"unknown backend {spec!r}; choose from {backend_names()}"
+            )
+        if not cls.is_available():
+            return MemoryBackend(), (
+                f"backend {spec!r} is not available "
+                f"({cls.unavailable_reason()}); falling back to 'memory'"
+            )
+    return get_backend(spec), ""
+
+
 __all__ = [
     "DuckDBBackend",
     "ExecutionBackend",
@@ -92,5 +120,6 @@ __all__ = [
     "available_backends",
     "backend_names",
     "get_backend",
+    "get_backend_with_fallback",
     "register_backend",
 ]

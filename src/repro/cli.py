@@ -32,6 +32,16 @@ Commands
 
         python -m repro sql dblp
         python -m repro sql running-example --datalog
+
+``serve``
+    Run the explanation HTTP service (asyncio, stdlib only): cached,
+    request-coalescing ``/v1/explain`` and ``/v1/topk`` endpoints over
+    the built-in datasets and any execution backend::
+
+        python -m repro serve --port 8722
+        curl -s localhost:8722/v1/health
+
+    See ``docs/service.md`` for the wire protocol.
 """
 
 from __future__ import annotations
@@ -230,6 +240,38 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ExplanationServer, ExplanationService
+
+    service = ExplanationService(
+        max_cache_entries=args.cache_entries,
+        max_cache_bytes=int(args.cache_mb * 1024 * 1024),
+    )
+    server = ExplanationServer(
+        service,
+        host=args.host,
+        port=args.port,
+        request_timeout=args.timeout,
+        max_request_bytes=int(args.max_request_kb * 1024),
+        max_workers=args.workers,
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(f"repro explanation service listening on {server.url}")
+        print(f"  datasets: {', '.join(service.registry.names())}")
+        print(f"  endpoints: /v1/explain /v1/topk /v1/health /v1/stats")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def cmd_sql(args: argparse.Namespace) -> int:
     db, question, attributes = _demo_setup(
         args.dataset, rows=10, scale=0.1, seed=0
@@ -354,6 +396,23 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("out", help="output directory")
     add_common(generate)
     generate.set_defaults(func=cmd_generate)
+
+    serve = sub.add_parser(
+        "serve", help="run the explanation HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8722)
+    serve.add_argument("--workers", type=int, default=8,
+                       help="thread-pool size for explanation builds")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request deadline in seconds")
+    serve.add_argument("--cache-entries", type=int, default=256,
+                       help="max cached explanation tables")
+    serve.add_argument("--cache-mb", type=float, default=256.0,
+                       help="cache byte budget in MiB")
+    serve.add_argument("--max-request-kb", type=float, default=1024.0,
+                       help="request body size limit in KiB")
+    serve.set_defaults(func=cmd_serve)
 
     sql = sub.add_parser("sql", help="print SQL / datalog renderings")
     sql.add_argument("dataset", choices=DEMOS)

@@ -45,7 +45,13 @@ from .cube_algorithm import (
     build_explanation_table,
 )
 from .degrees import DegreeEvaluator, ExplanationScore, hybrid_degree
-from .explainer import Explainer, render_ranking
+from .explainer import (
+    Explainer,
+    ExplanationPlan,
+    backend_key,
+    question_key,
+    render_ranking,
+)
 from .iterative import IndexedInterventionEvaluator
 from .intervention import (
     InterventionEngine,
@@ -121,6 +127,9 @@ __all__ = [
     "ExplanationScore",
     "hybrid_degree",
     "Explainer",
+    "ExplanationPlan",
+    "backend_key",
+    "question_key",
     "render_ranking",
     "IndexedInterventionEvaluator",
     "InterventionEngine",

@@ -28,6 +28,8 @@ strategies apply uniformly.
 
 from __future__ import annotations
 
+import hashlib
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..engine.database import Database
@@ -49,6 +51,63 @@ from .question import Direction, UserQuestion
 from .topk import RankedExplanation, top_k_explanations
 
 METHODS = ("cube", "naive", "exact", "indexed")
+
+
+def question_key(question: UserQuestion) -> str:
+    """A stable, canonical text identity for a user question.
+
+    Built from the question's direction plus the deterministic string
+    renderings of the expression E and every aggregate (including WHERE
+    predicates), so two structurally identical questions — whether
+    parsed from text or built from AST objects — share one key.
+    """
+    return f"{question.direction.value}|{question.query}"
+
+
+def backend_key(backend: object) -> str:
+    """The registry name (or a stable stand-in) for a backend spec."""
+    if isinstance(backend, str):
+        return backend
+    name = getattr(backend, "name", "")
+    return name or repr(backend)
+
+
+@dataclass(frozen=True)
+class ExplanationPlan:
+    """The fingerprintable identity of one explanation-table build.
+
+    Everything that determines the finalized
+    :class:`~repro.core.cube_algorithm.ExplanationTable` bit-for-bit is
+    captured here: the database content fingerprint, the canonical
+    question key, the attribute tuple (order-sensitive — it fixes the
+    table's column layout), the evaluation method, the backend, and
+    the support threshold.  Two plans with equal :meth:`fingerprint`
+    values are guaranteed to produce interchangeable tables, which is
+    what makes the table *M* safely cacheable across requests
+    (:mod:`repro.service.cache`).
+    """
+
+    database_fingerprint: str
+    question: str
+    attributes: Tuple[str, ...]
+    method: str
+    backend: str
+    support_threshold: Optional[float] = None
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 content address of this plan."""
+        text = "\x1f".join(
+            (
+                self.database_fingerprint,
+                self.question,
+                "\x1e".join(self.attributes),
+                self.method,
+                self.backend,
+                repr(self.support_threshold),
+            )
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 class Explainer:
@@ -111,6 +170,43 @@ class Explainer:
 
     # -- table construction ----------------------------------------------------
 
+    def plan(self, method: str = "cube") -> ExplanationPlan:
+        """The fingerprintable plan for building *M* with *method*.
+
+        The plan's :attr:`~ExplanationPlan.fingerprint` is the cache
+        key used by the serving layer: equal fingerprints mean
+        :meth:`explanation_table` would return an interchangeable
+        table, so a cached copy can be substituted via
+        :meth:`seed_table`.
+        """
+        if method not in METHODS:
+            raise ExplanationError(
+                f"unknown method {method!r}; choose from {METHODS}"
+            )
+        return ExplanationPlan(
+            database_fingerprint=self.database.content_fingerprint(),
+            question=question_key(self.question),
+            attributes=self.attributes,
+            method=method,
+            backend=backend_key(self.backend),
+            support_threshold=self.support_threshold,
+        )
+
+    def seed_table(self, method: str, table: ExplanationTable) -> None:
+        """Inject a previously computed table *M* for *method*.
+
+        Subsequent :meth:`explanation_table`/:meth:`top` calls with
+        that method reuse *table* instead of recomputing it.  The
+        caller is responsible for only seeding tables whose plan
+        fingerprint matches (:meth:`plan`) — the serving layer's cache
+        does exactly that.
+        """
+        if method not in METHODS:
+            raise ExplanationError(
+                f"unknown method {method!r}; choose from {METHODS}"
+            )
+        self._tables[method] = table
+
     def explanation_table(
         self, method: str = "cube", **kwargs
     ) -> ExplanationTable:
@@ -119,7 +215,7 @@ class Explainer:
             raise ExplanationError(
                 f"unknown method {method!r}; choose from {METHODS}"
             )
-        if method != "cube" and self.backend != "memory":
+        if method != "cube" and backend_key(self.backend) != "memory":
             raise ExplanationError(
                 f"method {method!r} runs only on the in-memory engine; "
                 f"SQL backends implement the 'cube' method"

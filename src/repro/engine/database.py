@@ -9,12 +9,13 @@ relation.  A :class:`Delta` is "a set of tuples to be deleted from D"
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
 
 from ..errors import IntegrityError, SchemaError
 from .relation import Relation
 from .schema import DatabaseSchema, ForeignKey
-from .types import Row, Value
+from .types import Row, Value, is_dummy, is_null
 
 
 class Database:
@@ -67,6 +68,42 @@ class Database:
         )
         return f"Database({sizes})"
 
+    # -- identity ---------------------------------------------------------
+
+    def content_fingerprint(self) -> str:
+        """A stable SHA-256 digest of the schema and every tuple.
+
+        Two databases with the same schema and the same rows produce
+        the same fingerprint regardless of insertion order, process,
+        or platform — it is the content-addressed identity used by the
+        service-layer result cache (:mod:`repro.service`).  The digest
+        is memoized against the relations' mutation counters, so
+        repeated calls are cheap and any mutation (insert, delete,
+        clear, or swapping a relation object) invalidates it.
+        """
+        token = tuple(
+            (name, id(rel), rel.version, len(rel))
+            for name, rel in ((n, self.relations[n]) for n in self.relation_names)
+        )
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        h = hashlib.sha256()
+        h.update(str(self.schema).encode("utf-8"))
+        for fk in self.schema.foreign_keys:
+            h.update(str(fk).encode("utf-8"))
+        for name in self.relation_names:
+            h.update(b"\x00R")
+            h.update(name.encode("utf-8"))
+            row_digests = sorted(
+                _row_digest(row) for row in self.relations[name]
+            )
+            for digest in row_digests:
+                h.update(digest)
+        digest = h.hexdigest()
+        self._fingerprint_cache = (token, digest)
+        return digest
+
     # -- integrity --------------------------------------------------------
 
     def check_integrity(self) -> None:
@@ -108,6 +145,27 @@ class Database:
         for name, rel in self.relations.items():
             residual.relations[name] = rel.without(delta.rows_for(name))
         return residual
+
+
+def _fingerprint_value(value: Value) -> str:
+    """A canonical text form of one engine value for hashing."""
+    if is_null(value):
+        return "n:"
+    if is_dummy(value):
+        return "d:"
+    if isinstance(value, bool):
+        return f"b:{value}"
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        return f"f:{value!r}"
+    return f"s:{value}"
+
+
+def _row_digest(row: Row) -> bytes:
+    """A fixed-width order-independent-safe digest of one row."""
+    text = "\x1f".join(_fingerprint_value(v) for v in row)
+    return hashlib.sha256(text.encode("utf-8")).digest()
 
 
 class Delta:

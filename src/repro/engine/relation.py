@@ -45,8 +45,19 @@ class Relation:
         self._rows: Set[Row] = set()
         self._pk_index: Dict[Row, Row] = {}
         self._secondary: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
+        self._version = 0
         if rows is not None:
             self.insert_many(rows)
+
+    @property
+    def version(self) -> int:
+        """A counter bumped on every successful mutation.
+
+        Lets callers (notably :meth:`Database.content_fingerprint
+        <repro.engine.database.Database.content_fingerprint>`) memoize
+        derived state and invalidate it when the relation changes.
+        """
+        return self._version
 
     # -- basic protocol -------------------------------------------------
 
@@ -111,6 +122,7 @@ class Relation:
         self._rows.add(tup)
         self._pk_index[key] = tup
         self._secondary.clear()
+        self._version += 1
         return True
 
     def insert_many(self, rows: Iterable[Sequence[Value]]) -> int:
@@ -129,6 +141,7 @@ class Relation:
         self._rows.discard(tup)
         self._pk_index.pop(self._pk_of(tup), None)
         self._secondary.clear()
+        self._version += 1
         return True
 
     def delete_many(self, rows: Iterable[Sequence[Value]]) -> int:
@@ -144,6 +157,7 @@ class Relation:
         self._rows.clear()
         self._pk_index.clear()
         self._secondary.clear()
+        self._version += 1
 
     # -- lookups ---------------------------------------------------------
 

@@ -1,0 +1,202 @@
+"""Content-addressed LRU cache for finalized explanation tables.
+
+Algorithm 1 front-loads all the cost into materializing the table *M*
+(one cube per aggregate plus the outer join); every top-K request over
+*M* — any K, either degree, any Section 4.3 strategy — is a cheap
+scan.  The serving layer therefore memoizes finalized
+:class:`~repro.core.cube_algorithm.ExplanationTable` objects keyed by
+the :class:`~repro.core.explainer.ExplanationPlan` fingerprint
+(database content hash, canonical question, attributes, method,
+backend), so repeated questions skip cube construction entirely.
+
+Eviction is LRU under two simultaneous budgets — an entry count and a
+byte budget (tables are measured once at insertion time by
+:func:`estimate_table_bytes`).  All operations are thread-safe; the
+hit/miss/eviction counters feed the server's ``/v1/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.cube_algorithm import ExplanationTable
+
+_SIZE_OVERHEAD = 256  # flat per-entry allowance for wrapper objects
+
+
+def estimate_table_bytes(m: ExplanationTable) -> int:
+    """An upper-ish estimate of the resident size of a table *M*.
+
+    Sums ``sys.getsizeof`` over every row tuple and cell plus the
+    column headers.  Interned/shared values are deliberately counted
+    per occurrence — the budget is a safety valve against unbounded
+    growth, not an accounting exercise, so over-counting is the safe
+    direction.
+    """
+    total = _SIZE_OVERHEAD
+    total += sum(sys.getsizeof(c) for c in m.table.columns)
+    for row in m.table.rows():
+        total += sys.getsizeof(row)
+        total += sum(sys.getsizeof(v) for v in row)
+    for name, value in m.q_original.items():
+        total += sys.getsizeof(name) + sys.getsizeof(value)
+    return total
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of the cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    current_bytes: int
+    max_entries: int
+    max_bytes: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "current_bytes": self.current_bytes,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+        }
+
+
+class ExplanationTableCache:
+    """Thread-safe LRU + byte-budget cache of explanation tables.
+
+    Keys are opaque strings — in practice the
+    :attr:`~repro.core.explainer.ExplanationPlan.fingerprint` content
+    address, which already encodes the database state, so a mutated
+    database simply produces new keys and stale entries age out via
+    LRU rather than being served.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = 256,
+        max_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, Tuple[ExplanationTable, int]]" = (
+            OrderedDict()
+        )
+        self._current_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[ExplanationTable]:
+        """The cached table for *key*, or None; counts a hit or miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def peek(self, key: str) -> Optional[ExplanationTable]:
+        """Like :meth:`get` but touches neither counters nor LRU order."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry[0] if entry is not None else None
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> Tuple[str, ...]:
+        """Current keys, least- to most-recently used."""
+        with self._lock:
+            return tuple(self._entries)
+
+    # -- insertion / eviction ---------------------------------------------
+
+    def put(self, key: str, table: ExplanationTable) -> bool:
+        """Insert (or refresh) *key*; returns False when not cacheable.
+
+        A table bigger than the whole byte budget is refused outright —
+        admitting it would flush every other entry for a value that can
+        never be joined by a second one.
+        """
+        size = estimate_table_bytes(table)
+        with self._lock:
+            if size > self.max_bytes:
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._current_bytes -= old[1]
+            self._entries[key] = (table, size)
+            self._current_bytes += size
+            self._evict_locked()
+            return True
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.max_entries or (
+            self._current_bytes > self.max_bytes and self._entries
+        ):
+            _, (_, size) = self._entries.popitem(last=False)
+            self._current_bytes -= size
+            self._evictions += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns True when it was present."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._current_bytes -= entry[1]
+            return True
+
+    def clear(self) -> None:
+        """Drop everything (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters and occupancy."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                current_bytes=self._current_bytes,
+                max_entries=self.max_entries,
+                max_bytes=self.max_bytes,
+            )
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"ExplanationTableCache(entries={s.entries}/{s.max_entries}, "
+            f"bytes={s.current_bytes}/{s.max_bytes}, "
+            f"hits={s.hits}, misses={s.misses}, evictions={s.evictions})"
+        )

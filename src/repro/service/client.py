@@ -1,0 +1,151 @@
+"""A thin stdlib HTTP client for the explanation service.
+
+Mirrors the wire protocol of :mod:`repro.service.server` with plain
+:mod:`http.client` — no third-party dependency, usable from scripts,
+tests, and the benchmark suite::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("127.0.0.1", 8722)
+    client.health()
+    response = client.topk(dataset="natality", k=5)
+    response.data["ranking"]
+    response.headers["x-repro-cache"]   # "hit" | "miss" | "coalesced"
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+from .errors import ClientError
+from .protocol import QuestionSpec
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One parsed HTTP response: status, lower-cased headers, JSON body."""
+
+    status: int
+    headers: Dict[str, str]
+    data: object
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 400
+
+    @property
+    def cache_status(self) -> str:
+        """The server's ``X-Repro-Cache`` header (empty if absent)."""
+        return self.headers.get("x-repro-cache", "")
+
+    @property
+    def warning(self) -> str:
+        """The server's ``X-Repro-Warning`` header (empty if absent)."""
+        return self.headers.get("x-repro-warning", "")
+
+
+class ServiceClient:
+    """Blocking JSON client for one server address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8722, *, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, payload: Optional[Mapping] = None
+    ) -> ServiceResponse:
+        """One round trip; returns the response without raising on 4xx/5xx."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            raw = connection.getresponse()
+            text = raw.read().decode("utf-8")
+            try:
+                data: object = json.loads(text) if text else None
+            except json.JSONDecodeError:
+                data = text
+            return ServiceResponse(
+                status=raw.status,
+                headers={k.lower(): v for k, v in raw.getheaders()},
+                data=data,
+            )
+        finally:
+            connection.close()
+
+    def _checked(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping] = None,
+        *,
+        raise_on_error: bool = True,
+    ) -> ServiceResponse:
+        response = self.request(method, path, payload)
+        if raise_on_error and not response.ok:
+            raise ClientError(response.status, response.data)
+        return response
+
+    # -- endpoints ------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The parsed ``/v1/health`` body (raises on error)."""
+        return self._checked("GET", "/v1/health").data  # type: ignore[return-value]
+
+    def stats(self) -> dict:
+        """The parsed ``/v1/stats`` body (raises on error)."""
+        return self._checked("GET", "/v1/stats").data  # type: ignore[return-value]
+
+    def topk(self, *, raise_on_error: bool = True, **fields) -> ServiceResponse:
+        """POST ``/v1/topk``; *fields* mirror the wire protocol."""
+        return self._checked(
+            "POST",
+            "/v1/topk",
+            _build_body(fields),
+            raise_on_error=raise_on_error,
+        )
+
+    def explain(
+        self, *, raise_on_error: bool = True, **fields
+    ) -> ServiceResponse:
+        """POST ``/v1/explain``; *fields* mirror the wire protocol."""
+        return self._checked(
+            "POST",
+            "/v1/explain",
+            _build_body(fields),
+            raise_on_error=raise_on_error,
+        )
+
+
+def _build_body(fields: Dict[str, object]) -> Dict[str, object]:
+    """Normalize convenience forms into the wire-protocol body."""
+    body = dict(fields)
+    question = body.get("question")
+    if isinstance(question, QuestionSpec):
+        body["question"] = {
+            "dir": question.direction,
+            "expr": question.expression,
+            "aggregates": list(question.aggregates),
+        }
+    elif isinstance(question, (tuple, list)) and len(question) == 3:
+        direction, expression, aggregates = question
+        body["question"] = {
+            "dir": direction,
+            "expr": expression,
+            "aggregates": list(aggregates),
+        }
+    return body

@@ -1,0 +1,77 @@
+"""Single-flight request coalescing.
+
+When N identical requests arrive concurrently and the result is not
+cached yet, computing the explanation table N times is pure waste —
+the table is deterministic in its plan fingerprint.  The coalescer
+guarantees that for any key, at most one computation is in flight: the
+first caller (the *leader*) runs the function; every other caller with
+the same key blocks on the leader's future and receives the same
+result object.  If the leader raises, the exception propagates to all
+waiters and the key is released so a later request can retry.
+
+The design follows Go's ``golang.org/x/sync/singleflight``, adapted to
+Python threads via :class:`concurrent.futures.Future` (the serving
+layer runs explanation builds on a thread pool, so thread-level
+coalescing is the right granularity).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Callable, Dict, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Coalesce concurrent calls with the same key into one execution."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, "Future[T]"] = {}
+
+    def do(
+        self,
+        key: str,
+        fn: Callable[[], T],
+        *,
+        timeout: Optional[float] = None,
+    ) -> Tuple[T, bool]:
+        """Run ``fn()`` once per concurrent *key*; returns ``(result, leader)``.
+
+        *leader* is True for the caller that actually executed *fn*.
+        Waiters re-raise the leader's exception (if any); *timeout*
+        bounds how long a waiter blocks on the leader.
+        """
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is None:
+                future = Future()
+                self._inflight[key] = future
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            return future.result(timeout=timeout), False
+        try:
+            result = fn()
+        except BaseException as exc:
+            future.set_exception(exc)
+            with self._lock:
+                self._inflight.pop(key, None)
+            raise
+        future.set_result(result)
+        with self._lock:
+            self._inflight.pop(key, None)
+        return result, True
+
+    def inflight(self) -> int:
+        """Number of keys currently being computed."""
+        with self._lock:
+            return len(self._inflight)
+
+    def is_inflight(self, key: str) -> bool:
+        """True while a leader for *key* is still running."""
+        with self._lock:
+            return key in self._inflight

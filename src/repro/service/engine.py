@@ -1,0 +1,393 @@
+"""The explanation service: cache + coalescing over the backend registry.
+
+:class:`ExplanationService` is the transport-agnostic core of the
+serving subsystem — the asyncio HTTP server is a thin shell around it,
+and it can equally be embedded in a notebook or another process.  One
+request flows through:
+
+1. **resolve** — dataset name → materialized database (memoized),
+   question/attributes (request or dataset defaults), backend (with
+   graceful degradation to ``memory`` when unavailable);
+2. **plan** — the :class:`~repro.core.explainer.ExplanationPlan`
+   content fingerprint that addresses the result;
+3. **cache** — a finalized table under that fingerprint skips cube
+   construction entirely;
+4. **coalesce** — concurrent identical misses trigger exactly one
+   build (single-flight); everyone shares the result;
+5. **rank** — the Section 4.3 top-K strategies scan the table.
+
+Every counter the ``/v1/stats`` endpoint reports lives here, so the
+"50 concurrent identical requests → one computation" property is
+directly observable.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..backends import (
+    available_backends,
+    backend_names,
+    get_backend_with_fallback,
+)
+from ..core.cube_algorithm import (
+    MU_AGGR,
+    MU_HYBRID,
+    MU_INTERV,
+    ExplanationTable,
+    add_hybrid_column,
+)
+from ..core.explainer import (
+    Explainer,
+    ExplanationPlan,
+    backend_key,
+    question_key,
+)
+from ..core.parsing import parse_question
+from ..core.question import UserQuestion
+from ..core.topk import RankedExplanation, top_k_explanations
+from ..errors import ExplanationError, ReproError
+from .cache import ExplanationTableCache
+from .coalescer import SingleFlight
+from .errors import BadRequestError, ServiceError
+from .protocol import ServiceRequest, jsonable_value, ranking_payload
+from .registry import DatasetRegistry, ResolvedDataset
+
+
+def _kind_of(exc: BaseException) -> str:
+    """``NotAdditiveError`` → ``"not_additive_error"`` etc."""
+    name = type(exc).__name__
+    out = []
+    for i, ch in enumerate(name):
+        if ch.isupper() and i > 0:
+            out.append("_")
+        out.append(ch.lower())
+    return "".join(out)
+
+
+def rank_table(
+    table: ExplanationTable,
+    *,
+    k: int,
+    by: str = "intervention",
+    strategy: str = "minimal_append",
+    minimality: str = "general",
+    hybrid_weight: float = 0.5,
+) -> List[RankedExplanation]:
+    """Top-K a finalized table *M* without rebuilding anything.
+
+    This is the warm path: equivalent to
+    :meth:`repro.core.explainer.Explainer.top` but operating on a
+    (possibly cached) table directly, so no universal table or cube is
+    touched.
+    """
+    column = {
+        "intervention": MU_INTERV,
+        "aggravation": MU_AGGR,
+        "hybrid": MU_HYBRID,
+    }.get(by)
+    if column is None:
+        raise BadRequestError(
+            f"by must be one of ('intervention', 'aggravation', 'hybrid'), "
+            f"got {by!r}"
+        )
+    m = add_hybrid_column(table, weight=hybrid_weight) if by == "hybrid" else table
+    return top_k_explanations(
+        m, k, by=column, strategy=strategy, minimality=minimality
+    )
+
+
+class Counters:
+    """A tiny thread-safe named-counter bag."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[str, int] = defaultdict(int)
+
+    def inc(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._values[name] += n
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._values)
+
+
+@dataclass(frozen=True)
+class PreparedRequest:
+    """A fully resolved request, ready to build or hit the cache."""
+
+    request: ServiceRequest
+    dataset: ResolvedDataset
+    question: UserQuestion
+    attributes: Tuple[str, ...]
+    method: str
+    backend_impl: object
+    backend_name: str
+    fingerprint: str
+    static_warnings: Tuple[str, ...] = ()
+
+
+@dataclass
+class ServiceResult:
+    """One computed answer plus its per-request serving metadata."""
+
+    payload: Dict[str, object]
+    cache_status: str  # "hit" | "miss" | "coalesced"
+    warnings: Tuple[str, ...] = ()
+
+
+class ExplanationService:
+    """Compute-once-serve-many explanations over registered datasets."""
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[DatasetRegistry] = None,
+        cache: Optional[ExplanationTableCache] = None,
+        max_cache_entries: int = 256,
+        max_cache_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        self.registry = registry if registry is not None else DatasetRegistry()
+        self.cache = (
+            cache
+            if cache is not None
+            else ExplanationTableCache(
+                max_entries=max_cache_entries, max_bytes=max_cache_bytes
+            )
+        )
+        self.flights = SingleFlight()
+        self.counters = Counters()
+
+    # -- resolution ---------------------------------------------------------
+
+    def prepare(self, request: ServiceRequest) -> PreparedRequest:
+        """Resolve names to objects and fix the plan fingerprint."""
+        dataset = self.registry.resolve(request.dataset, dict(request.params))
+        if request.question is not None:
+            try:
+                question = parse_question(
+                    request.question.direction,
+                    request.question.expression,
+                    request.question.aggregates,
+                )
+            except ReproError as exc:
+                raise BadRequestError(
+                    f"bad question: {exc}", kind=_kind_of(exc)
+                ) from exc
+        elif dataset.default_question is not None:
+            question = dataset.default_question
+        else:
+            raise BadRequestError(
+                f"dataset {dataset.name!r} has no default question; "
+                "supply a 'question' object"
+            )
+        attributes = request.attributes or dataset.default_attributes
+        if not attributes:
+            raise BadRequestError(
+                f"dataset {dataset.name!r} has no default attributes; "
+                "supply an 'attributes' list"
+            )
+        if request.method != "cube" and request.backend != "memory":
+            raise BadRequestError(
+                f"method {request.method!r} runs only on the in-memory "
+                "engine; SQL backends implement the 'cube' method"
+            )
+        try:
+            backend_impl, warning = get_backend_with_fallback(request.backend)
+        except ExplanationError as exc:
+            raise BadRequestError(str(exc), kind="unknown_backend") from exc
+        backend_name = backend_key(backend_impl)
+        if warning:
+            self.counters.inc("compute.fallbacks")
+        plan = ExplanationPlan(
+            database_fingerprint=dataset.fingerprint,
+            question=question_key(question),
+            attributes=tuple(attributes),
+            method=request.method,
+            backend=backend_name,
+            support_threshold=request.support_threshold,
+        )
+        return PreparedRequest(
+            request=request,
+            dataset=dataset,
+            question=question,
+            attributes=tuple(attributes),
+            method=request.method,
+            backend_impl=backend_impl,
+            backend_name=backend_name,
+            fingerprint=plan.fingerprint,
+            static_warnings=(warning,) if warning else (),
+        )
+
+    # -- table construction --------------------------------------------------
+
+    def _build_table(
+        self, prepared: PreparedRequest, warnings_out: List[str]
+    ) -> ExplanationTable:
+        def build_with(backend: object) -> ExplanationTable:
+            explainer = Explainer(
+                prepared.dataset.database,
+                prepared.question,
+                prepared.attributes,
+                support_threshold=prepared.request.support_threshold,
+                backend=backend,
+            )
+            return explainer.explanation_table(prepared.method)
+
+        try:
+            return build_with(prepared.backend_impl)
+        except Exception as exc:
+            if isinstance(exc, ServiceError):
+                raise
+            if prepared.backend_name != "memory":
+                # Graceful degradation: a DBMS-side failure must not take
+                # the request down when the reference engine can answer.
+                self.counters.inc("compute.fallbacks")
+                warnings_out.append(
+                    f"backend {prepared.backend_name!r} failed "
+                    f"({type(exc).__name__}: {exc}); fell back to 'memory'"
+                )
+                try:
+                    return build_with("memory")
+                except ReproError as exc2:
+                    raise BadRequestError(
+                        str(exc2), kind=_kind_of(exc2)
+                    ) from exc2
+            if isinstance(exc, ReproError):
+                raise BadRequestError(str(exc), kind=_kind_of(exc)) from exc
+            raise
+
+    def table_for(
+        self, request: ServiceRequest
+    ) -> Tuple[PreparedRequest, ExplanationTable, str, Tuple[str, ...]]:
+        """(prepared, table, cache_status, warnings) for one request."""
+        prepared = self.prepare(request)
+        key = prepared.fingerprint
+        cached = self.cache.get(key)
+        if cached is not None:
+            return prepared, cached, "hit", prepared.static_warnings
+        runtime_warnings: List[str] = []
+
+        def compute() -> ExplanationTable:
+            existing = self.cache.peek(key)
+            if existing is not None:
+                return existing
+            table = self._build_table(prepared, runtime_warnings)
+            self.counters.inc("compute.tables_built")
+            self.cache.put(key, table)
+            return table
+
+        table, leader = self.flights.do(key, compute)
+        if leader:
+            status = "miss"
+        else:
+            status = "coalesced"
+            self.counters.inc("compute.coalesced_waits")
+        warnings = prepared.static_warnings + tuple(runtime_warnings)
+        return prepared, table, status, warnings
+
+    # -- endpoints ------------------------------------------------------------
+
+    def topk(self, request: ServiceRequest) -> ServiceResult:
+        """Ranked explanations for one request (the ``/v1/topk`` body)."""
+        prepared, table, status, warnings = self.table_for(request)
+        ranking = rank_table(
+            table,
+            k=request.k,
+            by=request.by,
+            strategy=request.strategy,
+            minimality=request.minimality,
+            hybrid_weight=request.hybrid_weight,
+        )
+        payload = self._base_payload(prepared, table)
+        payload.update(
+            {
+                "k": request.k,
+                "by": request.by,
+                "strategy": request.strategy,
+                "minimality": request.minimality,
+                "ranking": ranking_payload(ranking),
+            }
+        )
+        return ServiceResult(payload, status, warnings)
+
+    def explain(self, request: ServiceRequest) -> ServiceResult:
+        """Table metadata plus top-K under both degrees (``/v1/explain``)."""
+        prepared, table, status, warnings = self.table_for(request)
+        top_i = rank_table(
+            table, k=request.k, by="intervention", strategy=request.strategy
+        )
+        top_a = rank_table(
+            table, k=request.k, by="aggravation", strategy=request.strategy
+        )
+        payload = self._base_payload(prepared, table)
+        payload.update(
+            {
+                "k": request.k,
+                "strategy": request.strategy,
+                "q_original": {
+                    name: jsonable_value(value)
+                    for name, value in sorted(table.q_original.items())
+                },
+                "top_by_intervention": ranking_payload(top_i),
+                "top_by_aggravation": ranking_payload(top_a),
+            }
+        )
+        return ServiceResult(payload, status, warnings)
+
+    def _base_payload(
+        self, prepared: PreparedRequest, table: ExplanationTable
+    ) -> Dict[str, object]:
+        original = prepared.question.query.evaluate_environment(
+            table.q_original
+        )
+        return {
+            "dataset": prepared.dataset.name,
+            "params": dict(prepared.dataset.params),
+            "fingerprint": prepared.fingerprint,
+            "question": str(prepared.question.query),
+            "direction": prepared.question.direction.value,
+            "attributes": list(prepared.attributes),
+            "method": prepared.method,
+            "backend": prepared.backend_name,
+            "warnings": list(prepared.static_warnings),
+            "original_value": jsonable_value(original),
+            "table_size": len(table),
+        }
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats_payload(self) -> Dict[str, object]:
+        """The ``/v1/stats`` body: requests, cache, compute counters."""
+        flat = self.counters.snapshot()
+        nested: Dict[str, Dict[str, int]] = {"requests": {}, "compute": {}}
+        for name, value in sorted(flat.items()):
+            group, _, rest = name.partition(".")
+            nested.setdefault(group, {})[rest or group] = value
+        for default in ("tables_built", "coalesced_waits", "fallbacks"):
+            nested["compute"].setdefault(default, 0)
+        return {
+            "requests": nested["requests"],
+            "compute": nested["compute"],
+            "cache": self.cache.stats().to_dict(),
+            "inflight": self.flights.inflight(),
+        }
+
+    def health_payload(self) -> Dict[str, object]:
+        """The ``/v1/health`` body."""
+        available = set(available_backends())
+        return {
+            "status": "ok",
+            "datasets": list(self.registry.names()),
+            "backends": {
+                name: name in available for name in backend_names()
+            },
+        }

@@ -1,0 +1,71 @@
+"""Service-layer errors with HTTP status and machine-readable kinds.
+
+Every error the serving subsystem raises deliberately carries a
+``status`` (the HTTP response code) and a ``kind`` (a stable snake_case
+identifier clients can switch on), so the server can render *any* of
+them as a structured JSON body — ``{"error": {"type": ..., "message":
+...}}`` — instead of a traceback.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class for serving-layer failures."""
+
+    status: int = 500
+    kind: str = "internal_error"
+
+    def __init__(self, message: str, *, kind: str = "") -> None:
+        super().__init__(message)
+        if kind:
+            self.kind = kind
+
+
+class BadRequestError(ServiceError):
+    """The request is malformed: bad JSON, bad field, bad predicate."""
+
+    status = 400
+    kind = "bad_request"
+
+
+class NotFoundError(ServiceError):
+    """An unknown endpoint or dataset was addressed."""
+
+    status = 404
+    kind = "not_found"
+
+
+class PayloadTooLargeError(ServiceError):
+    """The request body exceeds the server's size limit."""
+
+    status = 413
+    kind = "payload_too_large"
+
+
+class RequestTimeoutError(ServiceError):
+    """The computation did not finish within the request deadline."""
+
+    status = 504
+    kind = "timeout"
+
+
+class ClientError(ServiceError):
+    """Raised by :class:`repro.service.client.ServiceClient` when the
+    server answered with an error response."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        message = (
+            error.get("message", str(payload))
+            if isinstance(error, dict)
+            else str(payload)
+        )
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.kind = (
+            error.get("type", "error") if isinstance(error, dict) else "error"
+        )
+        self.payload = payload

@@ -1,0 +1,255 @@
+"""The JSON wire protocol: request model, validation, serialization.
+
+A request body (shared by ``/v1/explain`` and ``/v1/topk``) looks like::
+
+    {
+      "dataset": "natality",
+      "params": {"rows": 8000, "seed": 7},
+      "question": {
+        "dir": "high",
+        "expr": "(q1 / q2)",
+        "aggregates": ["q1 := count(*) WHERE Birth.ap = 'good'",
+                       "q2 := count(*)"]
+      },
+      "attributes": ["Birth.marital", "Birth.tobacco"],
+      "method": "cube",
+      "backend": "memory",
+      "k": 5,
+      "by": "intervention",
+      "strategy": "minimal_append",
+      "support_threshold": null,
+      "timeout_s": 10.0
+    }
+
+``question`` and ``attributes`` may be omitted for datasets registered
+with defaults.  All validation failures raise
+:class:`~repro.service.errors.BadRequestError` with a stable ``kind``,
+which the server renders as structured JSON — clients never see a
+traceback.
+
+Response *payloads* are deliberately free of per-request state (cache
+hit/miss, coalescing) so that identical requests produce bit-identical
+bodies; that metadata travels in the ``X-Repro-Cache`` and
+``X-Repro-Warning`` headers instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.explainer import METHODS
+from ..core.topk import RankedExplanation
+from ..engine.types import Value, is_dummy, is_null
+from .errors import BadRequestError
+
+DEGREES = ("intervention", "aggravation", "hybrid")
+STRATEGIES = ("no_minimal", "minimal_self_join", "minimal_append")
+MINIMALITIES = ("general", "specific")
+
+
+@dataclass(frozen=True)
+class QuestionSpec:
+    """The textual question form accepted over the wire."""
+
+    direction: str
+    expression: str
+    aggregates: Tuple[str, ...]
+
+    @classmethod
+    def from_value(cls, value: object) -> "QuestionSpec":
+        if not isinstance(value, Mapping):
+            raise BadRequestError(
+                "question must be an object with dir/expr/aggregates"
+            )
+        direction = value.get("dir", value.get("direction"))
+        expression = value.get("expr", value.get("expression"))
+        aggregates = value.get("aggregates")
+        if not isinstance(direction, str) or direction.lower() not in (
+            "high",
+            "low",
+        ):
+            raise BadRequestError("question.dir must be 'high' or 'low'")
+        if not isinstance(expression, str) or not expression.strip():
+            raise BadRequestError("question.expr must be a non-empty string")
+        if (
+            not isinstance(aggregates, Sequence)
+            or isinstance(aggregates, str)
+            or not aggregates
+            or not all(isinstance(a, str) for a in aggregates)
+        ):
+            raise BadRequestError(
+                "question.aggregates must be a non-empty list of "
+                "'name := agg(arg) [WHERE ...]' strings"
+            )
+        return cls(direction.lower(), expression, tuple(aggregates))
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One validated explanation/top-K request."""
+
+    dataset: str
+    params: Tuple[Tuple[str, object], ...] = ()
+    question: Optional[QuestionSpec] = None
+    attributes: Optional[Tuple[str, ...]] = None
+    method: str = "cube"
+    backend: str = "memory"
+    k: int = 5
+    by: str = "intervention"
+    strategy: str = "minimal_append"
+    minimality: str = "general"
+    hybrid_weight: float = 0.5
+    support_threshold: Optional[float] = None
+    timeout_s: Optional[float] = None
+
+    @classmethod
+    def from_dict(cls, data: object) -> "ServiceRequest":
+        if not isinstance(data, Mapping):
+            raise BadRequestError("request body must be a JSON object")
+        unknown = set(data) - _KNOWN_FIELDS
+        if unknown:
+            raise BadRequestError(
+                f"unknown request fields: {sorted(unknown)}",
+                kind="unknown_field",
+            )
+        dataset = data.get("dataset")
+        if not isinstance(dataset, str) or not dataset:
+            raise BadRequestError("dataset must be a non-empty string")
+        params = data.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise BadRequestError("params must be a JSON object")
+        question = (
+            QuestionSpec.from_value(data["question"])
+            if data.get("question") is not None
+            else None
+        )
+        attributes: Optional[Tuple[str, ...]] = None
+        if data.get("attributes") is not None:
+            raw = data["attributes"]
+            if (
+                not isinstance(raw, Sequence)
+                or isinstance(raw, str)
+                or not all(isinstance(a, str) for a in raw)
+            ):
+                raise BadRequestError("attributes must be a list of strings")
+            if not raw:
+                raise BadRequestError("attributes must not be empty")
+            attributes = tuple(raw)
+        method = _choice(data, "method", METHODS, "cube")
+        backend = data.get("backend", "memory")
+        if not isinstance(backend, str) or not backend:
+            raise BadRequestError("backend must be a non-empty string")
+        k = data.get("k", 5)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise BadRequestError("k must be a positive integer")
+        by = _choice(data, "by", DEGREES, "intervention")
+        strategy = _choice(data, "strategy", STRATEGIES, "minimal_append")
+        minimality = _choice(data, "minimality", MINIMALITIES, "general")
+        hybrid_weight = _number(data, "hybrid_weight", 0.5)
+        if not 0.0 <= hybrid_weight <= 1.0:
+            raise BadRequestError("hybrid_weight must be in [0, 1]")
+        support = data.get("support_threshold")
+        if support is not None and not isinstance(support, (int, float)):
+            raise BadRequestError("support_threshold must be a number")
+        timeout_s = data.get("timeout_s")
+        if timeout_s is not None:
+            if not isinstance(timeout_s, (int, float)) or timeout_s <= 0:
+                raise BadRequestError("timeout_s must be a positive number")
+            timeout_s = float(timeout_s)
+        return cls(
+            dataset=dataset,
+            params=tuple(sorted(params.items())),
+            question=question,
+            attributes=attributes,
+            method=method,
+            backend=backend,
+            k=k,
+            by=by,
+            strategy=strategy,
+            minimality=minimality,
+            hybrid_weight=hybrid_weight,
+            support_threshold=(
+                float(support) if support is not None else None
+            ),
+            timeout_s=timeout_s,
+        )
+
+
+_KNOWN_FIELDS = {
+    "dataset",
+    "params",
+    "question",
+    "attributes",
+    "method",
+    "backend",
+    "k",
+    "by",
+    "strategy",
+    "minimality",
+    "hybrid_weight",
+    "support_threshold",
+    "timeout_s",
+}
+
+
+def _choice(
+    data: Mapping, name: str, allowed: Sequence[str], default: str
+) -> str:
+    value = data.get(name, default)
+    if value is None:
+        return default
+    if value not in allowed:
+        raise BadRequestError(
+            f"{name} must be one of {tuple(allowed)}, got {value!r}"
+        )
+    return value
+
+
+def _number(data: Mapping, name: str, default: float) -> float:
+    value = data.get(name, default)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise BadRequestError(f"{name} must be a number")
+    return float(value)
+
+
+# -- response serialization -------------------------------------------------
+
+
+def jsonable_value(value: Value):
+    """An engine value as a JSON-safe scalar.
+
+    NULL/DUMMY become the strings ``"null"``/``"*"`` (distinguishable
+    from a JSON null, which we never emit for degrees); non-finite
+    floats are stringified the way :mod:`repro.core.report` does.
+    """
+    if is_null(value):
+        return "null"
+    if is_dummy(value):
+        return "*"
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)
+    if isinstance(value, (int, float, str, bool)):
+        return value
+    return str(value)
+
+
+def ranking_payload(
+    ranking: Sequence[RankedExplanation],
+) -> List[Dict[str, object]]:
+    """The canonical JSON form of a ranked explanation list.
+
+    Shared by the server and by offline comparisons: serializing the
+    same ranking always produces the same structure, which is what the
+    "responses are bit-identical to the offline Explainer result"
+    acceptance check relies on.
+    """
+    return [
+        {
+            "rank": r.rank,
+            "explanation": str(r.explanation),
+            "degree": jsonable_value(r.degree),
+        }
+        for r in ranking
+    ]

@@ -1,0 +1,135 @@
+"""Single-flight coalescing: one leader computes, waiters share the result
+(or the leader's exception), and the key is always released afterwards."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+import pytest
+
+from repro.service import SingleFlight
+
+
+class TestSingleFlight:
+    def test_sequential_calls_each_compute(self):
+        sf = SingleFlight()
+        calls = []
+        result, leader = sf.do("k", lambda: calls.append(1) or "a")
+        assert (result, leader) == ("a", True)
+        result, leader = sf.do("k", lambda: calls.append(1) or "b")
+        assert (result, leader) == ("b", True)
+        assert len(calls) == 2
+
+    def test_concurrent_calls_coalesce_to_one(self):
+        sf = SingleFlight()
+        calls = []
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow():
+            calls.append(threading.get_ident())
+            started.set()
+            release.wait(5)
+            return "value"
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [pool.submit(sf.do, "k", slow) for _ in range(8)]
+            assert started.wait(5)
+            # Give the followers a moment to park on the leader's future,
+            # then let the leader finish.
+            time.sleep(0.05)
+            release.set()
+            results = [f.result(timeout=5) for f in futures]
+
+        assert len(calls) == 1
+        assert all(value == "value" for value, _ in results)
+        assert sum(1 for _, leader in results if leader) == 1
+        assert not sf.is_inflight("k")
+
+    def test_distinct_keys_do_not_coalesce(self):
+        sf = SingleFlight()
+        calls = []
+        barrier = threading.Barrier(2)
+
+        def make(key):
+            def fn():
+                calls.append(key)
+                barrier.wait(5)  # deadlocks unless both keys run
+                return key
+
+            return fn
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            fa = pool.submit(sf.do, "a", make("a"))
+            fb = pool.submit(sf.do, "b", make("b"))
+            assert fa.result(5) == ("a", True)
+            assert fb.result(5) == ("b", True)
+        assert sorted(calls) == ["a", "b"]
+
+    def test_leader_exception_propagates_to_all_waiters(self):
+        sf = SingleFlight()
+        release = threading.Event()
+        started = threading.Event()
+
+        def explode():
+            started.set()
+            release.wait(5)
+            raise ValueError("leader failed")
+
+        with ThreadPoolExecutor(max_workers=5) as pool:
+            futures = [pool.submit(sf.do, "k", explode) for _ in range(5)]
+            assert started.wait(5)
+            time.sleep(0.05)
+            release.set()
+            for f in futures:
+                with pytest.raises(ValueError, match="leader failed"):
+                    f.result(timeout=5)
+
+        # The failed flight must not wedge the key: a retry computes fresh.
+        assert not sf.is_inflight("k")
+        result, leader = sf.do("k", lambda: "recovered")
+        assert (result, leader) == ("recovered", True)
+
+    def test_waiter_timeout_leaves_flight_intact(self):
+        sf = SingleFlight()
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow():
+            started.set()
+            release.wait(5)
+            return "done"
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            leader_future = pool.submit(sf.do, "k", slow)
+            assert started.wait(5)
+            with pytest.raises(FutureTimeoutError):
+                sf.do("k", slow, timeout=0.05)
+            release.set()
+            assert leader_future.result(5) == ("done", True)
+
+    def test_inflight_counts_keys(self):
+        sf = SingleFlight()
+        release = threading.Event()
+        started = threading.Barrier(3)
+
+        def slow(key):
+            def fn():
+                started.wait(5)
+                release.wait(5)
+                return key
+
+            return fn
+
+        assert sf.inflight() == 0
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            fa = pool.submit(sf.do, "a", slow("a"))
+            fb = pool.submit(sf.do, "b", slow("b"))
+            started.wait(5)
+            assert sf.inflight() == 2
+            assert sf.is_inflight("a") and sf.is_inflight("b")
+            release.set()
+            fa.result(5)
+            fb.result(5)
+        assert sf.inflight() == 0

@@ -1,0 +1,64 @@
+"""The ``repro`` console entry point: declared, importable, runnable."""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+
+class TestEntryPointDeclaration:
+    def test_pyproject_declares_repro_script(self):
+        # Parsed with a regex, not tomllib: CI's Python 3.9 has no tomllib
+        # and the repo takes no third-party dependencies.
+        text = (ROOT / "pyproject.toml").read_text()
+        match = re.search(
+            r"^\[project\.scripts\]\s*\n(?P<body>(?:^[^\[\n][^\n]*\n?)*)",
+            text,
+            re.MULTILINE,
+        )
+        assert match, "pyproject.toml has no [project.scripts] table"
+        scripts = dict(
+            re.findall(r'^([\w-]+)\s*=\s*"([^"]+)"', match.group("body"), re.M)
+        )
+        assert scripts.get("repro") == "repro.cli:main"
+
+    def test_declared_target_resolves_to_a_callable(self):
+        module_name, _, attr = "repro.cli:main".partition(":")
+        module = __import__(module_name, fromlist=[attr])
+        assert callable(getattr(module, attr))
+
+
+class TestEntryPointRuns:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=str(ROOT),
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_module_help_lists_serve(self):
+        proc = self._run("--help")
+        assert proc.returncode == 0
+        assert "serve" in proc.stdout
+
+    def test_serve_help(self):
+        proc = self._run("serve", "--help")
+        assert proc.returncode == 0
+        for flag in ("--host", "--port", "--cache-mb", "--timeout"):
+            assert flag in proc.stdout
+
+    def test_main_callable_smoke(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "explain" in capsys.readouterr().out
