@@ -36,6 +36,14 @@ def pytest_addoption(parser):
         metavar="PATH",
         help="write machine-readable benchmark results to PATH",
     )
+    parser.addoption(
+        "--preset",
+        action="store",
+        choices=("small", "full"),
+        default="full",
+        help="workload size for presettable benchmarks (CI smoke uses "
+        "'small'; default 'full')",
+    )
 
 
 def pytest_configure(config):
@@ -52,6 +60,12 @@ def pytest_sessionfinish(session, exitstatus):
             {"records": records}, fh, indent=2, sort_keys=True, default=str
         )
         fh.write("\n")
+
+
+@pytest.fixture(scope="session")
+def preset(request):
+    """The ``--preset`` workload size ('small' or 'full')."""
+    return request.config.getoption("--preset")
 
 
 @pytest.fixture

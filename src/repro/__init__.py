@@ -25,6 +25,7 @@ Quickstart::
         print(ranked.rank, ranked.explanation, ranked.degree)
 """
 
+from ._version import __version__
 from .backends import (
     ExecutionBackend,
     available_backends,
@@ -88,8 +89,6 @@ from .errors import (
     ReproError,
     SchemaError,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "AggregateQuery",

@@ -1,0 +1,39 @@
+"""Single-source package version.
+
+``pyproject.toml`` is the authority.  When the package is installed,
+its metadata carries that version and :func:`importlib.metadata.version`
+finds it; when running from a source checkout (``PYTHONPATH=src``, the
+test/benchmark setup) there is no installed distribution, so we parse
+the version straight out of the adjacent ``pyproject.toml``.  Either
+way nothing needs bumping besides the one ``version = "…"`` line.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+_FALLBACK = "0.0.0+unknown"
+
+
+def detect_version() -> str:
+    """The package version from installed metadata or pyproject.toml."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        pass
+    # Source checkout: src/repro/_version.py -> <root>/pyproject.toml.
+    pyproject = Path(__file__).resolve().parent.parent.parent / "pyproject.toml"
+    try:
+        text = pyproject.read_text(encoding="utf-8")
+    except OSError:
+        return _FALLBACK
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+    if match:
+        return match.group(1)
+    return _FALLBACK
+
+
+__version__ = detect_version()

@@ -50,6 +50,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from ._version import __version__
 from .core import (
     AggregateQuery,
     Direction,
@@ -288,6 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Intervention-based explanations for database queries "
         "(Roy & Suciu, SIGMOD 2014).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

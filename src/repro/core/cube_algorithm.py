@@ -197,36 +197,47 @@ def finalize_explanation_table(
     value_columns = [f"v_{q.name}" for q in query.aggregates]
     joined = _fill_missing_values(joined, query, value_columns)
 
-    # Step 4: μ columns.
-    rows_out: List[Row] = []
-    val_pos = joined.positions(value_columns)
-    for row in joined.rows():
-        values = {
-            q.name: row[pos]
-            for q, pos in zip(query.aggregates, val_pos)
-        }
+    # Step 4: μ columns, computed from the v_j column slices — the
+    # attribute columns pass through untouched (zero copy).
+    n = len(joined)
+    names = [q.name for q in query.aggregates]
+    value_cols = [joined.column(c) for c in value_columns]
+    interv_sign = question.intervention_sign
+    aggr_sign = question.aggravation_sign
+    mu_interv_col: List[Value] = []
+    mu_aggr_col: List[Value] = []
+    value_tuples = zip(*value_cols) if value_cols else (() for _ in range(n))
+    for vals in value_tuples:
+        values = dict(zip(names, vals))
         interv_env = {
             name: _subtract(q_original[name], values[name])
             for name in values
         }
         mu_i = query.evaluate_environment(interv_env)
         if not is_null(mu_i):
-            mu_i = question.intervention_sign * mu_i
+            mu_i = interv_sign * mu_i
         mu_a = query.evaluate_environment(values)
         if not is_null(mu_a):
-            mu_a = question.aggravation_sign * mu_a
-        rows_out.append(row + (mu_i, mu_a))
-    m = Table(list(joined.columns) + [MU_INTERV, MU_AGGR], rows_out)
+            mu_a = aggr_sign * mu_a
+        mu_interv_col.append(mu_i)
+        mu_aggr_col.append(mu_a)
+    m = Table.from_columns(
+        list(joined.columns) + [MU_INTERV, MU_AGGR],
+        joined.column_arrays() + [mu_interv_col, mu_aggr_col],
+        nrows=n,
+    )
 
     if support_threshold is not None:
-        keep = []
-        for row in m.rows():
+        support_cols = [m.column(c) for c in value_columns]
+        keep = [
+            i
+            for i in range(len(m))
             if any(
-                not is_null(row[i]) and row[i] >= support_threshold
-                for i in m.positions(value_columns)
-            ):
-                keep.append(row)
-        m = Table(m.columns, keep)
+                not is_null(col[i]) and col[i] >= support_threshold
+                for col in support_cols
+            )
+        ]
+        m = m.take(keep)
 
     return ExplanationTable(
         table=m,
@@ -259,30 +270,31 @@ def add_hybrid_column(
         raise ExplanationError(f"hybrid weight must be in [0, 1], got {weight}")
     if m.table.has_column(MU_HYBRID):
         return m
-    interv_pos = m.table.position(MU_INTERV)
-    aggr_pos = m.table.position(MU_AGGR)
-
-    def ranks(position: int) -> Dict[int, int]:
+    def ranks(column: List[Value]) -> Dict[int, int]:
         scored = [
-            (idx, row[position])
-            for idx, row in enumerate(m.table.rows())
-            if not is_missing(row[position])
+            (idx, value)
+            for idx, value in enumerate(column)
+            if not is_missing(value)
         ]
         scored.sort(key=lambda iv: sort_key(iv[1]), reverse=True)
         return {idx: rank for rank, (idx, _) in enumerate(scored, start=1)}
 
-    interv_ranks = ranks(interv_pos)
-    aggr_ranks = ranks(aggr_pos)
-    rows_out: List[Row] = []
-    for idx, row in enumerate(m.table.rows()):
+    interv_ranks = ranks(m.table.column(MU_INTERV))
+    aggr_ranks = ranks(m.table.column(MU_AGGR))
+    hybrid_col: List[Value] = []
+    for idx in range(len(m.table)):
         if idx in interv_ranks and idx in aggr_ranks:
             hybrid: Value = -(
                 weight * interv_ranks[idx] + (1 - weight) * aggr_ranks[idx]
             )
         else:
             hybrid = NULL
-        rows_out.append(row + (hybrid,))
-    table = Table(list(m.table.columns) + [MU_HYBRID], rows_out)
+        hybrid_col.append(hybrid)
+    table = Table.from_columns(
+        list(m.table.columns) + [MU_HYBRID],
+        m.table.column_arrays() + [hybrid_col],
+        nrows=len(m.table),
+    )
     return ExplanationTable(
         table=table,
         attributes=m.attributes,
@@ -298,15 +310,18 @@ def _fill_missing_values(
     defaults = {
         f"v_{q.name}": q.aggregate.default_value for q in query.aggregates
     }
-    positions = {joined.position(c): defaults[c] for c in value_columns}
-    rows = [
-        tuple(
-            positions[i] if (i in positions and is_null(v)) else v
-            for i, v in enumerate(row)
-        )
-        for row in joined.rows()
-    ]
-    return Table(joined.columns, rows)
+    for c in value_columns:
+        joined.position(c)  # raise early on unknown columns
+    store = joined.store()
+    value_set = set(value_columns)
+    data: List[List[Value]] = []
+    for i, name in enumerate(joined.columns):
+        col = store.column(i)
+        if name in value_set:
+            default = defaults[name]
+            col = [default if is_null(v) else v for v in col]
+        data.append(col)
+    return Table.from_columns(joined.columns, data, nrows=len(joined))
 
 
 def _null_aware_outer_join(cubes: Sequence[Table], on: List[str]) -> Table:

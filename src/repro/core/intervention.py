@@ -36,7 +36,7 @@ from ..engine.reduction import RowSets, is_semijoin_reduced, reduce_row_sets
 from ..engine.schema import DatabaseSchema, ForeignKey
 from ..engine.table import Table
 from ..engine.types import Row
-from ..engine.universal import JoinTree, project_universal, universal_table
+from ..engine.universal import JoinTree, universal_table
 from ..errors import ConvergenceError
 from .predicates import Predicate
 
@@ -116,16 +116,34 @@ class InterventionEngine:
         """
         from ..engine.expressions import compile_predicate
 
-        matches = compile_predicate(phi.to_expression(), self.universal.columns)
-        surviving_rows = [
-            row for row in self.universal.rows() if not matches(row)
-        ]
-        survivors = Table(self.universal.columns, surviving_rows)
+        # Compile φ over only its referenced columns and probe them as
+        # zipped slices; survivors stay a zero-copy selection of the
+        # universal table.  (``not matches`` — not ``matches(¬φ)`` —
+        # so rows where φ is NULL survive, as before.)
+        expr = phi.to_expression()
+        needed = tuple(expr.columns())
+        for col in needed:
+            self.universal.position(col)
+        matches = compile_predicate(expr, needed)
+        if not needed:
+            n = len(self.universal)
+            selection = [] if matches(()) else list(range(n))
+        else:
+            cols = [self.universal.column(c) for c in needed]
+            selection = [
+                i for i, vals in enumerate(zip(*cols)) if not matches(vals)
+            ]
+        survivors = self.universal.take(selection)
         parts: Dict[str, Set[Row]] = {}
         for name in self.schema.relation_names:
-            keep = set(
-                project_universal(survivors, self.schema, name).rows()
-            )
+            rs = self.schema.relation(name)
+            # Π_{A_i}: zip the relation's qualified survivor columns
+            # straight into a deduplicating set — no re-tupling of
+            # whole universal rows.
+            proj_cols = [
+                survivors.column(f"{name}.{a}") for a in rs.attribute_names
+            ]
+            keep: Set[Row] = set(zip(*proj_cols))
             parts[name] = set(self.database.relation(name).rows()) - keep
         return Delta(self.schema, parts)
 
@@ -319,10 +337,10 @@ def is_valid_intervention(
     from ..engine.expressions import compile_predicate
 
     residual_universal = universal_table(residual)
-    matches = compile_predicate(
-        phi.to_expression(), residual_universal.columns
-    )
-    for row in residual_universal.rows():
-        if matches(row):
-            return False
-    return True
+    expr = phi.to_expression()
+    needed = tuple(expr.columns())
+    matches = compile_predicate(expr, needed)
+    if not needed:
+        return len(residual_universal) == 0 or not matches(())
+    cols = [residual_universal.column(c) for c in needed]
+    return not any(matches(vals) for vals in zip(*cols))

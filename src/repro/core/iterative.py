@@ -69,7 +69,7 @@ class IndexedInterventionEvaluator:
         self.engine = InterventionEngine(
             database, universal=self.universal, join_tree=self.join_tree
         )
-        self._rows: List[Row] = list(self.universal.rows())
+        self._n = len(self.universal)
         self._build_posting_lists()
         self._build_projection_cache()
         self._build_aggregate_indexes()
@@ -77,13 +77,15 @@ class IndexedInterventionEvaluator:
     # -- index construction ------------------------------------------------
 
     def _build_posting_lists(self) -> None:
-        """attribute -> value -> frozenset of universal row ids."""
+        """attribute -> value -> frozenset of universal row ids.
+
+        Built by a single scan of each attribute's *column* — the
+        universal table's rows are never re-tupled.
+        """
         self.postings: Dict[str, Dict[Value, Set[int]]] = {}
         for attr in self.attributes:
-            pos = self.universal.position(attr)
             lists: Dict[Value, Set[int]] = {}
-            for idx, row in enumerate(self._rows):
-                value = row[pos]
+            for idx, value in enumerate(self.universal.column(attr)):
                 if is_null(value):
                     raise QueryError(
                         f"attribute {attr!r} contains NULL; explanation "
@@ -99,12 +101,11 @@ class IndexedInterventionEvaluator:
         self.tuple_counts: Dict[str, Dict[Row, int]] = {}
         for name in schema.relation_names:
             rs = schema.relation(name)
-            pos = self.universal.positions(
-                [f"{name}.{a}" for a in rs.attribute_names]
-            )
-            projected = [
-                tuple(row[i] for i in pos) for row in self._rows
+            cols = [
+                self.universal.column(f"{name}.{a}")
+                for a in rs.attribute_names
             ]
+            projected = list(zip(*cols)) if cols else [()] * self._n
             counts: Dict[Row, int] = {}
             for t in projected:
                 counts[t] = counts.get(t, 0) + 1
@@ -113,22 +114,34 @@ class IndexedInterventionEvaluator:
 
     def _build_aggregate_indexes(self) -> None:
         """Per aggregate: its WHERE row-id set and argument column."""
+        from ..engine.expressions import compile_predicate
+
         self.agg_rows: Dict[str, FrozenSet[int]] = {}
-        self.agg_arg_pos: Dict[str, Optional[int]] = {}
+        self.agg_arg_col: Dict[str, Optional[List[Value]]] = {}
         for q in self.question.query.aggregates:
             if q.where is None:
-                ids: FrozenSet[int] = frozenset(range(len(self._rows)))
+                ids: FrozenSet[int] = frozenset(range(self._n))
             else:
-                ids = frozenset(
-                    idx
-                    for idx, row in enumerate(self._rows)
-                    if q.where.evaluate(self.universal.environment(row))
-                )
+                needed = tuple(q.where.columns())
+                fn = compile_predicate(q.where, needed)
+                if not needed:
+                    ids = (
+                        frozenset(range(self._n))
+                        if fn(())
+                        else frozenset()
+                    )
+                else:
+                    cols = [self.universal.column(c) for c in needed]
+                    ids = frozenset(
+                        idx
+                        for idx, vals in enumerate(zip(*cols))
+                        if fn(vals)
+                    )
             self.agg_rows[q.name] = ids
             if q.aggregate.argument is None:
-                self.agg_arg_pos[q.name] = None
+                self.agg_arg_col[q.name] = None
             else:
-                self.agg_arg_pos[q.name] = self.universal.position(
+                self.agg_arg_col[q.name] = self.universal.column(
                     q.aggregate.argument
                 )
 
@@ -137,7 +150,7 @@ class IndexedInterventionEvaluator:
     def phi_row_ids(self, assignment: Dict[str, Value]) -> Set[int]:
         """σ_φ(U) as row ids, by posting-list intersection."""
         if not assignment:
-            return set(range(len(self._rows)))
+            return set(range(self._n))
         lists = sorted(
             (self.postings[attr].get(value, set()) for attr, value in assignment.items()),
             key=len,
@@ -185,9 +198,9 @@ class IndexedInterventionEvaluator:
             if delta.rows_for(name)
         }
         if not deleted_sets:
-            return set(range(len(self._rows)))
+            return set(range(self._n))
         survivors: Set[int] = set()
-        for idx in range(len(self._rows)):
+        for idx in range(self._n):
             dead = False
             for name, deleted in deleted_sets.items():
                 if self.row_tuples[name][idx] in deleted:
@@ -202,12 +215,10 @@ class IndexedInterventionEvaluator:
         kind = q.aggregate.kind
         if kind in ("count_star", "count"):
             return len(relevant)
-        arg_pos = self.agg_arg_pos[q.name]
-        assert arg_pos is not None
+        arg_col = self.agg_arg_col[q.name]
+        assert arg_col is not None
         values = {
-            self._rows[idx][arg_pos]
-            for idx in relevant
-            if not is_null(self._rows[idx][arg_pos])
+            arg_col[idx] for idx in relevant if not is_null(arg_col[idx])
         }
         if kind == "count_distinct":
             return len(values)
@@ -248,14 +259,13 @@ class IndexedInterventionEvaluator:
         """Every attribute-value combination with support in U,
         including partial ('don't care') combinations and the trivial
         one — the same candidate set the cube materializes."""
-        positions = self.universal.positions(self.attributes)
+        attr_cols = [self.universal.column(a) for a in self.attributes]
         cells: Set[Tuple[Tuple[str, Value], ...]] = set()
         masks = [
             tuple(a in s for a in self.attributes)
             for s in grouping_sets(self.attributes)
         ]
-        for row in self._rows:
-            values = tuple(row[i] for i in positions)
+        for values in set(zip(*attr_cols)):
             for mask in masks:
                 cells.add(
                     tuple(
@@ -284,9 +294,7 @@ class IndexedInterventionEvaluator:
             attributes=self.attributes,
             aggregate_names=tuple(query.names),
             q_original={
-                q.name: self._aggregate_over(
-                    q, set(range(len(self._rows)))
-                )
+                q.name: self._aggregate_over(q, set(range(self._n)))
                 for q in query.aggregates
             },
         )

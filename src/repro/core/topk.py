@@ -89,15 +89,26 @@ def _rank_key(mu_pos: int, attr_pos: Sequence[int], minimality: str = "general")
 
 
 def _eligible_rows(m: ExplanationTable, by: str) -> Tuple[List[Row], int, Tuple[int, ...]]:
+    """Rows with a defined degree and at least one real condition.
+
+    Eligibility is decided from the degree and attribute *columns*
+    (no row materialization for filtered-out rows); the surviving
+    rows are then gathered once for the strategies, which are
+    row-at-a-time by nature (heaps, signature subsets).
+    """
     table = m.table
     mu_pos = table.position(by)
     attr_pos = table.positions(m.attributes)
-    rows = [
-        row
-        for row in table.rows()
-        if not is_missing(row[mu_pos])
-        and not all(is_dummy(row[i]) or is_null(row[i]) for i in attr_pos)
+    store = table.store()
+    mu_col = store.column(mu_pos)
+    attr_cols = [store.column(i) for i in attr_pos]
+    selection = [
+        i
+        for i in range(len(table))
+        if not is_missing(mu_col[i])
+        and not all(is_dummy(col[i]) or is_null(col[i]) for col in attr_cols)
     ]
+    rows = table.take(selection).rows()
     return rows, mu_pos, attr_pos
 
 

@@ -27,7 +27,15 @@ from .aggregates import (
     count_distinct,
     count_star,
 )
-from .cube import cube, cube_bruteforce, dummy_rewrite, grouping_sets, undummy
+from .columnstore import ColumnStore
+from .cube import (
+    cube,
+    cube_bruteforce,
+    cube_rowwise,
+    dummy_rewrite,
+    grouping_sets,
+    undummy,
+)
 from .database import Database, Delta
 from .expressions import (
     And,
@@ -46,7 +54,7 @@ from .expressions import (
     log,
     neg,
 )
-from .groupby import group_by, scalar_aggregate
+from .groupby import group_by, group_by_rowwise, scalar_aggregate
 from .joins import antijoin, full_outer_join, full_outer_join_many, hash_join, natural_join, semijoin
 from .relation import Relation
 from .schema import (
@@ -85,8 +93,10 @@ __all__ = [
     "agg_sum",
     "count_distinct",
     "count_star",
+    "ColumnStore",
     "cube",
     "cube_bruteforce",
+    "cube_rowwise",
     "dummy_rewrite",
     "grouping_sets",
     "undummy",
@@ -108,6 +118,7 @@ __all__ = [
     "log",
     "neg",
     "group_by",
+    "group_by_rowwise",
     "scalar_aggregate",
     "antijoin",
     "full_outer_join",

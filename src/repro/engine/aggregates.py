@@ -12,17 +12,40 @@ paper proves intervention-additivity conditions (Section 4.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Set, Tuple
+from typing import Callable, Iterable, Optional, Sequence, Set, Tuple
 
 from ..errors import QueryError
 from .types import NULL, Value, is_null, sql_lt
 
 
 class Accumulator:
-    """One group's running aggregate state."""
+    """One group's running aggregate state.
+
+    Besides the classic per-row :meth:`add`, accumulators support the
+    vectorized protocol used by the columnar group-by/cube operators:
+    :meth:`add_many` consumes a whole column slice, :meth:`add_repeat`
+    consumes ``count`` copies of one value (the COUNT(*) fast path),
+    and :meth:`merge` folds another accumulator's state in — which is
+    what lets the single-pass cube aggregate each full-dimension group
+    once and roll the partial states up into all ``2^d`` grouping sets.
+    """
 
     def add(self, value: Value) -> None:
         """Feed one input value (the value of the aggregate argument)."""
+        raise NotImplementedError
+
+    def add_many(self, values: Iterable[Value]) -> None:
+        """Feed a column slice (overridden with vectorized loops)."""
+        for value in values:
+            self.add(value)
+
+    def add_repeat(self, value: Value, count: int) -> None:
+        """Feed *count* copies of *value*."""
+        for _ in range(count):
+            self.add(value)
+
+    def merge(self, other: "Accumulator") -> None:
+        """Fold another accumulator of the same kind into this one."""
         raise NotImplementedError
 
     def result(self) -> Value:
@@ -39,6 +62,15 @@ class CountStarAccumulator(Accumulator):
     def add(self, value: Value) -> None:
         self.count += 1
 
+    def add_many(self, values: Iterable[Value]) -> None:
+        self.count += sum(1 for _ in values)
+
+    def add_repeat(self, value: Value, count: int) -> None:
+        self.count += count
+
+    def merge(self, other: "Accumulator") -> None:
+        self.count += other.count  # type: ignore[attr-defined]
+
     def result(self) -> int:
         return self.count
 
@@ -53,6 +85,16 @@ class CountAccumulator(Accumulator):
         if not is_null(value):
             self.count += 1
 
+    def add_many(self, values: Iterable[Value]) -> None:
+        self.count += sum(1 for v in values if not is_null(v))
+
+    def add_repeat(self, value: Value, count: int) -> None:
+        if not is_null(value):
+            self.count += count
+
+    def merge(self, other: "Accumulator") -> None:
+        self.count += other.count  # type: ignore[attr-defined]
+
     def result(self) -> int:
         return self.count
 
@@ -66,6 +108,16 @@ class CountDistinctAccumulator(Accumulator):
     def add(self, value: Value) -> None:
         if not is_null(value):
             self.seen.add(value)
+
+    def add_many(self, values: Iterable[Value]) -> None:
+        self.seen.update(v for v in values if not is_null(v))
+
+    def add_repeat(self, value: Value, count: int) -> None:
+        if count > 0 and not is_null(value):
+            self.seen.add(value)
+
+    def merge(self, other: "Accumulator") -> None:
+        self.seen |= other.seen  # type: ignore[attr-defined]
 
     def result(self) -> int:
         return len(self.seen)
@@ -86,6 +138,19 @@ class SumAccumulator(Accumulator):
         self.total += value
         self.any = True
 
+    def add_repeat(self, value: Value, count: int) -> None:
+        if count <= 0 or is_null(value):
+            return
+        if not isinstance(value, (int, float)):
+            raise QueryError(f"SUM over non-numeric value {value!r}")
+        self.total += value * count
+        self.any = True
+
+    def merge(self, other: "Accumulator") -> None:
+        if other.any:  # type: ignore[attr-defined]
+            self.total += other.total  # type: ignore[attr-defined]
+            self.any = True
+
     def result(self) -> Value:
         return self.total if self.any else NULL
 
@@ -105,6 +170,18 @@ class AvgAccumulator(Accumulator):
         self.total += value
         self.count += 1
 
+    def add_repeat(self, value: Value, count: int) -> None:
+        if count <= 0 or is_null(value):
+            return
+        if not isinstance(value, (int, float)):
+            raise QueryError(f"AVG over non-numeric value {value!r}")
+        self.total += value * count
+        self.count += count
+
+    def merge(self, other: "Accumulator") -> None:
+        self.total += other.total  # type: ignore[attr-defined]
+        self.count += other.count  # type: ignore[attr-defined]
+
     def result(self) -> Value:
         if self.count == 0:
             return NULL
@@ -123,6 +200,13 @@ class MinAccumulator(Accumulator):
         if is_null(self.best) or sql_lt(value, self.best):
             self.best = value
 
+    def add_repeat(self, value: Value, count: int) -> None:
+        if count > 0:
+            self.add(value)
+
+    def merge(self, other: "Accumulator") -> None:
+        self.add(other.best)  # type: ignore[attr-defined]
+
     def result(self) -> Value:
         return self.best
 
@@ -138,6 +222,13 @@ class MaxAccumulator(Accumulator):
             return
         if is_null(self.best) or sql_lt(self.best, value):
             self.best = value
+
+    def add_repeat(self, value: Value, count: int) -> None:
+        if count > 0:
+            self.add(value)
+
+    def merge(self, other: "Accumulator") -> None:
+        self.add(other.best)  # type: ignore[attr-defined]
 
     def result(self) -> Value:
         return self.best

@@ -95,8 +95,13 @@ class Database:
         for name in self.relation_names:
             h.update(b"\x00R")
             h.update(name.encode("utf-8"))
+            # Hash via the relation's version-cached columnar snapshot;
+            # sorting the per-row digests keeps the result independent
+            # of storage order, so the digest is byte-identical to the
+            # row-set hash it replaces (the service cache keys depend
+            # on that stability).
             row_digests = sorted(
-                _row_digest(row) for row in self.relations[name]
+                _row_digest(row) for row in self.relations[name].row_list()
             )
             for digest in row_digests:
                 h.update(digest)

@@ -40,12 +40,10 @@ def _factorize(
     table: Table, column: str, *, allow_null: bool = False
 ) -> Tuple[np.ndarray, List[Value]]:
     """Map a column to integer codes plus the decoding list."""
-    pos = table.position(column)
     mapping: Dict[Value, int] = {}
     values: List[Value] = []
     codes = np.empty(len(table), dtype=np.int64)
-    for i, row in enumerate(table.rows()):
-        v = row[pos]
+    for i, v in enumerate(table.column(column)):
         if is_null(v):
             if not allow_null:
                 raise QueryError(

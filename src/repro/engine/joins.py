@@ -4,6 +4,12 @@ All joins are hash based.  Equi-joins never match NULL keys (SQL
 semantics); the cube pipeline therefore rewrites cube NULLs to the
 DUMMY constant before joining (Section 4.2), and :func:`full_outer_join`
 implements the m-way combination step of Algorithm 1.
+
+The implementations are columnar: probe keys come from zipped key
+columns, matches are collected as *gather lists* of row positions, and
+output columns are built with one gather per column instead of
+concatenating row tuples.  Semijoin and antijoin never copy at all —
+they return zero-copy selections over the left table.
 """
 
 from __future__ import annotations
@@ -13,6 +19,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import QueryError
 from .table import Table
 from .types import NULL, Row, Value, is_null
+
+
+def _gather(column: List[Value], indices: List[int]) -> List[Value]:
+    return [column[i] for i in indices]
 
 
 def hash_join(
@@ -33,27 +43,41 @@ def hash_join(
     """
     if len(left_on) != len(right_on):
         raise QueryError("join key lists must have equal length")
-    left_pos = left.positions(left_on)
+    left.positions(left_on)
     right_join_cols = set(right_on)
     if right_keep is None:
         keep_cols = [c for c in right.columns if c not in right_join_cols]
     else:
         keep_cols = [c for c in right_keep if c not in right_join_cols]
-    keep_pos = right.positions(keep_cols)
+    right.positions(keep_cols)
     out_columns = list(left.columns) + keep_cols
     if len(set(out_columns)) != len(out_columns):
         raise QueryError(
             f"join would produce duplicate columns: {out_columns}"
         )
-    index = right.index_on(right_on)
-    out_rows: List[Row] = []
-    for lrow in left.rows():
-        key = tuple(lrow[i] for i in left_pos)
-        if any(is_null(v) for v in key):
-            continue
-        for rrow in index.get(key, ()):
-            out_rows.append(lrow + tuple(rrow[i] for i in keep_pos))
-    return Table(out_columns, out_rows)
+    index = right.index_positions(right_on)
+    left_idx: List[int] = []
+    right_idx: List[int] = []
+    if not left_on:
+        # Degenerate empty key: every left row matches every right row.
+        matches = index.get((), [])
+        for i in range(len(left)):
+            for j in matches:
+                left_idx.append(i)
+                right_idx.append(j)
+    else:
+        left_key_cols = [left.column(c) for c in left_on]
+        for i, key in enumerate(zip(*left_key_cols)):
+            if any(is_null(v) for v in key):
+                continue
+            matches = index.get(key)
+            if matches:
+                for j in matches:
+                    left_idx.append(i)
+                    right_idx.append(j)
+    data = [_gather(col, left_idx) for col in left.column_arrays()]
+    data.extend(_gather(right.column(c), right_idx) for c in keep_cols)
+    return Table.from_columns(out_columns, data, nrows=len(left_idx))
 
 
 def natural_join(left: Table, right: Table) -> Table:
@@ -66,24 +90,35 @@ def natural_join(left: Table, right: Table) -> Table:
     return hash_join(left, right, shared, shared)
 
 
+def _key_set(table: Table, columns: Sequence[str]) -> set:
+    key_cols = [table.column(c) for c in columns]
+    return set(zip(*key_cols))
+
+
 def semijoin(
     left: Table,
     right: Table,
     left_on: Sequence[str],
     right_on: Sequence[str],
 ) -> Table:
-    """Rows of *left* that join with at least one row of *right*."""
+    """Rows of *left* that join with at least one row of *right*.
+
+    Returned as a zero-copy selection over the left table's columns.
+    """
     if len(left_on) != len(right_on):
         raise QueryError("semijoin key lists must have equal length")
-    left_pos = left.positions(left_on)
-    keys = set(right.index_on(right_on))
-    out = [
-        row
-        for row in left.rows()
-        if not any(is_null(row[i]) for i in left_pos)
-        and tuple(row[i] for i in left_pos) in keys
+    left.positions(left_on)
+    right.positions(right_on)
+    if not left_on:
+        return left if len(right) else left.take([])
+    keys = _key_set(right, right_on)
+    left_key_cols = [left.column(c) for c in left_on]
+    selection = [
+        i
+        for i, key in enumerate(zip(*left_key_cols))
+        if key in keys and not any(is_null(v) for v in key)
     ]
-    return Table(left.columns, out)
+    return left.take(selection)
 
 
 def antijoin(
@@ -95,19 +130,23 @@ def antijoin(
     """Rows of *left* that join with no row of *right*.
 
     Rows whose key contains NULL never join, so they are *kept* — the
-    complement of :func:`semijoin`.
+    complement of :func:`semijoin`.  Zero-copy selection, like
+    :func:`semijoin`.
     """
     if len(left_on) != len(right_on):
         raise QueryError("antijoin key lists must have equal length")
-    left_pos = left.positions(left_on)
-    keys = set(right.index_on(right_on))
-    out = [
-        row
-        for row in left.rows()
-        if any(is_null(row[i]) for i in left_pos)
-        or tuple(row[i] for i in left_pos) not in keys
+    left.positions(left_on)
+    right.positions(right_on)
+    if not left_on:
+        return left.take([]) if len(right) else left
+    keys = _key_set(right, right_on)
+    left_key_cols = [left.column(c) for c in left_on]
+    selection = [
+        i
+        for i, key in enumerate(zip(*left_key_cols))
+        if key not in keys or any(is_null(v) for v in key)
     ]
-    return Table(left.columns, out)
+    return left.take(selection)
 
 
 def full_outer_join(
@@ -128,51 +167,65 @@ def full_outer_join(
     Both tables must contain all columns in *on*.  Key columns are
     emitted once.
     """
-    left_key_pos = left.positions(on)
-    right_key_pos = right.positions(on)
+    left.positions(on)
+    right.positions(on)
     left_rest = [c for c in left.columns if c not in set(on)]
     right_rest = [c for c in right.columns if c not in set(on)]
     clash = set(left_rest) & set(right_rest)
     if clash:
         raise QueryError(f"full outer join value-column clash: {sorted(clash)}")
-    left_rest_pos = left.positions(left_rest)
-    right_rest_pos = right.positions(right_rest)
     out_columns = list(on) + left_rest + right_rest
 
-    # Index the right side; NULL keys on either side are treated as
-    # ordinary unmatched rows (they appear with fill on the other side).
-    right_index: Dict[Row, List[Row]] = {}
-    right_null_rows: List[Row] = []
-    for rrow in right.rows():
-        key = tuple(rrow[i] for i in right_key_pos)
-        if any(is_null(v) for v in key):
-            right_null_rows.append(rrow)
-        else:
-            right_index.setdefault(key, []).append(rrow)
+    left_key_cols = [left.column(c) for c in on]
+    right_key_cols = [right.column(c) for c in on]
 
-    out_rows: List[Row] = []
+    # Index the right side by position; NULL keys on either side are
+    # treated as ordinary unmatched rows (they appear with fill on the
+    # other side).
+    right_index: Dict[Row, List[int]] = {}
+    right_null_idx: List[int] = []
+    for j, key in enumerate(zip(*right_key_cols)):
+        if any(is_null(v) for v in key):
+            right_null_idx.append(j)
+        else:
+            right_index.setdefault(key, []).append(j)
+    if not on and len(right):
+        # Zero key columns: every row shares the () key.
+        right_index[()] = [j for j in range(len(right))]
+        right_null_idx = []
+
+    # Pair up row positions: (left position or None, right position or
+    # None); the gather below fills the missing side.
+    pairs: List[Tuple[Optional[int], Optional[int]]] = []
     matched_keys = set()
-    for lrow in left.rows():
-        key = tuple(lrow[i] for i in left_key_pos)
-        lvals = tuple(lrow[i] for i in left_rest_pos)
+    left_keys = list(zip(*left_key_cols)) if on else [()] * len(left)
+    for i, key in enumerate(left_keys):
         if not any(is_null(v) for v in key) and key in right_index:
             matched_keys.add(key)
-            for rrow in right_index[key]:
-                rvals = tuple(rrow[i] for i in right_rest_pos)
-                out_rows.append(key + lvals + rvals)
+            for j in right_index[key]:
+                pairs.append((i, j))
         else:
-            out_rows.append(key + lvals + (fill,) * len(right_rest))
-    for key, rrows in right_index.items():
+            pairs.append((i, None))
+    for key, right_rows in right_index.items():
         if key in matched_keys:
             continue
-        for rrow in rrows:
-            rvals = tuple(rrow[i] for i in right_rest_pos)
-            out_rows.append(key + (fill,) * len(left_rest) + rvals)
-    for rrow in right_null_rows:
-        key = tuple(rrow[i] for i in right_key_pos)
-        rvals = tuple(rrow[i] for i in right_rest_pos)
-        out_rows.append(key + (fill,) * len(left_rest) + rvals)
-    return Table(out_columns, out_rows)
+        for j in right_rows:
+            pairs.append((None, j))
+    for j in right_null_idx:
+        pairs.append((None, j))
+
+    data: List[List[Value]] = []
+    for lcol, rcol in zip(left_key_cols, right_key_cols):
+        data.append(
+            [lcol[i] if i is not None else rcol[j] for i, j in pairs]
+        )
+    for c in left_rest:
+        col = left.column(c)
+        data.append([col[i] if i is not None else fill for i, _ in pairs])
+    for c in right_rest:
+        col = right.column(c)
+        data.append([col[j] if j is not None else fill for _, j in pairs])
+    return Table.from_columns(out_columns, data, nrows=len(pairs))
 
 
 def full_outer_join_many(

@@ -46,6 +46,10 @@ class Relation:
         self._pk_index: Dict[Row, Row] = {}
         self._secondary: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
         self._version = 0
+        # Version-keyed snapshot of (ordered row list, column arrays);
+        # rebuilt lazily after any mutation.  Never mutated in place,
+        # so Tables built from it keep a consistent zero-copy view.
+        self._columnar: Optional[Tuple[int, List[Row], List[List[Value]]]] = None
         if rows is not None:
             self.insert_many(rows)
 
@@ -95,6 +99,45 @@ class Relation:
     def sorted_rows(self) -> List[Row]:
         """Rows in a deterministic total order (for tests and display)."""
         return sorted(self._rows, key=lambda r: tuple(sort_key(v) for v in r))
+
+    # -- zero-copy column views ------------------------------------------
+
+    def _columnar_snapshot(self) -> Tuple[List[Row], List[List[Value]]]:
+        """The cached (row list, column arrays) pair for this version.
+
+        Both structures are built at most once per mutation version and
+        never mutated afterwards, so consumers (:meth:`Table.from_relation
+        <repro.engine.table.Table.from_relation>`, the fingerprint
+        hasher, the fixpoint index probes) can adopt them without
+        copying: a later insert/delete produces *new* lists while old
+        snapshots stay valid.
+        """
+        snapshot = self._columnar
+        if snapshot is not None and snapshot[0] == self._version:
+            return snapshot[1], snapshot[2]
+        row_list = list(self._rows)
+        if row_list:
+            column_arrays = [list(col) for col in zip(*row_list)]
+        else:
+            column_arrays = [[] for _ in range(self.arity)]
+        self._columnar = (self._version, row_list, column_arrays)
+        return row_list, column_arrays
+
+    def row_list(self) -> List[Row]:
+        """The rows as an ordered list (cached per version; read-only)."""
+        return self._columnar_snapshot()[0]
+
+    def column_arrays(self) -> List[List[Value]]:
+        """Per-attribute value lists aligned with :meth:`row_list`.
+
+        Cached per mutation version and treated as immutable — the
+        zero-copy contract behind columnar :class:`Table` views.
+        """
+        return self._columnar_snapshot()[1]
+
+    def column_array(self, attribute: str) -> List[Value]:
+        """One attribute's values aligned with :meth:`row_list`."""
+        return self.column_arrays()[self.schema.index_of(attribute)]
 
     # -- mutation --------------------------------------------------------
 

@@ -8,6 +8,21 @@ is that result type.  All relational operators in
 :mod:`repro.engine.operators`, :mod:`repro.engine.joins`,
 :mod:`repro.engine.groupby` and :mod:`repro.engine.cube` consume and
 produce Tables.
+
+Storage is dual and lazy: a table holds a row-tuple list, a
+:class:`~repro.engine.columnstore.ColumnStore`, or both, deriving and
+caching each representation from the other on first demand.  The
+vectorized operators read columns; :meth:`Table.rows` remains the
+row-oriented escape hatch (and test oracle).  Filters, projections and
+semijoins are zero-copy: they share base column lists through
+selection vectors instead of rebuilding tuples.
+
+The public ``Table(columns, rows)`` constructor validates every row's
+arity, since it is the boundary where external data (CSV loads, SQL
+results, test literals) enters the engine.  Internal operators use the
+trusted :meth:`Table._trusted` / :meth:`Table.from_columns` paths,
+which skip per-row validation because their inputs are already-shaped
+engine values.
 """
 
 from __future__ import annotations
@@ -25,6 +40,7 @@ from typing import (
 )
 
 from ..errors import QueryError
+from .columnstore import ColumnStore
 from .expressions import Environment, Expression
 from .relation import Relation
 from .types import Row, Value, is_null, sort_key
@@ -38,7 +54,7 @@ class Table:
     joins qualify clashing names with the source prefix.
     """
 
-    __slots__ = ("columns", "_rows", "_positions")
+    __slots__ = ("columns", "_positions", "_rows", "_store")
 
     def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Value]] = ()):
         self.columns: Tuple[str, ...] = tuple(columns)
@@ -47,14 +63,78 @@ class Table:
         self._positions: Dict[str, int] = {
             c: i for i, c in enumerate(self.columns)
         }
-        self._rows: List[Row] = [tuple(r) for r in rows]
-        for row in self._rows:
-            if len(row) != len(self.columns):
+        ncols = len(self.columns)
+        checked: List[Row] = []
+        for r in rows:
+            row = r if type(r) is tuple else tuple(r)
+            if len(row) != ncols:
                 raise QueryError(
-                    f"row arity {len(row)} != column count {len(self.columns)}"
+                    f"row arity {len(row)} != column count {ncols}"
                 )
+            checked.append(row)
+        self._rows: Optional[List[Row]] = checked
+        self._store: Optional[ColumnStore] = None
 
     # -- construction ----------------------------------------------------
+
+    @classmethod
+    def _trusted(
+        cls,
+        columns: Sequence[str],
+        *,
+        rows: Optional[List[Row]] = None,
+        store: Optional[ColumnStore] = None,
+    ) -> "Table":
+        """Internal constructor for already-validated engine data.
+
+        Adopts *rows* (a list of correctly-sized tuples) and/or
+        *store* without re-tupling or arity checks.  At least one
+        representation must be supplied.
+        """
+        table = cls.__new__(cls)
+        table.columns = tuple(columns)
+        table._positions = {c: i for i, c in enumerate(table.columns)}
+        table._rows = rows
+        table._store = store
+        return table
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Sequence[str],
+        data: Sequence[List[Value]],
+        nrows: Optional[int] = None,
+    ) -> "Table":
+        """Build a table directly from column lists (adopted, no copy).
+
+        All lists must share one length; *nrows* is required when
+        *data* is empty (a zero-column table still has a cardinality).
+        """
+        columns = tuple(columns)
+        if len(set(columns)) != len(columns):
+            raise QueryError(f"duplicate column names in table: {columns}")
+        if len(data) != len(columns):
+            raise QueryError(
+                f"{len(data)} column lists for {len(columns)} column names"
+            )
+        if data:
+            lengths = {len(col) for col in data}
+            if len(lengths) != 1:
+                raise QueryError(
+                    f"ragged column lists: lengths {sorted(lengths)}"
+                )
+            n = lengths.pop()
+            if nrows is not None and nrows != n:
+                raise QueryError(
+                    f"nrows {nrows} != column length {n}"
+                )
+        else:
+            if nrows is None:
+                raise QueryError("nrows is required for a zero-column table")
+            n = nrows
+        return cls._trusted(
+            columns, store=ColumnStore.from_columns(list(data), n)
+        )
 
     @classmethod
     def from_relation(cls, relation: Relation, qualify: bool = False) -> "Table":
@@ -63,6 +143,9 @@ class Table:
         With ``qualify=True`` column names become ``Relation.attr``,
         which is the convention used throughout the explanation
         pipeline (universal-relation columns are always qualified).
+        The table shares the relation's version-cached row list and
+        column arrays (zero copy); a later mutation of the relation
+        rebuilds those caches, so the table keeps its snapshot.
         """
         if qualify:
             cols = [
@@ -70,27 +153,52 @@ class Table:
             ]
         else:
             cols = list(relation.schema.attribute_names)
-        return cls(cols, relation.rows())
+        return cls._trusted(
+            cols,
+            rows=relation.row_list(),
+            store=ColumnStore.from_columns(
+                relation.column_arrays(), len(relation)
+            ),
+        )
 
     @classmethod
     def empty(cls, columns: Sequence[str]) -> "Table":
         """An empty table with the given columns."""
         return cls(columns, ())
 
+    # -- representations ---------------------------------------------------
+
+    def store(self) -> ColumnStore:
+        """The columnar representation (built and cached on demand)."""
+        if self._store is None:
+            assert self._rows is not None
+            self._store = ColumnStore.from_rows(self._rows, len(self.columns))
+        return self._store
+
+    def column(self, column: str) -> List[Value]:
+        """One column's values in row order (treat as read-only)."""
+        return self.store().column(self.position(column))
+
+    def column_arrays(self) -> List[List[Value]]:
+        """All columns' values in schema order (treat as read-only)."""
+        return self.store().columns()
+
     # -- basic protocol ----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._rows)
+        if self._rows is not None:
+            return len(self._rows)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self.rows())
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Table):
             return NotImplemented
         return self.columns == other.columns and sorted(
-            self._rows, key=_row_key
-        ) == sorted(other._rows, key=_row_key)
+            self.rows(), key=_row_key
+        ) == sorted(other.rows(), key=_row_key)
 
     def position(self, column: str) -> int:
         """Index of *column* in the row tuples."""
@@ -110,12 +218,14 @@ class Table:
         return column in self._positions
 
     def rows(self) -> List[Row]:
-        """The underlying row list (do not mutate)."""
+        """The row-tuple list (built and cached on demand; do not mutate)."""
+        if self._rows is None:
+            self._rows = self._store.rows()
         return self._rows
 
     def sorted_rows(self) -> List[Row]:
         """Rows in a deterministic total order."""
-        return sorted(self._rows, key=_row_key)
+        return sorted(self.rows(), key=_row_key)
 
     def environment(self, row: Sequence[Value]) -> Dict[str, Value]:
         """An expression-evaluation environment for one row."""
@@ -123,78 +233,121 @@ class Table:
 
     def iter_environments(self) -> Iterator[Dict[str, Value]]:
         """Environments for every row, in order."""
-        for row in self._rows:
+        for row in self.rows():
             yield dict(zip(self.columns, row))
 
     # -- core transformations ----------------------------------------------
+
+    def take(self, indices: Iterable[int]) -> "Table":
+        """Rows at the given positions, in order (zero-copy selection)."""
+        return Table._trusted(self.columns, store=self.store().select(indices))
 
     def filter(self, predicate: Expression) -> "Table":
         """Rows where *predicate* evaluates truthy.
 
         Predicates built from comparisons and boolean connectives are
-        compiled to positional accessors (no per-row dict), which is
-        what keeps universal-table filters fast at benchmark scale.
+        compiled to positional accessors and evaluated over zipped
+        slices of only the referenced columns; the surviving rows are
+        returned as a zero-copy selection over this table's columns.
         """
-        needed = predicate.columns()
+        needed = tuple(predicate.columns())
         for col in needed:
             self.position(col)  # raise early on unknown columns
         from .expressions import compile_predicate
 
-        fn = compile_predicate(predicate, self.columns)
-        out = [row for row in self._rows if fn(row)]
-        return Table(self.columns, out)
+        fn = compile_predicate(predicate, needed)
+        if not needed:
+            # Constant predicate: one evaluation decides all rows.
+            if fn(()):
+                return self
+            return Table._trusted(self.columns, store=self.store().select([]))
+        cols = [self.column(c) for c in needed]
+        if len(cols) == 1:
+            col = cols[0]
+            sel = [i for i, v in enumerate(col) if fn((v,))]
+        else:
+            sel = [i for i, vals in enumerate(zip(*cols)) if fn(vals)]
+        return Table._trusted(self.columns, store=self.store().select(sel))
 
     def filter_rows(self, fn: Callable[[Environment], bool]) -> "Table":
         """Rows where the Python callable *fn* (on the env dict) is true."""
+        columns = self.columns
         out = [
-            row for row in self._rows if fn(dict(zip(self.columns, row)))
+            row for row in self.rows() if fn(dict(zip(columns, row)))
         ]
-        return Table(self.columns, out)
+        return Table._trusted(self.columns, rows=out)
 
     def project(self, columns: Sequence[str], distinct: bool = False) -> "Table":
-        """Keep only *columns* (bag projection unless ``distinct``)."""
+        """Keep only *columns* (bag projection unless ``distinct``).
+
+        A bag projection is zero-copy (shared column lists); distinct
+        projections materialize the surviving key tuples.
+        """
         pos = self.positions(columns)
-        rows: Iterable[Row] = (tuple(r[i] for i in pos) for r in self._rows)
-        if distinct:
-            rows = _stable_unique(rows)
-        return Table(columns, rows)
+        if not distinct:
+            return Table._trusted(columns, store=self.store().project(pos))
+        if pos:
+            cols = [self.store().column(i) for i in pos]
+            rows = _stable_unique(zip(*cols))
+        else:
+            rows = _stable_unique(() for _ in range(len(self)))
+        return Table._trusted(columns, rows=list(rows))
 
     def rename(self, mapping: Dict[str, str]) -> "Table":
         """Rename columns according to *mapping* (missing keys kept)."""
         new_cols = [mapping.get(c, c) for c in self.columns]
-        return Table(new_cols, self._rows)
+        if len(set(new_cols)) != len(new_cols):
+            raise QueryError(f"duplicate column names in table: {new_cols}")
+        return Table._trusted(new_cols, rows=self._rows, store=self._store)
 
     def extend(self, column: str, expr: Expression) -> "Table":
-        """Append a computed column."""
+        """Append a computed column (evaluated over referenced columns)."""
         if column in self._positions:
             raise QueryError(f"column {column!r} already exists")
-        new_rows = [
-            row + (expr.evaluate(dict(zip(self.columns, row))),)
-            for row in self._rows
-        ]
-        return Table(list(self.columns) + [column], new_rows)
+        needed = tuple(expr.columns())
+        for col in needed:
+            self.position(col)
+        n = len(self)
+        if not needed:
+            value = expr.evaluate({})
+            new_col: List[Value] = [value] * n
+        else:
+            cols = [self.column(c) for c in needed]
+            new_col = [
+                expr.evaluate(dict(zip(needed, vals)))
+                for vals in zip(*cols)
+            ]
+        return Table._trusted(
+            list(self.columns) + [column],
+            store=self.store().with_column(new_col),
+        )
 
     def distinct(self) -> "Table":
         """Duplicate elimination (stable: first occurrence order kept)."""
-        return Table(self.columns, _stable_unique(self._rows))
+        return Table._trusted(
+            self.columns, rows=list(_stable_unique(self.rows()))
+        )
 
     def union(self, other: "Table") -> "Table":
         """Bag union; columns must match exactly."""
         self._check_compatible(other)
-        return Table(self.columns, self._rows + other._rows)
+        return Table._trusted(self.columns, rows=self.rows() + other.rows())
 
     def difference(self, other: "Table") -> "Table":
         """Set difference (rows of self not present in other)."""
         self._check_compatible(other)
-        drop = set(other._rows)
-        return Table(self.columns, (r for r in self._rows if r not in drop))
+        drop = set(other.rows())
+        return Table._trusted(
+            self.columns, rows=[r for r in self.rows() if r not in drop]
+        )
 
     def intersect(self, other: "Table") -> "Table":
         """Set intersection."""
         self._check_compatible(other)
-        keep = set(other._rows)
-        return Table(
-            self.columns, _stable_unique(r for r in self._rows if r in keep)
+        keep = set(other.rows())
+        return Table._trusted(
+            self.columns,
+            rows=list(_stable_unique(r for r in self.rows() if r in keep)),
         )
 
     def order_by(
@@ -205,33 +358,52 @@ class Table:
         """Sort rows by *columns* using the engine's total order."""
         pos = self.positions(columns)
         key = lambda row: tuple(sort_key(row[i]) for i in pos)
-        return Table(
-            self.columns, sorted(self._rows, key=key, reverse=descending)
+        return Table._trusted(
+            self.columns,
+            rows=sorted(self.rows(), key=key, reverse=descending),
         )
 
     def limit(self, n: int) -> "Table":
         """First *n* rows."""
-        return Table(self.columns, self._rows[:n])
+        return Table._trusted(self.columns, rows=self.rows()[:n])
 
     def row_set(self) -> Set[Row]:
         """Rows as a set (for containment checks)."""
-        return set(self._rows)
+        return set(self.rows())
 
     def index_on(self, columns: Sequence[str]) -> Dict[Row, List[Row]]:
         """Hash index over *columns*; rows with NULL keys excluded."""
         pos = self.positions(columns)
         index: Dict[Row, List[Row]] = {}
-        for row in self._rows:
+        for row in self.rows():
             key = tuple(row[i] for i in pos)
             if any(is_null(v) for v in key):
                 continue
             index.setdefault(key, []).append(row)
         return index
 
+    def index_positions(self, columns: Sequence[str]) -> Dict[Row, List[int]]:
+        """Hash index mapping key tuples to *row positions*.
+
+        The columnar counterpart of :meth:`index_on`: build once from
+        column slices, gather matching rows by position afterwards.
+        Rows with NULL keys are excluded (they never equi-join).
+        """
+        pos = self.positions(columns)
+        index: Dict[Row, List[int]] = {}
+        if not pos:
+            n = len(self)
+            return {(): list(range(n))} if n else {}
+        cols = [self.store().column(i) for i in pos]
+        for i, key in enumerate(zip(*cols)):
+            if any(is_null(v) for v in key):
+                continue
+            index.setdefault(key, []).append(i)
+        return index
+
     def column_values(self, column: str, distinct: bool = True) -> List[Value]:
         """Values of one column (distinct & non-null by default)."""
-        pos = self.position(column)
-        values = (row[pos] for row in self._rows)
+        values = self.column(column)
         if distinct:
             return list(
                 _stable_unique(v for v in values if not is_null(v))
@@ -249,7 +421,7 @@ class Table:
     def pretty(self, limit: int = 20) -> str:
         """A fixed-width rendering for debugging and examples."""
         headers = list(self.columns)
-        body = [[repr(v) for v in row] for row in self._rows[:limit]]
+        body = [[repr(v) for v in row] for row in self.rows()[:limit]]
         widths = [
             max(len(h), *(len(r[i]) for r in body)) if body else len(h)
             for i, h in enumerate(headers)

@@ -135,16 +135,29 @@ def universal_table(
 def _join_keep_all(
     left: Table, right: Table, left_on: Sequence[str], right_on: Sequence[str]
 ) -> Table:
-    """Hash join keeping *all* right columns (including join columns)."""
-    left_pos = left.positions(left_on)
-    index = right.index_on(right_on)
+    """Hash join keeping *all* right columns (including join columns).
+
+    Columnar: probe with zipped key columns, collect gather lists of
+    matching row positions, then build each output column with one
+    gather — the universal table is assembled without ever
+    concatenating row tuples.
+    """
+    index = right.index_positions(right_on)
     out_columns = list(left.columns) + list(right.columns)
-    out_rows: List[Row] = []
-    for lrow in left.rows():
-        key = tuple(lrow[i] for i in left_pos)
-        for rrow in index.get(key, ()):
-            out_rows.append(lrow + rrow)
-    return Table(out_columns, out_rows)
+    left_key_cols = [left.column(c) for c in left_on]
+    left_idx: List[int] = []
+    right_idx: List[int] = []
+    for i, key in enumerate(zip(*left_key_cols)):
+        matches = index.get(key)
+        if matches:
+            for j in matches:
+                left_idx.append(i)
+                right_idx.append(j)
+    data = [[col[i] for i in left_idx] for col in left.column_arrays()]
+    data.extend(
+        [col[j] for j in right_idx] for col in right.column_arrays()
+    )
+    return Table.from_columns(out_columns, data, nrows=len(left_idx))
 
 
 def project_universal(

@@ -28,6 +28,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .._version import __version__
 from ..backends import (
     available_backends,
     backend_names,
@@ -386,6 +387,7 @@ class ExplanationService:
         available = set(available_backends())
         return {
             "status": "ok",
+            "version": __version__,
             "datasets": list(self.registry.names()),
             "backends": {
                 name: name in available for name in backend_names()

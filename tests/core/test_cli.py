@@ -317,3 +317,27 @@ class TestBackendFlag:
         assert main(["sql", "running-example", "--dialect", "duckdb"]) == 0
         out = capsys.readouterr().out
         assert "GROUPING SETS" in out
+
+
+class TestVersionFlag:
+    def test_version_exits_zero_and_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {repro.__version__}"
+
+    def test_version_matches_pyproject(self):
+        import re
+        from pathlib import Path
+
+        import repro
+
+        pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+        assert match is not None
+        assert repro.__version__ == match.group(1)

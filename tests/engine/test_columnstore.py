@@ -1,0 +1,123 @@
+"""Unit tests for the columnar storage layer (ColumnStore + Table views)."""
+
+import pytest
+
+from repro.engine.columnstore import ColumnStore
+from repro.engine.table import Table
+from repro.engine.types import NULL
+from repro.errors import QueryError
+
+
+class TestColumnStore:
+    def test_from_rows_roundtrip(self):
+        store = ColumnStore.from_rows([(1, "a"), (2, "b"), (3, "c")], 2)
+        assert len(store) == 3
+        assert store.ncols == 2
+        assert store.column(0) == [1, 2, 3]
+        assert store.column(1) == ["a", "b", "c"]
+        assert store.rows() == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_from_rows_empty(self):
+        store = ColumnStore.from_rows([], 2)
+        assert len(store) == 0
+        assert store.column(0) == []
+        assert store.rows() == []
+
+    def test_zero_column_rows(self):
+        store = ColumnStore.from_columns([], 3)
+        assert len(store) == 3
+        assert store.rows() == [(), (), ()]
+
+    def test_column_without_selection_is_base_list(self):
+        base = [1, 2, 3]
+        store = ColumnStore.from_columns([base], 3)
+        assert store.column(0) is base
+
+    def test_select_is_zero_copy_and_cached(self):
+        store = ColumnStore.from_columns([[10, 20, 30, 40]], 4)
+        picked = store.select([3, 1])
+        assert len(picked) == 2
+        first = picked.column(0)
+        assert first == [40, 20]
+        assert picked.column(0) is first  # materialization is cached
+        assert store.column(0) == [10, 20, 30, 40]  # base untouched
+
+    def test_select_composes(self):
+        store = ColumnStore.from_columns([[0, 1, 2, 3, 4]], 5)
+        outer = store.select([4, 3, 2, 1]).select([0, 2])
+        assert outer.column(0) == [4, 2]
+        assert outer.rows() == [(4,), (2,)]
+
+    def test_project_shares_columns(self):
+        a, b = [1, 2], ["x", "y"]
+        store = ColumnStore.from_columns([a, b], 2)
+        proj = store.project([1])
+        assert proj.ncols == 1
+        assert proj.column(0) is b
+
+    def test_project_preserves_materialized_selection(self):
+        store = ColumnStore.from_columns([[1, 2, 3], [4, 5, 6]], 3)
+        picked = store.select([2, 0])
+        col = picked.column(1)  # materialize under the selection
+        proj = picked.project([1])
+        assert proj.column(0) is col
+
+    def test_with_column_rebases(self):
+        store = ColumnStore.from_columns([[1, 2, 3]], 3).select([2, 1])
+        extended = store.with_column(["p", "q"])
+        assert extended.rows() == [(3, "p"), (2, "q")]
+
+
+class TestTableColumnarViews:
+    def test_from_columns_validates_lengths(self):
+        with pytest.raises(QueryError):
+            Table.from_columns(["a", "b"], [[1, 2], [3]])
+
+    def test_from_columns_duplicate_names(self):
+        with pytest.raises(QueryError):
+            Table.from_columns(["a", "a"], [[1], [2]])
+
+    def test_from_columns_roundtrip(self):
+        t = Table.from_columns(["a", "b"], [[1, 2], ["x", "y"]])
+        assert t.rows() == [(1, "x"), (2, "y")]
+        assert t.column("b") == ["x", "y"]
+
+    def test_rows_then_columns_consistent(self):
+        t = Table(["a", "b"], [(1, "x"), (2, "y"), (3, NULL)])
+        assert t.column("a") == [1, 2, 3]
+        assert t.column_arrays() == [[1, 2, 3], ["x", "y", NULL]]
+
+    def test_take_is_zero_copy_selection(self):
+        t = Table(["a", "b"], [(1, "x"), (2, "y"), (3, "z")])
+        picked = t.take([2, 0])
+        assert picked.rows() == [(3, "z"), (1, "x")]
+        assert picked.columns == t.columns
+
+    def test_index_positions(self):
+        t = Table(["k", "v"], [("a", 1), ("b", 2), ("a", 3), (NULL, 4)])
+        index = t.index_positions(["k"])
+        assert index == {("a",): [0, 2], ("b",): [1]}  # NULL keys excluded
+
+    def test_index_positions_empty_key(self):
+        t = Table(["k"], [("a",), ("b",)])
+        assert t.index_positions([]) == {(): [0, 1]}
+        assert Table(["k"], []).index_positions([]) == {}
+
+    def test_public_constructor_still_validates(self):
+        with pytest.raises(QueryError, match="arity"):
+            Table(["a", "b"], [(1,)])
+        with pytest.raises(QueryError):
+            Table(["a", "a"], [])
+
+    def test_public_constructor_retuples_lists(self):
+        t = Table(["a", "b"], [[1, "x"], (2, "y")])
+        assert all(type(r) is tuple for r in t.rows())
+
+    def test_filter_returns_selection_sharing_base(self):
+        from repro.engine.expressions import Col, Comparison, Const
+
+        t = Table(["a", "b"], [(1, "x"), (2, "y"), (3, "z")])
+        kept = t.filter(Comparison(">", Col("a"), Const(1)))
+        assert kept.rows() == [(2, "y"), (3, "z")]
+        # untouched columns of a projection still share the base lists
+        assert t.project(["b"]).column("b") is t.column("b")

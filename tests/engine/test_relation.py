@@ -107,6 +107,75 @@ class TestLookups:
         assert rel.value_of(("A1", "a", "x"), "name") == "a"
 
 
+class TestColumnarViews:
+    def test_column_arrays_match_rows(self, rel):
+        rel.insert_many([("A1", "a", "x"), ("A2", "b", NULL)])
+        rows = rel.row_list()
+        cols = rel.column_arrays()
+        assert list(zip(*cols)) == rows
+        assert rel.column_array("name") == [r[1] for r in rows]
+
+    def test_snapshot_cached_within_version(self, rel):
+        rel.insert(("A1", "a", "x"))
+        assert rel.row_list() is rel.row_list()
+        assert rel.column_arrays() is rel.column_arrays()
+
+    def test_snapshot_invalidated_by_insert(self, rel):
+        rel.insert(("A1", "a", "x"))
+        before = rel.row_list()
+        version = rel.version
+        rel.insert(("A2", "b", "y"))
+        assert rel.version > version
+        after = rel.row_list()
+        assert after is not before
+        assert len(after) == 2
+
+    def test_snapshot_invalidated_by_delete_and_clear(self, rel):
+        rel.insert_many([("A1", "a", "x"), ("A2", "b", "y")])
+        cols = rel.column_arrays()
+        rel.delete(("A1", "a", "x"))
+        assert rel.column_arrays() is not cols
+        assert len(rel.column_arrays()[0]) == 1
+        cols = rel.column_arrays()
+        rel.clear()
+        assert rel.column_arrays() is not cols
+        assert rel.column_arrays() == [[], [], []]
+
+    def test_old_snapshot_survives_mutation(self, rel):
+        # Tables adopt the snapshot lists zero-copy; mutating the
+        # relation afterwards must produce *new* lists, leaving any
+        # previously built Table unchanged.
+        from repro.engine.table import Table
+
+        rel.insert(("A1", "a", "x"))
+        t = Table.from_relation(rel)
+        rel.insert(("A2", "b", "y"))
+        assert len(t) == 1
+        assert t.rows() == [("A1", "a", "x")]
+        t2 = Table.from_relation(rel)
+        assert len(t2) == 2
+
+    def test_secondary_index_invalidated_alongside_column_views(self, rel):
+        # Reading column views must not defeat the mutation-counter
+        # invalidation of index_on caches (and vice versa).
+        rel.insert(("A1", "a", "x"))
+        rel.column_arrays()
+        index1 = rel.index_on(["inst"])
+        rel.insert(("A2", "b", "x"))
+        rel.column_arrays()
+        index2 = rel.index_on(["inst"])
+        assert index1 is not index2
+        assert len(index2[("x",)]) == 2
+
+    def test_copy_gets_fresh_snapshot(self, rel):
+        rel.insert(("A1", "a", "x"))
+        rel.row_list()
+        clone = rel.copy()
+        clone.insert(("A2", "b", "y"))
+        assert len(rel.row_list()) == 1
+        assert len(clone.row_list()) == 2
+
+
 class TestCopies:
     def test_copy_is_independent(self, rel):
         rel.insert(("A1", "a", "x"))

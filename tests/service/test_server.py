@@ -46,6 +46,9 @@ class TestHappyPath:
     def test_health(self, client):
         body = client.health()
         assert body["status"] == "ok"
+        import repro
+
+        assert body["version"] == repro.__version__
         assert "running-example" in body["datasets"]
         assert body["backends"]["memory"] is True
         assert body["backends"]["sqlite"] is True
