@@ -7,9 +7,6 @@ universal-table blowup it causes (columns multiply by the fan-out).
 """
 
 from repro.core import rewrite_back_and_forth
-from repro.core.numquery import AggregateQuery, single_query
-from repro.datasets import dblp
-from repro.engine.aggregates import count_distinct, count_star
 from repro.engine.universal import universal_table
 
 

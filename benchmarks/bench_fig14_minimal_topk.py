@@ -14,7 +14,6 @@ import time
 from conftest import print_series
 
 from repro.core import Explainer
-from repro.core.cube_algorithm import MU_INTERV
 from repro.core.topk import (
     top_k_minimal_append,
     top_k_minimal_self_join,

@@ -1,0 +1,409 @@
+"""Foreign-key graph classification and convergence certification.
+
+Program P (Section 3) deletes tuples in rounds: seed deletions, then
+semijoin-reduction cascades along standard foreign keys, then backward
+cascades along back-and-forth keys, until quiescence.  How many rounds
+that takes is a *static* property of the foreign-key graph, pinned down
+by four results in the paper:
+
+=============  =====================================  ==============
+rule           precondition                           bound
+=============  =====================================  ==============
+``prop-3.5``   no back-and-forth keys                 ``2``
+``prop-3.11``  ≤ 1 b&f key per source relation        ``2s + 2``
+``prop-3.10``  all b&f keys share one target          ``2q + 2 = 4``
+``prop-3.4``   always (n = rows in the database)      ``n − 1``
+=============  =====================================  ==============
+
+``prop-3.10`` as stated in the paper is a *data-level* bound (q is the
+maximum causal length over simple paths in the data causal graph from
+the seed tuples).  Statically we can only certify it in the special
+case where every back-and-forth key points into the same target
+relation: solid edges of the data causal graph are containment edges
+and containment is transitive, so once a simple path takes a dotted
+edge into a tuple ``m`` of that target relation, every tuple reached
+afterwards lies in universal rows that all contain ``m`` — a second
+dotted edge would have to re-enter ``m`` itself, which a simple path
+cannot do.  Hence q ≤ 1 for *every* database over such a schema and
+the bound ``2·1 + 2 = 4`` holds unconditionally.  With two or more
+distinct b&f target relations the dotted edges can interact (the
+Example 3.7 chain alternates between them Θ(n) times), so no static
+q exists and we fall back to Proposition 3.4.
+
+:func:`certify_convergence` evaluates every applicable rule, keeps all
+of them in the certificate for transparency, and selects the tightest
+as *the* certified bound.  The bound counts **productive** iterations
+(rounds that delete at least one tuple), matching
+``InterventionResult.iterations``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.causality import SchemaCausalGraph
+from ..engine.schema import DatabaseSchema
+
+#: Rule identifiers, in tie-break order (first wins on equal bounds).
+RULE_PROP_35 = "prop-3.5"
+RULE_PROP_311 = "prop-3.11"
+RULE_PROP_310 = "prop-3.10"
+RULE_PROP_34 = "prop-3.4"
+
+
+@dataclass(frozen=True)
+class EdgeReport:
+    """One classified foreign-key edge of the schema graph."""
+
+    source: str
+    target: str
+    attributes: Tuple[str, ...]
+    kind: str  # "standard" | "back-and-forth"
+    rendered: str  # the ForeignKey.__str__ arrow form
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "attributes": list(self.attributes),
+            "kind": self.kind,
+            "rendered": self.rendered,
+        }
+
+
+@dataclass(frozen=True)
+class BoundRule:
+    """One convergence rule evaluated against the schema."""
+
+    rule: str  # RULE_PROP_* identifier
+    proposition: str  # e.g. "Proposition 3.11"
+    applicable: bool
+    #: Concrete bound when computable; None for inapplicable rules and
+    #: for the symbolic n−1 bound with no database at hand.
+    bound: Optional[int]
+    #: Human-readable bound even when no concrete number exists
+    #: (e.g. "n - 1").
+    bound_expression: str
+    reason: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "proposition": self.proposition,
+            "applicable": self.applicable,
+            "bound": self.bound,
+            "bound_expression": self.bound_expression,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class ConvergenceCertificate:
+    """The FK-graph classification plus the selected iteration bound."""
+
+    edges: Tuple[EdgeReport, ...]
+    #: Number of back-and-forth keys (the paper's s).
+    back_and_forth_count: int
+    #: True when b&f keys target ≥ 2 distinct relations, letting their
+    #: dotted edges interact along a simple path (no static q exists).
+    interaction_cycle: bool
+    #: Schema-level causal length per seed relation: the max number of
+    #: dotted edges on a simple relation path starting there; None
+    #: means unbounded statically (interaction cycle reachable).
+    causal_length: Dict[str, Optional[int]]
+    rules: Tuple[BoundRule, ...]
+    #: The selected (tightest applicable) rule identifier.
+    selected_rule: str
+    #: Concrete bound; None when only the symbolic n−1 form exists.
+    bound: Optional[int]
+    bound_expression: str
+    #: Total rows used to concretize prop-3.4, when known.
+    total_rows: Optional[int]
+
+    def rule(self, identifier: str) -> BoundRule:
+        """Look up one evaluated rule by identifier."""
+        for r in self.rules:
+            if r.rule == identifier:
+                return r
+        raise KeyError(identifier)
+
+    @property
+    def selected(self) -> BoundRule:
+        """The rule that produced the certified bound."""
+        return self.rule(self.selected_rule)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "edges": [e.to_dict() for e in self.edges],
+            "back_and_forth_count": self.back_and_forth_count,
+            "interaction_cycle": self.interaction_cycle,
+            "causal_length": dict(self.causal_length),
+            "rules": [r.to_dict() for r in self.rules],
+            "selected_rule": self.selected_rule,
+            "bound": self.bound,
+            "bound_expression": self.bound_expression,
+            "total_rows": self.total_rows,
+        }
+
+
+def _classify_edges(schema: DatabaseSchema) -> Tuple[EdgeReport, ...]:
+    return tuple(
+        EdgeReport(
+            source=fk.source,
+            target=fk.target,
+            attributes=fk.source_attrs,
+            kind="back-and-forth" if fk.back_and_forth else "standard",
+            rendered=str(fk),
+        )
+        for fk in schema.foreign_keys
+    )
+
+
+def _causal_lengths(
+    schema: DatabaseSchema, *, interaction_cycle: bool
+) -> Dict[str, Optional[int]]:
+    """Schema-level causal length q per seed relation.
+
+    DFS over simple relation paths in the schema causal graph, counting
+    dotted edges.  When the back-and-forth keys form an interaction
+    cycle, any relation from which a dotted edge is reachable gets
+    ``None`` (no static bound — the data-level paths may revisit the
+    *relations* arbitrarily often through distinct tuples).
+    """
+    graph = SchemaCausalGraph.of(schema)
+    bf_sources = {fk.source for fk in schema.back_and_forth_keys}
+
+    def reaches_bf_source(start: str) -> bool:
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in bf_sources:
+                return True
+            for succ, _dotted in graph.successors(node):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return False
+
+    def max_dotted_from(start: str) -> int:
+        best = 0
+        on_path = {start}
+
+        def dfs(node: str, dotted: int) -> None:
+            nonlocal best
+            best = max(best, dotted)
+            for succ, is_dotted in graph.successors(node):
+                if succ in on_path:
+                    continue
+                on_path.add(succ)
+                dfs(succ, dotted + (1 if is_dotted else 0))
+                on_path.discard(succ)
+
+        dfs(start, 0)
+        return best
+
+    lengths: Dict[str, Optional[int]] = {}
+    for name in schema.relation_names:
+        if interaction_cycle and reaches_bf_source(name):
+            lengths[name] = None
+        else:
+            lengths[name] = max_dotted_from(name)
+    return lengths
+
+
+def certify_convergence(
+    schema: DatabaseSchema, *, total_rows: Optional[int] = None
+) -> ConvergenceCertificate:
+    """Certify an iteration bound for program P over *schema*.
+
+    ``total_rows`` concretizes Proposition 3.4's n−1 fallback; without
+    it the fallback stays symbolic (``bound=None``,
+    ``bound_expression="n - 1"``).
+    """
+    graph = SchemaCausalGraph.of(schema)
+    bf_keys = schema.back_and_forth_keys
+    s = len(bf_keys)
+    bf_targets = sorted({fk.target for fk in bf_keys})
+    interaction_cycle = len(bf_targets) >= 2
+    edges = _classify_edges(schema)
+    causal_length = _causal_lengths(schema, interaction_cycle=interaction_cycle)
+
+    rules: List[BoundRule] = []
+
+    # Proposition 3.5: without back-and-forth keys, rule (ii) performs a
+    # full Yannakakis reduction per round, so one seeding round plus one
+    # cascade round suffice.
+    if s == 0:
+        rules.append(
+            BoundRule(
+                rule=RULE_PROP_35,
+                proposition="Proposition 3.5",
+                applicable=True,
+                bound=2,
+                bound_expression="2",
+                reason=(
+                    "no back-and-forth foreign keys: program P converges "
+                    "after the seeding round and one semijoin-reduction "
+                    "cascade"
+                ),
+            )
+        )
+    else:
+        rules.append(
+            BoundRule(
+                rule=RULE_PROP_35,
+                proposition="Proposition 3.5",
+                applicable=False,
+                bound=None,
+                bound_expression="2",
+                reason=(
+                    f"schema has {s} back-and-forth key(s): "
+                    + "; ".join(str(fk) for fk in bf_keys)
+                ),
+            )
+        )
+
+    # Proposition 3.11: simple causal graph with at most one b&f key
+    # per source relation gives 2s + 2.
+    if s > 0 and graph.prop_311_applies():
+        bound_311 = graph.prop_311_bound()
+        rules.append(
+            BoundRule(
+                rule=RULE_PROP_311,
+                proposition="Proposition 3.11",
+                applicable=True,
+                bound=bound_311,
+                bound_expression=f"2s + 2 = {bound_311}",
+                reason=(
+                    f"the schema causal graph is simple and each relation "
+                    f"carries at most one back-and-forth key "
+                    f"(s = {s} key(s) total)"
+                ),
+            )
+        )
+    else:
+        reason = (
+            "no back-and-forth keys (Proposition 3.5 is tighter)"
+            if s == 0
+            else (
+                "some relation carries more than one back-and-forth "
+                "foreign key"
+                if graph.is_simple()
+                else "the schema causal graph is not simple"
+            )
+        )
+        rules.append(
+            BoundRule(
+                rule=RULE_PROP_311,
+                proposition="Proposition 3.11",
+                applicable=False,
+                bound=None,
+                bound_expression="2s + 2",
+                reason=reason,
+            )
+        )
+
+    # Proposition 3.10, static special case: all b&f keys share one
+    # target relation ⇒ q ≤ 1 on every instance (see module docstring),
+    # hence 2q + 2 = 4.
+    if s > 0 and not interaction_cycle:
+        rules.append(
+            BoundRule(
+                rule=RULE_PROP_310,
+                proposition="Proposition 3.10",
+                applicable=True,
+                bound=4,
+                bound_expression="2q + 2 = 4 (q <= 1)",
+                reason=(
+                    f"all back-and-forth keys target relation "
+                    f"{bf_targets[0]!r}; containment transitivity limits "
+                    f"every simple data-causal path to one dotted edge, "
+                    f"so q <= 1 on any instance"
+                ),
+            )
+        )
+    else:
+        reason = (
+            "no back-and-forth keys (Proposition 3.5 is tighter)"
+            if s == 0
+            else (
+                f"back-and-forth keys target {len(bf_targets)} distinct "
+                f"relations ({', '.join(bf_targets)}); their dotted edges "
+                f"can alternate along one path, so no static causal "
+                f"length q exists"
+            )
+        )
+        rules.append(
+            BoundRule(
+                rule=RULE_PROP_310,
+                proposition="Proposition 3.10",
+                applicable=False,
+                bound=None,
+                bound_expression="2q + 2",
+                reason=reason,
+            )
+        )
+
+    # Proposition 3.4: always applicable — every productive round
+    # deletes at least one tuple and at least one survives quiescence
+    # checks, so n − 1 rounds bound any instance with n tuples.  The
+    # max(2, ·) floor covers degenerate n ≤ 2 instances where the
+    # seeding round plus one cascade are still needed.
+    if total_rows is None:
+        rules.append(
+            BoundRule(
+                rule=RULE_PROP_34,
+                proposition="Proposition 3.4",
+                applicable=True,
+                bound=None,
+                bound_expression="n - 1",
+                reason=(
+                    "unconditional fallback: each productive round removes "
+                    "at least one of the database's n tuples (Example 3.7 "
+                    "shows chains of back-and-forth keys reach Θ(n))"
+                ),
+            )
+        )
+    else:
+        bound_34 = max(2, total_rows - 1)
+        rules.append(
+            BoundRule(
+                rule=RULE_PROP_34,
+                proposition="Proposition 3.4",
+                applicable=True,
+                bound=bound_34,
+                bound_expression=f"n - 1 = {max(2, total_rows - 1)}",
+                reason=(
+                    f"unconditional fallback with n = {total_rows} rows: "
+                    f"each productive round removes at least one tuple"
+                ),
+            )
+        )
+
+    # Select the tightest applicable concrete rule; rules with only a
+    # symbolic bound lose to any concrete one and win only by default.
+    selected: Optional[BoundRule] = None
+    for rule in rules:
+        if not rule.applicable:
+            continue
+        if rule.bound is None:
+            if selected is None:
+                selected = rule
+            continue
+        if selected is None or selected.bound is None or rule.bound < selected.bound:
+            selected = rule
+    assert selected is not None  # prop-3.4 is always applicable
+
+    return ConvergenceCertificate(
+        edges=edges,
+        back_and_forth_count=s,
+        interaction_cycle=interaction_cycle,
+        causal_length=causal_length,
+        rules=tuple(rules),
+        selected_rule=selected.rule,
+        bound=selected.bound,
+        bound_expression=selected.bound_expression,
+        total_rows=total_rows,
+    )

@@ -26,6 +26,7 @@ import abc
 from typing import TYPE_CHECKING, ClassVar, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.additivity import AdditivityCertificate
     from ..core.cube_algorithm import ExplanationTable
     from ..core.question import UserQuestion
     from ..engine.database import Database
@@ -65,6 +66,7 @@ class ExecutionBackend(abc.ABC):
         universal: Optional["Table"] = None,
         check_additivity: bool = True,
         support_threshold: Optional[float] = None,
+        certificate: Optional["AdditivityCertificate"] = None,
     ) -> "ExplanationTable":
         """Run Algorithm 1 and return the explanation table *M*.
 
@@ -73,6 +75,11 @@ class ExecutionBackend(abc.ABC):
         marking don't-care attribute positions, and μ values computed
         with the engine's arithmetic conventions.  Row order is
         unconstrained (the top-K strategies are order-independent).
+
+        ``certificate`` is an optional data-resolved additivity
+        certificate for this (database, query); backends use it to skip
+        the per-request additivity probe (which otherwise materializes
+        the universal table just to re-derive a static fact).
         """
 
     def __repr__(self) -> str:
@@ -93,6 +100,7 @@ class MemoryBackend(ExecutionBackend):
         universal: Optional["Table"] = None,
         check_additivity: bool = True,
         support_threshold: Optional[float] = None,
+        certificate: Optional["AdditivityCertificate"] = None,
     ) -> "ExplanationTable":
         from ..core.cube_algorithm import build_explanation_table
 
@@ -104,4 +112,5 @@ class MemoryBackend(ExecutionBackend):
             check_additivity=check_additivity,
             support_threshold=support_threshold,
             backend="memory",
+            certificate=certificate,
         )

@@ -34,7 +34,10 @@ new DBMS backend only needs those.  See ``docs/backends.md``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.additivity import AdditivityCertificate
 
 from ..core.cube_algorithm import ExplanationTable, finalize_explanation_table
 from ..core.numquery import AggregateQuery
@@ -234,6 +237,7 @@ class SQLBackend(ExecutionBackend):
         universal: Optional[Table] = None,
         check_additivity: bool = True,
         support_threshold: Optional[float] = None,
+        certificate: Optional["AdditivityCertificate"] = None,
     ) -> ExplanationTable:
         attributes = list(attributes)
         schema = database.schema
@@ -246,10 +250,31 @@ class SQLBackend(ExecutionBackend):
             schema.qualified(attr)  # raises SchemaError on unknown names
         query = question.query
         if check_additivity:
-            u = universal if universal is not None else universal_table(database)
-            analyze_additivity(
-                database, query, universal=u
-            ).raise_if_not_additive()
+            # A data-resolved certificate replaces the probe below,
+            # which otherwise materializes the engine-side universal
+            # table per request just to re-derive the same verdicts.
+            if certificate is not None and certificate.data_resolved:
+                if not certificate.all_exact_cube:
+                    from ..core.additivity import (
+                        AdditivityReport,
+                        AggregateAdditivity,
+                    )
+
+                    AdditivityReport(
+                        tuple(
+                            AggregateAdditivity(v.name, v.additive, v.reason)
+                            for v in certificate.verdicts
+                        )
+                    ).raise_if_not_additive()
+            else:
+                u = (
+                    universal
+                    if universal is not None
+                    else universal_table(database)
+                )
+                analyze_additivity(
+                    database, query, universal=u
+                ).raise_if_not_additive()
 
         cube_names = {q.name: f"{CUBE_PREFIX}{q.name}" for q in query.aggregates}
         reserved = {UNIVERSAL_VIEW, KEYS_TABLE, *cube_names.values()}

@@ -26,6 +26,15 @@ Commands
             --numerator ap=good --denominator ap=poor \\
             --dir high --attributes marital,tobacco --top 5
 
+``analyze``
+    Print the static plan certificate — the certified convergence
+    bound with the proposition that derived it, per-aggregate
+    additivity verdicts, and any ``RS###`` lint diagnostics — for one
+    or more bundled datasets, with no ranking work::
+
+        python -m repro analyze chain --chain-p 4
+        python -m repro analyze --all --strict --json
+
 ``sql``
     Print the SQL script of Algorithm 1, or program P as datalog, for
     one of the built-in schemas::
@@ -48,7 +57,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ._version import __version__
 from .core import (
@@ -71,6 +80,10 @@ from .engine.schema import single_table_schema
 from .errors import ReproError
 
 DEMOS = ("running-example", "natality", "dblp", "geodblp")
+
+#: Datasets ``repro analyze`` accepts: every demo plus the Example 3.7
+#: worst-case chain (whose size is set with ``--chain-p``).
+ANALYZE_DATASETS = DEMOS + ("chain",)
 
 
 def _demo_setup(name: str, rows: int, scale: float, seed: int):
@@ -183,6 +196,55 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if db_report.ok and q_report.ok else 1
 
 
+def _analyze_setup(name: str, args: argparse.Namespace):
+    """(database, question-or-None, attributes) for one analyze target."""
+    if name == "chain":
+        from .datasets import chains
+
+        db = chains.example_37_database(args.chain_p)
+        # The chain relations are all keys, so any explanation dimension
+        # draws a PK/FK lint warning — which is itself instructive.
+        return db, None, ("R3.a", "R3.b")
+    if name not in DEMOS:
+        raise ReproError(
+            f"unknown dataset {name!r}; choose from {ANALYZE_DATASETS}"
+        )
+    return _demo_setup(name, args.rows, args.scale, args.seed)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import analyze_plan
+
+    names = list(ANALYZE_DATASETS) if args.all else list(args.datasets)
+    if not names:
+        raise ReproError("analyze needs at least one dataset (or --all)")
+    payload = {}
+    failed = False
+    for name in names:
+        db, question, attributes = _analyze_setup(name, args)
+        certificate = analyze_plan(
+            db.schema,
+            question,
+            attributes,
+            database=None if args.schema_only else db,
+        )
+        payload[name] = certificate.to_dict()
+        if not args.json:
+            print(f"== {name} ==")
+            print(certificate.render())
+            print()
+        if certificate.has_errors:
+            failed = True
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.strict and failed:
+        print("error-severity diagnostics present (--strict)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_ask(args: argparse.Namespace) -> int:
     from .core.parsing import parse_question
 
@@ -205,11 +267,16 @@ def cmd_ask(args: argparse.Namespace) -> int:
     print(f"Q(D) = {explainer.original_value()}")
     report = explainer.additivity_report()
     print(report.explain())
-    if args.backend != "memory":
+    if args.method is not None:
+        method = args.method
+    elif args.backend != "memory":
         # SQL backends implement only Algorithm 1 ("cube").
-        method = args.method or "cube"
+        method = "cube"
     else:
-        method = args.method or ("cube" if report.additive else "indexed")
+        # The static plan certificate picks the fastest sound method
+        # (cube when every aggregate is exact-cube, indexed when all
+        # are count-family, exact otherwise).
+        method = explainer.resolve_method("auto")
     print(f"method: {method}")
     print(render_ranking(explainer.top(args.top, method=method)))
     return 0
@@ -263,7 +330,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         await server.start()
         print(f"repro explanation service listening on {server.url}")
         print(f"  datasets: {', '.join(service.registry.names())}")
-        print(f"  endpoints: /v1/explain /v1/topk /v1/health /v1/stats")
+        print("  endpoints: /v1/explain /v1/topk /v1/analyze /v1/health /v1/stats")
         await server.serve_forever()
 
     try:
@@ -357,6 +424,32 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("dataset", choices=DEMOS)
     add_common(check)
     check.set_defaults(func=cmd_check)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static plan certificate: convergence bound, additivity, lints",
+    )
+    analyze.add_argument(
+        "datasets",
+        nargs="*",
+        metavar="dataset",
+        help=f"one or more of {ANALYZE_DATASETS}",
+    )
+    analyze.add_argument("--all", action="store_true",
+                         help="analyze every bundled dataset")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit certificates as JSON")
+    analyze.add_argument("--strict", action="store_true",
+                         help="exit 1 on any error-severity diagnostic")
+    analyze.add_argument("--schema-only", action="store_true",
+                         help="ignore the instance: symbolic bounds, "
+                              "unresolved data-dependent verdicts")
+    analyze.add_argument("--chain-p", type=int, default=3,
+                         help="chain parameter p (n = 4p + 1 tuples)")
+    add_common(analyze)
+    # Analysis only touches data for footnote-11 resolution and the
+    # n - 1 bound; small instances keep `--all` fast in CI.
+    analyze.set_defaults(func=cmd_analyze, rows=2_000, scale=0.25)
 
     ask = sub.add_parser(
         "ask", help="ask a custom (Q, dir) question in text syntax"

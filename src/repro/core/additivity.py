@@ -28,13 +28,13 @@ paper's usage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..engine.database import Database
 from ..engine.table import Table
 from ..engine.universal import universal_table
 from ..errors import NotAdditiveError
-from .numquery import AggregateQuery, NumericalQuery
+from .numquery import NumericalQuery
 
 
 @dataclass(frozen=True)
@@ -72,109 +72,30 @@ class AdditivityReport:
             raise NotAdditiveError(self.explain())
 
 
-def _unqualify(column: str) -> Tuple[Optional[str], str]:
-    """Split a possibly-qualified column into (relation, attribute)."""
-    if "." in column:
-        rel, attr = column.split(".", 1)
-        return rel, attr
-    return None, column
-
-
-def _relation_unique_in_universal(
-    database: Database, universal: Table, relation: str
-) -> bool:
-    """True iff each tuple of *relation* occurs in exactly one U row."""
-    rs = database.schema.relation(relation)
-    qualified = [f"{relation}.{a}" for a in rs.attribute_names]
-    bag = universal.project(qualified, distinct=False)
-    return len(bag) == len(set(bag.rows()))
-
-
-def _check_aggregate(
-    database: Database, universal: Table, q: AggregateQuery
-) -> AggregateAdditivity:
-    schema = database.schema
-    kind = q.aggregate.kind
-    if kind in ("count_star", "count", "sum"):
-        if not schema.has_back_and_forth:
-            return AggregateAdditivity(
-                q.name,
-                True,
-                f"{kind} with no back-and-forth foreign keys "
-                "(Corollary 3.6: U(D-Δ) = σ_¬φ(U))",
-            )
-        return AggregateAdditivity(
-            q.name,
-            False,
-            f"{kind} is not additive in the presence of back-and-forth "
-            "foreign keys (Section 4.1)",
-        )
-    if kind == "count_distinct":
-        rel_name, attr = _unqualify(q.aggregate.argument or "")
-        if rel_name is None or not schema.has_relation(rel_name):
-            return AggregateAdditivity(
-                q.name,
-                False,
-                f"count(distinct {q.aggregate.argument}) argument is not a "
-                "qualified relation column",
-            )
-        target = schema.relation(rel_name)
-        if tuple(target.primary_key) != (attr,):
-            return AggregateAdditivity(
-                q.name,
-                False,
-                f"count(distinct {rel_name}.{attr}) does not count "
-                f"{rel_name}'s primary key {target.primary_key}",
-            )
-        # Footnote 11 condition: a b&f key into rel_name whose source
-        # relation is unique per universal row.
-        for fk in schema.back_and_forth_keys:
-            if fk.target != rel_name:
-                continue
-            if _relation_unique_in_universal(database, universal, fk.source):
-                return AggregateAdditivity(
-                    q.name,
-                    True,
-                    f"count(distinct {rel_name}.{attr}) with back-and-forth "
-                    f"key {fk} and unique {fk.source} tuples per universal "
-                    "row (footnote 11)",
-                )
-            return AggregateAdditivity(
-                q.name,
-                False,
-                f"back-and-forth key {fk} found but {fk.source} tuples "
-                "repeat across universal rows",
-            )
-        if not schema.has_back_and_forth and _relation_unique_in_universal(
-            database, universal, rel_name
-        ):
-            return AggregateAdditivity(
-                q.name,
-                True,
-                f"count(distinct {rel_name}.{attr}) with no back-and-forth "
-                f"keys and unique {rel_name} tuples per universal row",
-            )
-        return AggregateAdditivity(
-            q.name,
-            False,
-            f"no back-and-forth key into {rel_name} and {rel_name} tuples "
-            "are not unique per universal row",
-        )
-    return AggregateAdditivity(
-        q.name, False, f"aggregate kind {kind!r} is never intervention-additive"
-    )
-
-
 def analyze_additivity(
     database: Database,
     query: NumericalQuery,
     *,
     universal: Optional[Table] = None,
 ) -> AdditivityReport:
-    """Check every aggregate of *query* for intervention-additivity."""
+    """Check every aggregate of *query* for intervention-additivity.
+
+    The structural rules live in :mod:`repro.analysis.additivity`
+    (which can also run them statically, without data); this wrapper
+    resolves the footnote-11 data condition against the concrete
+    universal table and keeps the historical report type.
+    """
+    from ..analysis.additivity import certify_additivity
+
     u = universal if universal is not None else universal_table(database)
+    certificate = certify_additivity(
+        database.schema, query, database=database, universal=u
+    )
     return AdditivityReport(
-        tuple(_check_aggregate(database, u, q) for q in query.aggregates)
+        tuple(
+            AggregateAdditivity(v.name, v.additive, v.reason)
+            for v in certificate.verdicts
+        )
     )
 
 

@@ -22,11 +22,10 @@ Each bar's count can be ``count(*)`` (single-table charts) or
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import List, Mapping, Optional, Sequence, Union
 
 from ..engine.aggregates import AggregateSpec, count_distinct, count_star
 from ..engine.expressions import Col, Comparison, Const, Expression, conj
-from ..engine.schema import DatabaseSchema
 from ..engine.types import Value
 from ..errors import ExplanationError
 from .numquery import (

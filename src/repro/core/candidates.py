@@ -16,9 +16,8 @@ atoms) so inequalities can participate in candidate explanations.
 from __future__ import annotations
 
 from itertools import combinations, product
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..engine.schema import DatabaseSchema
 from ..engine.table import Table
 from ..engine.types import Value, sort_key
 from ..errors import ExplanationError

@@ -20,7 +20,7 @@ fixpoint itself never materializes them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..engine.database import Database, Delta
 from ..engine.schema import DatabaseSchema

@@ -25,16 +25,23 @@ contemplates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..engine.cube import cube, cube_bruteforce, dummy_rewrite
+from ..engine.aggregates import AggregateSpec
+from ..engine.cube import cube, dummy_rewrite
 from ..engine.joins import full_outer_join_many
 from ..engine.table import Table
-from ..engine.types import DUMMY, NULL, Row, Value, is_dummy, is_null
+from ..engine.types import NULL, Row, Value, is_dummy, is_null
 from ..engine.universal import universal_table
 from ..engine.database import Database
 from ..errors import ExplanationError
 from .additivity import AdditivityReport, analyze_additivity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.additivity import AdditivityCertificate
+
+#: Signature of a cube implementation (table, dimensions, aggregates).
+CubeImpl = Callable[[Table, Sequence[str], Sequence[AggregateSpec]], Table]
 from .numquery import NumericalQuery
 from .predicates import AtomicPredicate, Explanation
 from .question import UserQuestion
@@ -90,9 +97,10 @@ def build_explanation_table(
     check_additivity: bool = True,
     use_dummy_rewrite: bool = True,
     support_threshold: Optional[float] = None,
-    brute_force_cube: bool = False,
+    cube_impl: Optional[CubeImpl] = None,
     use_fastpath: bool = True,
     backend: object = "memory",
+    certificate: Optional["AdditivityCertificate"] = None,
 ) -> ExplanationTable:
     """Run Algorithm 1 and return the materialized table *M*.
 
@@ -101,17 +109,23 @@ def build_explanation_table(
     reaches the threshold (Section 5.1.1 uses 1000).
     ``use_dummy_rewrite=False`` switches off the Section 4.2 null→dummy
     optimization and uses a slower null-aware join — kept for the
-    ablation benchmark.  ``brute_force_cube`` selects the 2^d-group-bys
-    cube implementation (the ablation/verification variant).
-    ``use_fastpath`` (default) vectorizes count cubes with numpy —
-    bit-identical output, much faster at the paper's data scales.
+    ablation benchmark.  ``cube_impl`` overrides the cube
+    implementation (benchmarks inject the retained row-path oracles
+    through it; by default the columnar cube — numpy-vectorized via
+    ``use_fastpath`` where supported — is used).
+
+    ``certificate`` is a data-resolved
+    :class:`~repro.analysis.additivity.AdditivityCertificate` for this
+    (database, query): when supplied, the additivity precondition is
+    read off the certificate instead of being re-probed against the
+    universal table (the per-request probe the serving path avoids).
 
     ``backend`` selects the execution substrate: ``"memory"`` (this
     module's native path), ``"sqlite"`` / ``"duckdb"`` (push the whole
     algorithm into a real DBMS — see :mod:`repro.backends`), or any
     :class:`~repro.backends.ExecutionBackend` instance.  The ablation
-    knobs (``use_dummy_rewrite``, ``brute_force_cube``,
-    ``use_fastpath``) only apply to the in-memory path.
+    knobs (``use_dummy_rewrite``, ``cube_impl``, ``use_fastpath``)
+    only apply to the in-memory path.
     """
     if backend != "memory":
         from ..backends import MemoryBackend, get_backend
@@ -125,13 +139,14 @@ def build_explanation_table(
                 universal=universal,
                 check_additivity=check_additivity,
                 support_threshold=support_threshold,
+                certificate=certificate,
             )
     query = question.query
     u = universal if universal is not None else universal_table(database)
     for attr in attributes:
         u.position(attr)  # raise early on unknown columns
     if check_additivity:
-        report = analyze_additivity(database, query, universal=u)
+        report = _additivity_report(database, query, u, certificate)
         report.raise_if_not_additive()
 
     # Step 1: u_j = q_j(D).
@@ -147,13 +162,13 @@ def build_explanation_table(
         alias = f"v_{q.name}"
         value_columns.append(alias)
         spec = type(q.aggregate)(q.aggregate.kind, q.aggregate.argument, alias)
-        if brute_force_cube:
-            cube_impl = cube_bruteforce
+        if cube_impl is not None:
+            chosen: CubeImpl = cube_impl
         elif use_fastpath and fastpath.supports((spec,)):
-            cube_impl = fastpath.cube_numpy
+            chosen = fastpath.cube_numpy
         else:
-            cube_impl = cube
-        c = cube_impl(source, attributes, (spec,))
+            chosen = cube
+        c = chosen(source, attributes, (spec,))
         if use_dummy_rewrite:
             c = dummy_rewrite(c, attributes)
         cubes.append(c)
@@ -172,6 +187,33 @@ def build_explanation_table(
         q_original,
         support_threshold=support_threshold,
     )
+
+
+def _additivity_report(
+    database: Database,
+    query: NumericalQuery,
+    universal: Table,
+    certificate: Optional["AdditivityCertificate"],
+) -> AdditivityReport:
+    """The additivity verdicts, from the certificate when one exists.
+
+    A supplied certificate replaces the per-request universal-table
+    probe; its verdicts must have been resolved against this database
+    (the :class:`~repro.core.explainer.Explainer` and the serving layer
+    guarantee that by construction).  An unresolved (static-only)
+    certificate is not trusted — its conservative verdicts would
+    reject additive-in-data plans — so we fall back to probing.
+    """
+    from .additivity import AggregateAdditivity
+
+    if certificate is not None and certificate.data_resolved:
+        return AdditivityReport(
+            tuple(
+                AggregateAdditivity(v.name, v.additive, v.reason)
+                for v in certificate.verdicts
+            )
+        )
+    return analyze_additivity(database, query, universal=universal)
 
 
 def finalize_explanation_table(

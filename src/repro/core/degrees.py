@@ -15,10 +15,9 @@ framework supports, so the two readings coincide.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-from ..engine.database import Database, Delta
-from ..engine.table import Table
+from ..engine.database import Database
 from ..engine.types import Value, is_null
 from ..engine.universal import JoinTree, universal_table
 from .intervention import InterventionEngine, InterventionResult

@@ -29,8 +29,11 @@ strategies apply uniformly.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.analyzer import PlanCertificate
 
 from ..engine.database import Database
 from ..engine.table import Table
@@ -47,10 +50,14 @@ from .cube_algorithm import (
 )
 from .degrees import DegreeEvaluator
 from .predicates import Explanation
-from .question import Direction, UserQuestion
+from .question import UserQuestion
 from .topk import RankedExplanation, top_k_explanations
 
 METHODS = ("cube", "naive", "exact", "indexed")
+
+#: Pseudo-method: let the static plan certificate pick the fastest
+#: sound method (resolved to one of METHODS before execution).
+AUTO_METHOD = "auto"
 
 
 def question_key(question: UserQuestion) -> str:
@@ -93,6 +100,12 @@ class ExplanationPlan:
     method: str
     backend: str
     support_threshold: Optional[float] = None
+    #: The static analysis that justified (or merely accompanies) this
+    #: plan.  Deliberately excluded from equality and the fingerprint:
+    #: the certificate is derived from the other fields, not an input.
+    certificate: Optional["PlanCertificate"] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def fingerprint(self) -> str:
@@ -155,6 +168,7 @@ class Explainer:
         for attr in self.attributes:
             self.universal.position(attr)  # fail fast on unknown columns
         self._tables: Dict[str, ExplanationTable] = {}
+        self._certificate: Optional["PlanCertificate"] = None
 
     # -- analysis -----------------------------------------------------------
 
@@ -163,6 +177,32 @@ class Explainer:
         return analyze_additivity(
             self.database, self.question.query, universal=self.universal
         )
+
+    def certificate(self) -> "PlanCertificate":
+        """The (cached) static plan certificate for this explainer.
+
+        Data-resolved: the analyzer sees the instance, so footnote-11
+        ``count(distinct ...)`` cases get definitive verdicts and the
+        convergence bound is concrete.  Consumers use it to *pick* the
+        evaluation method (:data:`AUTO_METHOD`) instead of probing.
+        """
+        if self._certificate is None:
+            from ..analysis.analyzer import analyze_plan
+
+            self._certificate = analyze_plan(
+                self.database.schema,
+                self.question,
+                self.attributes,
+                database=self.database,
+                universal=self.universal,
+            )
+        return self._certificate
+
+    def resolve_method(self, method: str) -> str:
+        """Map :data:`AUTO_METHOD` to a concrete method via the certificate."""
+        if method != AUTO_METHOD:
+            return method
+        return self.certificate().recommended_method
 
     def original_value(self) -> Value:
         """``Q(D)`` — the value the user is asking about."""
@@ -179,6 +219,7 @@ class Explainer:
         table, so a cached copy can be substituted via
         :meth:`seed_table`.
         """
+        method = self.resolve_method(method)
         if method not in METHODS:
             raise ExplanationError(
                 f"unknown method {method!r}; choose from {METHODS}"
@@ -190,6 +231,7 @@ class Explainer:
             method=method,
             backend=backend_key(self.backend),
             support_threshold=self.support_threshold,
+            certificate=self.certificate(),
         )
 
     def seed_table(self, method: str, table: ExplanationTable) -> None:
@@ -201,6 +243,7 @@ class Explainer:
         fingerprint matches (:meth:`plan`) — the serving layer's cache
         does exactly that.
         """
+        method = self.resolve_method(method)
         if method not in METHODS:
             raise ExplanationError(
                 f"unknown method {method!r}; choose from {METHODS}"
@@ -211,6 +254,7 @@ class Explainer:
         self, method: str = "cube", **kwargs
     ) -> ExplanationTable:
         """Build (and cache) the table *M* with the chosen method."""
+        method = self.resolve_method(method)
         if method not in METHODS:
             raise ExplanationError(
                 f"unknown method {method!r}; choose from {METHODS}"
@@ -224,6 +268,7 @@ class Explainer:
         if cache_key and cache_key in self._tables:
             return self._tables[cache_key]
         if method == "cube":
+            kwargs.setdefault("certificate", self.certificate().additivity)
             m = build_explanation_table(
                 self.database,
                 self.question,

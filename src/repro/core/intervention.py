@@ -28,16 +28,16 @@ that semantics, matching the convergence statements of Propositions
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..engine.database import Database, Delta
 from ..engine.reduction import RowSets, is_semijoin_reduced, reduce_row_sets
-from ..engine.schema import DatabaseSchema, ForeignKey
+from ..engine.schema import ForeignKey
 from ..engine.table import Table
 from ..engine.types import Row
 from ..engine.universal import JoinTree, universal_table
-from ..errors import ConvergenceError
+from ..errors import AnalysisInvariantError, ConvergenceError
 from .predicates import Predicate
 
 
@@ -94,6 +94,7 @@ class InterventionEngine:
         *,
         universal: Optional[Table] = None,
         join_tree: Optional[JoinTree] = None,
+        certified_bound: Optional[int] = None,
     ) -> None:
         self.database = database
         self.schema = database.schema
@@ -104,6 +105,10 @@ class InterventionEngine:
             else universal_table(database, self.join_tree)
         )
         self._bf_keys: Tuple[ForeignKey, ...] = self.schema.back_and_forth_keys
+        #: When set (by the static analyzer), every fixpoint run asserts
+        #: that its productive iteration count stays within this bound;
+        #: a violation raises AnalysisInvariantError (analyzer bug).
+        self.certified_bound = certified_bound
 
     # -- Rule (i) ---------------------------------------------------------
 
@@ -269,6 +274,16 @@ class InterventionEngine:
                 )
             )
 
+        if (
+            self.certified_bound is not None
+            and iteration > self.certified_bound
+        ):
+            raise AnalysisInvariantError(
+                f"program P converged after {iteration} productive "
+                f"iterations, exceeding the statically certified bound "
+                f"of {self.certified_bound}; the convergence analyzer "
+                f"(repro.analysis.fkgraph) mis-certified this schema"
+            )
         return InterventionResult(
             delta=Delta(self.schema, deleted),
             seeds=seeds,

@@ -31,12 +31,12 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from ..engine.cube import grouping_sets
 from ..engine.database import Database, Delta
 from ..engine.table import Table
-from ..engine.types import DUMMY, NULL, Row, Value, is_null
+from ..engine.types import DUMMY, Row, Value, is_null
 from ..engine.universal import JoinTree, universal_table
 from ..errors import QueryError
 from .cube_algorithm import MU_AGGR, MU_INTERV, ExplanationTable
 from .intervention import InterventionEngine
-from .numquery import AggregateQuery, NumericalQuery
+from .numquery import AggregateQuery
 from .question import UserQuestion
 
 
@@ -66,8 +66,20 @@ class IndexedInterventionEvaluator:
             if universal is not None
             else universal_table(database, self.join_tree)
         )
+        # Certify the convergence bound statically and assert it as a
+        # runtime invariant on every per-candidate fixpoint run: program
+        # P exceeding the certified bound means the analyzer (or the
+        # engine) is wrong, and must be raised loudly, not absorbed.
+        from ..analysis.fkgraph import certify_convergence
+
+        self.convergence = certify_convergence(
+            database.schema, total_rows=database.total_rows()
+        )
         self.engine = InterventionEngine(
-            database, universal=self.universal, join_tree=self.join_tree
+            database,
+            universal=self.universal,
+            join_tree=self.join_tree,
+            certified_bound=self.convergence.bound,
         )
         self._n = len(self.universal)
         self._build_posting_lists()

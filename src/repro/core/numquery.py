@@ -16,14 +16,13 @@ applies to avoid division by zero (Section 5.1.1).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
-from ..engine.aggregates import AggregateSpec, count_distinct, count_star
-from ..engine.expressions import Arithmetic, Col, Const, Expression, lift
+from ..engine.aggregates import AggregateSpec
+from ..engine.expressions import Arithmetic, Col, Const, Expression
 from ..engine.table import Table
-from ..engine.types import NULL, Value, is_null
+from ..engine.types import Value
 from ..errors import QueryError
 
 

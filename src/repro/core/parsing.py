@@ -28,7 +28,7 @@ The expression grammar is classic recursive descent::
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..engine.aggregates import (
     AggregateSpec,

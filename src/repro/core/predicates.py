@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Tuple
 
 from ..engine.expressions import (
     And,
@@ -27,7 +27,7 @@ from ..engine.expressions import (
     conj,
 )
 from ..engine.schema import DatabaseSchema
-from ..engine.types import DUMMY, NULL, Value, is_missing
+from ..engine.types import Value, is_missing
 from ..errors import ExplanationError
 
 _OPS = ("=", "<>", "<", "<=", ">", ">=")

@@ -10,15 +10,14 @@ dict (for JSON serialization by callers).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine.database import Database
-from ..engine.types import Value, is_missing
+from ..engine.types import Value
 from .additivity import AdditivityReport
 from .degrees import ExplanationScore
 from .explainer import Explainer
-from .predicates import Explanation
 from .question import UserQuestion
 from .topk import RankedExplanation
 

@@ -24,7 +24,7 @@ the copied side become disjunctions over the copies
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..engine.database import Database
 from ..engine.schema import (
@@ -34,8 +34,7 @@ from ..engine.schema import (
     RelationSchema,
 )
 from ..engine.types import Row, Value
-from ..engine.universal import JoinTree
-from ..errors import ExplanationError, SchemaError
+from ..errors import ExplanationError
 from .predicates import (
     AtomicPredicate,
     DisjunctivePredicate,

@@ -47,12 +47,12 @@ from ..engine.expressions import (
     Or,
     Unary,
 )
-from ..engine.schema import DatabaseSchema, ForeignKey
+from ..engine.schema import DatabaseSchema
 from ..engine.types import Value, is_null
 from ..engine.universal import JoinTree
 from ..errors import QueryError
-from .numquery import AggregateQuery, NumericalQuery
-from .predicates import Explanation, Predicate
+from .numquery import AggregateQuery
+from .predicates import Predicate
 from .question import UserQuestion
 
 DUMMY_SQL = "'__DUMMY__'"

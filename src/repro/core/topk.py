@@ -36,12 +36,11 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
-from ..engine.table import Table
-from ..engine.types import DUMMY, Row, Value, is_dummy, is_missing, is_null, sort_key
+from ..engine.types import Row, Value, is_dummy, is_missing, is_null, sort_key
 from ..errors import ExplanationError
-from .cube_algorithm import MU_AGGR, MU_INTERV, ExplanationTable
+from .cube_algorithm import MU_INTERV, ExplanationTable
 from .predicates import Explanation
 
 

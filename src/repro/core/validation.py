@@ -22,7 +22,6 @@ from ..engine.universal import universal_table
 from ..errors import IntegrityError
 from .additivity import analyze_additivity
 from .causality import SchemaCausalGraph
-from .numquery import NumericalQuery
 from .question import UserQuestion
 
 

@@ -25,14 +25,13 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.numquery import AggregateQuery, double_ratio_query
 from ..core.question import UserQuestion
 from ..engine.aggregates import count_distinct
 from ..engine.database import Database
-from ..engine.expressions import And, Col, Comparison, Const, conj
-from ..engine.schema import DatabaseSchema
+from ..engine.expressions import Col, Comparison, Const, conj
 from .running_example import schema as dblp_schema
 
 YEARS = range(1988, 2012)
@@ -90,6 +89,21 @@ STARS: Tuple[Tuple[str, str, float, Tuple[int, int]], ...] = (
     ("HamidP", "ibm.com", 2.5, (1990, 2004)),
     ("RakeshA", "ibm.com", 2.5, (1990, 2003)),
 )
+
+
+def certified_convergence():
+    """Analyzer smoke assertion for this schema's convergence class.
+
+    DBLP reuses the running-example schema (Author–Authored–Publication
+    with one back-and-forth key), so Proposition 3.11 certifies
+    convergence in ≤ 2s + 2 = 4 steps.
+    """
+    from ..analysis.fkgraph import RULE_PROP_311, certify_convergence
+
+    certificate = certify_convergence(dblp_schema())
+    assert certificate.selected_rule == RULE_PROP_311
+    assert certificate.bound == 4
+    return certificate
 
 
 def generate(scale: float = 1.0, seed: int = 2014) -> Database:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.numquery import AggregateQuery, ratio_query
 from ..core.question import UserQuestion
@@ -62,6 +62,21 @@ def schema() -> DatabaseSchema:
             foreign_key("City", "countryid", "Country", "countryid"),
         ),
     )
+
+
+def certified_convergence():
+    """Analyzer smoke assertion for this schema's convergence class.
+
+    Eight relations, one back-and-forth key (Authored.pubid ↔
+    Publication.pubid): Proposition 3.11 certifies ≤ 2s + 2 = 4 steps
+    regardless of how deep the standard-key lookup chain grows.
+    """
+    from ..analysis.fkgraph import RULE_PROP_311, certify_convergence
+
+    certificate = certify_convergence(schema())
+    assert certificate.selected_rule == RULE_PROP_311
+    assert certificate.bound == 4
+    return certificate
 
 
 @dataclass(frozen=True)

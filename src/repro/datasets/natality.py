@@ -19,7 +19,7 @@ the single-wide-table shape of the paper's natality experiments, where
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -143,6 +143,20 @@ def schema(noise_attributes: int = 0) -> DatabaseSchema:
         ["bid"],
         dtypes={"bid": "int", **{c: "str" for c in columns[1:]}},
     )
+
+
+def certified_convergence():
+    """Analyzer smoke assertion for this schema's convergence class.
+
+    A single relation has no foreign keys at all, so Proposition 3.5
+    certifies the tightest bound: program P converges in ≤ 2 steps.
+    """
+    from ..analysis.fkgraph import RULE_PROP_35, certify_convergence
+
+    certificate = certify_convergence(schema())
+    assert certificate.selected_rule == RULE_PROP_35
+    assert certificate.bound == 2
+    return certificate
 
 
 def _odds_lookup(values: Sequence[str], odds: Dict[str, float]) -> np.ndarray:

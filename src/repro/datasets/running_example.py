@@ -18,7 +18,6 @@ Example 2.9.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from ..engine.database import Database
 from ..engine.schema import DatabaseSchema, foreign_key, make_schema
@@ -75,6 +74,29 @@ def database(*, back_and_forth: bool = True) -> Database:
             "Publication": [T1, T2, T3],
         },
     )
+
+
+def certified_convergence():
+    """Analyzer smoke assertion for this schema's convergence class.
+
+    With the back-and-forth Authored.pubid ↔ Publication.pubid key the
+    schema sits in the Proposition 3.11 class (one key per relation,
+    bound 2s + 2 = 4); demoted to a standard key it is back in the
+    no-back-and-forth class of Proposition 3.5 (bound 2).
+    """
+    from ..analysis.fkgraph import (
+        RULE_PROP_35,
+        RULE_PROP_311,
+        certify_convergence,
+    )
+
+    certificate = certify_convergence(schema())
+    assert certificate.selected_rule == RULE_PROP_311
+    assert certificate.bound == 4
+    standard = certify_convergence(schema(back_and_forth=False))
+    assert standard.selected_rule == RULE_PROP_35
+    assert standard.bound == 2
+    return certificate
 
 
 def example_29_schema() -> DatabaseSchema:

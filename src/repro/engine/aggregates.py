@@ -12,7 +12,7 @@ paper proves intervention-additivity conditions (Section 4.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence, Set, Tuple
+from typing import Iterable, Optional, Set
 
 from ..errors import QueryError
 from .types import NULL, Value, is_null, sql_lt

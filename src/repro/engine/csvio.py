@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, List, Sequence, Union
+from typing import List, Sequence, Union
 
 from ..errors import QueryError
 from .relation import Relation

@@ -14,7 +14,7 @@ from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
 
 from ..errors import IntegrityError, SchemaError
 from .relation import Relation
-from .schema import DatabaseSchema, ForeignKey
+from .schema import DatabaseSchema
 from .types import Row, Value, is_dummy, is_null
 
 

@@ -15,7 +15,7 @@ row-at-a-time implementation as a test oracle and benchmark baseline.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import QueryError
 from .aggregates import Accumulator, AggregateSpec

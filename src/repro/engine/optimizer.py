@@ -19,8 +19,7 @@ both plans.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from .database import Database
 from .expressions import And, Expression, conj
@@ -37,7 +36,6 @@ from .plan import (
     Select,
     SemiJoin,
     TopK,
-    UniversalScan,
 )
 
 

@@ -19,10 +19,9 @@ cardinalities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
-from ..errors import QueryError
 from .aggregates import AggregateSpec
 from .cube import cube as run_cube
 from .database import Database
@@ -33,7 +32,7 @@ from .joins import hash_join
 from .joins import semijoin as run_semijoin
 from .table import Table
 from .topk import top_k
-from .universal import JoinTree, universal_table
+from .universal import universal_table
 
 
 class PlanContext:

@@ -18,7 +18,7 @@ the same service at the :class:`Database` level.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from .database import Database, Delta
 from .schema import DatabaseSchema, ForeignKey

@@ -23,9 +23,9 @@ from typing import (
     Tuple,
 )
 
-from ..errors import IntegrityError, SchemaError
+from ..errors import IntegrityError
 from .schema import RelationSchema
-from .types import NULL, Row, Value, is_null, sort_key
+from .types import Row, Value, is_null, sort_key
 
 
 class Relation:

@@ -18,7 +18,7 @@ the *schema causal graph* (Definition 3.8) through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SchemaError
 
@@ -223,25 +223,29 @@ class DatabaseSchema:
     def _check_join_graph(self, by_name: Dict[str, RelationSchema]) -> None:
         """Reject disconnected or cyclic foreign-key join graphs."""
         adjacency: Dict[str, List[str]] = {r.name: [] for r in self.relations}
-        edges = set()
+        edges: Dict[frozenset, "ForeignKey"] = {}
         for fk in self.foreign_keys:
             edge = frozenset((fk.source, fk.target))
-            if edge in edges:
+            first = edges.get(edge)
+            if first is not None:
                 # Two FKs between the same pair of relations create a
                 # cycle in the undirected join graph.
                 raise SchemaError(
                     f"multiple foreign keys between {fk.source} and "
-                    f"{fk.target}; the schema causal graph must be simple"
+                    f"{fk.target} ({first} and {fk}); the schema causal "
+                    f"graph must be simple"
                 )
-            edges.add(edge)
+            edges[edge] = fk
             adjacency[fk.source].append(fk.target)
             adjacency[fk.target].append(fk.source)
         # A connected acyclic undirected graph on k nodes has k-1 edges.
         if len(edges) != len(self.relations) - 1:
+            declared = "; ".join(str(fk) for fk in self.foreign_keys) or "none"
             raise SchemaError(
                 f"foreign-key join graph must be a tree: "
                 f"{len(self.relations)} relations need "
-                f"{len(self.relations) - 1} foreign keys, got {len(edges)}"
+                f"{len(self.relations) - 1} foreign keys, got {len(edges)} "
+                f"(declared: {declared})"
             )
         seen = set()
         stack = [self.relations[0].name]

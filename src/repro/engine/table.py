@@ -357,7 +357,10 @@ class Table:
     ) -> "Table":
         """Sort rows by *columns* using the engine's total order."""
         pos = self.positions(columns)
-        key = lambda row: tuple(sort_key(row[i]) for i in pos)
+
+        def key(row: Row) -> Tuple:
+            return tuple(sort_key(row[i]) for i in pos)
+
         return Table._trusted(
             self.columns,
             rows=sorted(self.rows(), key=key, reverse=descending),

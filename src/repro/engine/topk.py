@@ -9,7 +9,7 @@ top-K explanation strategies of Section 4.3.
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 from ..errors import QueryError
 from .table import Table

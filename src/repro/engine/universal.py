@@ -18,10 +18,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import SchemaError
 from .database import Database
-from .joins import hash_join
 from .schema import DatabaseSchema, ForeignKey
 from .table import Table
-from .types import Row, Value
 
 
 class JoinTree:

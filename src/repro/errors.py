@@ -67,3 +67,14 @@ class ConvergenceError(ReproError):
     iterations; exceeding the budget indicates an internal bug, so this
     error should never surface in normal use.
     """
+
+
+class AnalysisInvariantError(ReproError):
+    """A statically certified property was violated at runtime.
+
+    The :mod:`repro.analysis` package certifies facts about a plan
+    before execution — e.g. the iteration bound of program P derived
+    from Propositions 3.4/3.5/3.10/3.11.  If execution contradicts a
+    certified fact, either the analyzer or the engine has a bug; the
+    violation is raised loudly instead of being papered over.
+    """

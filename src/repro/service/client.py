@@ -18,7 +18,7 @@ from __future__ import annotations
 import http.client
 import json
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional
 
 from .errors import ClientError
 from .protocol import QuestionSpec
@@ -126,6 +126,17 @@ class ServiceClient:
         return self._checked(
             "POST",
             "/v1/explain",
+            _build_body(fields),
+            raise_on_error=raise_on_error,
+        )
+
+    def analyze(
+        self, *, raise_on_error: bool = True, **fields
+    ) -> ServiceResponse:
+        """POST ``/v1/analyze``; *fields* mirror the wire protocol."""
+        return self._checked(
+            "POST",
+            "/v1/analyze",
             _build_body(fields),
             raise_on_error=raise_on_error,
         )

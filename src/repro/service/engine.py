@@ -42,6 +42,7 @@ from ..core.cube_algorithm import (
     add_hybrid_column,
 )
 from ..core.explainer import (
+    AUTO_METHOD,
     Explainer,
     ExplanationPlan,
     backend_key,
@@ -134,6 +135,9 @@ class PreparedRequest:
     backend_name: str
     fingerprint: str
     static_warnings: Tuple[str, ...] = ()
+    #: The plan certificate, when static analysis already ran for this
+    #: request (``method: "auto"`` resolution or ``/v1/analyze``).
+    certificate: Optional[object] = None
 
 
 @dataclass
@@ -141,7 +145,7 @@ class ServiceResult:
     """One computed answer plus its per-request serving metadata."""
 
     payload: Dict[str, object]
-    cache_status: str  # "hit" | "miss" | "coalesced"
+    cache_status: str  # "hit" | "miss" | "coalesced" | "none" (uncached)
     warnings: Tuple[str, ...] = ()
 
 
@@ -196,9 +200,20 @@ class ExplanationService:
                 f"dataset {dataset.name!r} has no default attributes; "
                 "supply an 'attributes' list"
             )
-        if request.method != "cube" and request.backend != "memory":
+        method = request.method
+        certificate = None
+        if method == AUTO_METHOD:
+            if request.backend != "memory":
+                # SQL backends implement only Algorithm 1.
+                method = "cube"
+            else:
+                certificate = self._certificate_for(
+                    dataset, question, attributes
+                )
+                method = certificate.recommended_method
+        if method != "cube" and request.backend != "memory":
             raise BadRequestError(
-                f"method {request.method!r} runs only on the in-memory "
+                f"method {method!r} runs only on the in-memory "
                 "engine; SQL backends implement the 'cube' method"
             )
         try:
@@ -212,7 +227,7 @@ class ExplanationService:
             database_fingerprint=dataset.fingerprint,
             question=question_key(question),
             attributes=tuple(attributes),
-            method=request.method,
+            method=method,
             backend=backend_name,
             support_threshold=request.support_threshold,
         )
@@ -221,11 +236,24 @@ class ExplanationService:
             dataset=dataset,
             question=question,
             attributes=tuple(attributes),
-            method=request.method,
+            method=method,
             backend_impl=backend_impl,
             backend_name=backend_name,
             fingerprint=plan.fingerprint,
             static_warnings=(warning,) if warning else (),
+            certificate=certificate,
+        )
+
+    def _certificate_for(self, dataset, question, attributes):
+        """Run the static analyzer for one resolved request (data-aware)."""
+        from ..analysis import analyze_plan
+
+        self.counters.inc("compute.analyses")
+        return analyze_plan(
+            dataset.database.schema,
+            question,
+            attributes,
+            database=dataset.database,
         )
 
     # -- table construction --------------------------------------------------
@@ -343,6 +371,32 @@ class ExplanationService:
             }
         )
         return ServiceResult(payload, status, warnings)
+
+    def analyze(self, request: ServiceRequest) -> ServiceResult:
+        """The static plan certificate for one request (``/v1/analyze``).
+
+        No table is built and nothing is cached: the analyzer reads
+        only the schema, the query and (for footnote-11 resolution and
+        the n − 1 fallback bound) instance statistics.
+        """
+        prepared = self.prepare(request)
+        certificate = prepared.certificate
+        if certificate is None:
+            certificate = self._certificate_for(
+                prepared.dataset, prepared.question, prepared.attributes
+            )
+        payload: Dict[str, object] = {
+            "dataset": prepared.dataset.name,
+            "params": dict(prepared.dataset.params),
+            "fingerprint": prepared.fingerprint,
+            "question": str(prepared.question.query),
+            "direction": prepared.question.direction.value,
+            "attributes": list(prepared.attributes),
+            "method": prepared.method,
+            "backend": prepared.backend_name,
+            "certificate": certificate.to_dict(),
+        }
+        return ServiceResult(payload, "none", prepared.static_warnings)
 
     def _base_payload(
         self, prepared: PreparedRequest, table: ExplanationTable

@@ -36,10 +36,10 @@ bodies; that metadata travels in the ``X-Repro-Cache`` and
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.explainer import METHODS
+from ..core.explainer import AUTO_METHOD, METHODS
 from ..core.topk import RankedExplanation
 from ..engine.types import Value, is_dummy, is_null
 from .errors import BadRequestError
@@ -137,7 +137,7 @@ class ServiceRequest:
             if not raw:
                 raise BadRequestError("attributes must not be empty")
             attributes = tuple(raw)
-        method = _choice(data, "method", METHODS, "cube")
+        method = _choice(data, "method", METHODS + (AUTO_METHOD,), "cube")
         backend = data.get("backend", "memory")
         if not isinstance(backend, str) or not backend:
             raise BadRequestError("backend must be a non-empty string")

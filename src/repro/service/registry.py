@@ -16,7 +16,7 @@ makes ``curl``-sized requests possible against the demo datasets.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..core.question import UserQuestion

@@ -12,7 +12,10 @@ Endpoints (JSON in, JSON out, one request per connection):
 * ``GET  /v1/stats``  — request/cache/compute counters;
 * ``POST /v1/explain`` — build (or fetch) the table *M*, return metadata
   plus top-K under both degrees;
-* ``POST /v1/topk``   — ranked explanations for one degree/strategy.
+* ``POST /v1/topk``   — ranked explanations for one degree/strategy;
+* ``POST /v1/analyze`` — the static plan certificate (certified
+  convergence bound, per-aggregate additivity verdicts, lint
+  diagnostics) with no table build.
 
 Per-request serving metadata (cache hit/miss/coalesced, degradation
 warnings) travels in ``X-Repro-Cache`` / ``X-Repro-Warning`` response
@@ -187,6 +190,7 @@ class ExplanationServer:
             ("GET", "/v1/stats"): self._handle_stats,
             ("POST", "/v1/explain"): self._handle_explain,
             ("POST", "/v1/topk"): self._handle_topk,
+            ("POST", "/v1/analyze"): self._handle_analyze,
         }
         handler = routes.get((method, path))
         if handler is None:
@@ -255,6 +259,14 @@ class ExplanationServer:
         request = ServiceRequest.from_dict(body)
         result = await self._run_service_call(
             lambda: self.service.topk(request), request
+        )
+        return 200, result.payload, _result_headers(result)
+
+    async def _handle_analyze(self, body) -> Tuple[int, dict, Dict[str, str]]:
+        self.service.counters.inc("requests.analyze")
+        request = ServiceRequest.from_dict(body)
+        result = await self._run_service_call(
+            lambda: self.service.analyze(request), request
         )
         return 200, result.payload, _result_headers(result)
 

@@ -1,0 +1,25 @@
+"""The import-layering lint must pass on the repository itself."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "tools" / "check_imports.py"
+
+
+@pytest.mark.skipif(
+    sys.version_info < (3, 10),
+    reason="check_imports needs sys.stdlib_module_names",
+)
+def test_repository_layering_is_clean():
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK" in proc.stdout

@@ -1,0 +1,172 @@
+"""Tests for the FK-graph convergence certification (Props 3.4–3.11).
+
+The paper shapes:
+
+* chain (Example 3.7): two back-and-forth keys on one relation with
+  distinct targets — only the Proposition 3.4 n − 1 fallback applies;
+* no back-and-forth keys: Proposition 3.5 gives bound 2;
+* one back-and-forth key per relation, distinct targets: Proposition
+  3.11 gives 2s + 2;
+* all back-and-forth keys sharing one target: the static Proposition
+  3.10 variant tightens that to 2q + 2 = 4.
+"""
+
+from repro.analysis import (
+    RULE_PROP_34,
+    RULE_PROP_35,
+    RULE_PROP_310,
+    RULE_PROP_311,
+    certify_convergence,
+)
+from repro.datasets import chains
+from repro.datasets import running_example as rex
+from repro.engine.schema import DatabaseSchema, foreign_key, make_schema
+
+
+def rule(certificate, name):
+    (found,) = [r for r in certificate.rules if r.rule == name]
+    return found
+
+
+def one_bf_per_relation_schema() -> DatabaseSchema:
+    """R2.a ↔ R1.a and R3.b ↔ R2.b: one b&f key per relation, two
+    distinct targets, so the dotted edges can alternate along a path."""
+    return DatabaseSchema(
+        (
+            make_schema("R1", ["a"], ["a"]),
+            make_schema("R2", ["b", "a"], ["b"]),
+            make_schema("R3", ["c", "b"], ["c"]),
+        ),
+        (
+            foreign_key("R2", "a", "R1", "a", back_and_forth=True),
+            foreign_key("R3", "b", "R2", "b", back_and_forth=True),
+        ),
+    )
+
+
+def shared_target_schema() -> DatabaseSchema:
+    """R2.a ↔ R1.a and R3.a ↔ R1.a: both b&f keys target R1."""
+    return DatabaseSchema(
+        (
+            make_schema("R1", ["a"], ["a"]),
+            make_schema("R2", ["b", "a"], ["b"]),
+            make_schema("R3", ["c", "a"], ["c"]),
+        ),
+        (
+            foreign_key("R2", "a", "R1", "a", back_and_forth=True),
+            foreign_key("R3", "a", "R1", "a", back_and_forth=True),
+        ),
+    )
+
+
+class TestChain:
+    """Example 3.7: the Θ(n) tightness witness."""
+
+    def test_symbolic_fallback(self):
+        cert = certify_convergence(chains.chain_schema())
+        assert cert.back_and_forth_count == 2
+        assert cert.interaction_cycle
+        assert cert.selected_rule == RULE_PROP_34
+        assert cert.bound is None
+        assert cert.bound_expression == "n - 1"
+
+    def test_sharper_rules_do_not_apply(self):
+        cert = certify_convergence(chains.chain_schema())
+        assert not rule(cert, RULE_PROP_35).applicable
+        # R3 carries two back-and-forth keys.
+        assert not rule(cert, RULE_PROP_311).applicable
+        # ... with distinct targets, so no static causal length exists.
+        assert not rule(cert, RULE_PROP_310).applicable
+
+    def test_concrete_bound_is_n_minus_1(self):
+        # p = 3 gives n = 4p + 1 = 13 tuples, so the bound is 12.
+        db = chains.example_37_database(3)
+        assert db.total_rows() == 13
+        cert = certify_convergence(db.schema, total_rows=db.total_rows())
+        assert cert.selected_rule == RULE_PROP_34
+        assert cert.bound == 12 == db.total_rows() - 1
+
+    def test_bound_covers_actual_iterations(self):
+        # The chain needs 4p − 1 iterations; the certificate promises
+        # n − 1 = 4p.  Tight up to the merged first round.
+        for p in (1, 2, 3):
+            n = 4 * p + 1
+            cert = certify_convergence(chains.chain_schema(), total_rows=n)
+            assert chains.expected_iterations(p) <= cert.bound
+
+
+class TestNoBackAndForth:
+    def test_prop_35_bound_2(self):
+        cert = certify_convergence(rex.schema(back_and_forth=False))
+        assert cert.back_and_forth_count == 0
+        assert not cert.interaction_cycle
+        assert cert.selected_rule == RULE_PROP_35
+        assert cert.bound == 2
+
+    def test_single_relation_schema(self):
+        from repro.datasets import natality
+
+        cert = certify_convergence(natality.schema())
+        assert cert.selected_rule == RULE_PROP_35
+        assert cert.bound == 2
+        assert cert.edges == ()
+
+
+class TestOneKeyPerRelation:
+    def test_prop_311_bound_2s_plus_2(self):
+        cert = certify_convergence(one_bf_per_relation_schema())
+        assert cert.back_and_forth_count == 2
+        assert cert.interaction_cycle  # two distinct b&f targets
+        assert cert.selected_rule == RULE_PROP_311
+        assert cert.bound == 2 * 2 + 2 == 6
+        assert not rule(cert, RULE_PROP_310).applicable
+
+    def test_running_example_bound_4(self):
+        cert = certify_convergence(rex.schema())
+        assert cert.back_and_forth_count == 1
+        assert cert.selected_rule == RULE_PROP_311
+        assert cert.bound == 4
+
+
+class TestSharedTarget:
+    def test_prop_310_beats_311(self):
+        cert = certify_convergence(shared_target_schema())
+        assert cert.back_and_forth_count == 2
+        assert not cert.interaction_cycle
+        assert rule(cert, RULE_PROP_311).bound == 6
+        assert cert.selected_rule == RULE_PROP_310
+        assert cert.bound == 4
+
+
+class TestSelection:
+    def test_tiny_instance_tightens_to_fallback(self):
+        # On a 3-row instance, n − 1 = 2 undercuts Prop 3.11's 4.
+        cert = certify_convergence(rex.schema(), total_rows=3)
+        assert cert.selected_rule == RULE_PROP_34
+        assert cert.bound == 2
+
+    def test_fallback_floor_is_2(self):
+        cert = certify_convergence(chains.chain_schema(), total_rows=1)
+        assert cert.bound == 2
+
+    def test_rules_cover_all_propositions(self):
+        cert = certify_convergence(rex.schema())
+        assert {r.rule for r in cert.rules} == {
+            RULE_PROP_34,
+            RULE_PROP_35,
+            RULE_PROP_310,
+            RULE_PROP_311,
+        }
+
+
+class TestEdgeReports:
+    def test_kinds_and_arrow_rendering(self):
+        cert = certify_convergence(chains.chain_schema())
+        kinds = {e.rendered: e.kind for e in cert.edges}
+        assert kinds == {
+            "R3.(a) <-> R1.(a)": "back-and-forth",
+            "R3.(b) <-> R2.(b)": "back-and-forth",
+        }
+        cert = certify_convergence(rex.schema(back_and_forth=False))
+        assert {e.kind for e in cert.edges} == {"standard"}
+        assert all("->" in e.rendered for e in cert.edges)

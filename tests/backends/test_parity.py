@@ -14,7 +14,7 @@ from repro import Explainer
 from repro.backends import backend_names, get_backend
 from repro.core.cube_algorithm import MU_AGGR, MU_INTERV
 from repro.core.topk import top_k_explanations
-from repro.datasets import dblp, natality, running_example
+from repro.datasets import dblp, natality
 from repro.engine.types import is_null
 
 pytestmark = pytest.mark.backend

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import Explainer
-from repro.backends import SQLiteBackend, get_backend
+from repro.backends import SQLiteBackend
 from repro.core import (
     AggregateQuery,
     UserQuestion,

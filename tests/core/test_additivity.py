@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.additivity import analyze_additivity
-from repro.core.numquery import AggregateQuery, NumericalQuery, ratio_query, single_query
+from repro.core.numquery import AggregateQuery, ratio_query, single_query
 from repro.datasets import chains
 from repro.datasets import natality
 from repro.datasets import running_example as rex
@@ -14,7 +14,6 @@ from repro.engine.aggregates import (
     count_distinct,
     count_star,
 )
-from repro.engine.expressions import Col
 from repro.errors import NotAdditiveError
 
 

@@ -32,7 +32,7 @@ from repro.core import (
 from repro.datasets import running_example as rex
 from repro.engine.aggregates import count_distinct
 from repro.engine.database import Database
-from repro.engine.expressions import Col, Comparison, Const, conj
+from repro.engine.expressions import Col, Comparison, Const
 
 
 @pytest.fixture

@@ -341,3 +341,35 @@ class TestVersionFlag:
         )
         assert match is not None
         assert repro.__version__ == match.group(1)
+
+
+class TestAnalyze:
+    def test_chain_reports_n_minus_1(self, capsys):
+        assert main(["analyze", "chain", "--chain-p", "3"]) == 0
+        out = capsys.readouterr().out
+        # p = 3 gives n = 13 tuples, so the certified bound is n - 1 = 12.
+        assert "n - 1 = 12" in out
+        assert "prop-3.4" in out
+
+    def test_all_strict_passes(self, capsys):
+        assert main(["analyze", "--all", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "== running-example ==" in out
+        assert "== chain ==" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["analyze", "running-example", "natality", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["running-example"]["convergence"]["bound"] == 4
+        assert payload["natality"]["convergence"]["selected_rule"] == "prop-3.5"
+
+    def test_schema_only_keeps_bound_symbolic(self, capsys):
+        assert main(["analyze", "chain", "--schema-only"]) == 0
+        out = capsys.readouterr().out
+        assert "n - 1 iterations" in out
+
+    def test_unknown_dataset_fails(self, capsys):
+        assert main(["analyze", "no-such-dataset"]) == 2
+        assert "error" in capsys.readouterr().err

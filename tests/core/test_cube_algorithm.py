@@ -9,13 +9,12 @@ from repro.core.cube_algorithm import (
 )
 from repro.core.explainer import Explainer
 from repro.core.numquery import AggregateQuery, ratio_query, single_query
-from repro.core.predicates import parse_explanation
 from repro.core.question import UserQuestion
 from repro.datasets import natality
 from repro.datasets import running_example as rex
 from repro.engine.aggregates import count_distinct, count_star
 from repro.engine.expressions import Col, Comparison, Const
-from repro.engine.types import DUMMY, is_dummy
+from repro.engine.types import is_dummy
 from repro.errors import NotAdditiveError, QueryError
 
 
@@ -179,12 +178,16 @@ class TestOptions:
             assert fast_map[key] == pytest.approx(slow_map[key])
 
     def test_brute_force_cube_same_result(self):
+        # Inject the retained 2^d-group-bys oracle as the cube
+        # implementation; production code never imports it.
+        from repro.engine.cube import cube_bruteforce
+
         db = natality.generate(rows=200, seed=3)
         question = natality.q_race_question()
         attrs = ["Birth.marital", "Birth.prenatal"]
         fast = build_explanation_table(db, question, attrs)
         brute = build_explanation_table(
-            db, question, attrs, brute_force_cube=True
+            db, question, attrs, cube_impl=cube_bruteforce
         )
         assert fast.table == brute.table
 

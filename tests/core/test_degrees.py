@@ -9,7 +9,7 @@ from repro.core.question import UserQuestion
 from repro.datasets import running_example as rex
 from repro.engine.aggregates import count_distinct, count_star
 from repro.engine.expressions import Col, Comparison, Const
-from repro.engine.types import NULL, is_null
+from repro.engine.types import is_null
 
 
 def sigmod_query():

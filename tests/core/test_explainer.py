@@ -8,7 +8,7 @@ from repro.core.predicates import parse_explanation
 from repro.core.question import UserQuestion
 from repro.datasets import natality
 from repro.datasets import running_example as rex
-from repro.engine.aggregates import count_distinct, count_star
+from repro.engine.aggregates import count_distinct
 from repro.engine.expressions import Col, Comparison, Const
 from repro.errors import ExplanationError, QueryError
 

@@ -12,7 +12,7 @@ from repro.core.cube_algorithm import (
 from repro.core.explainer import Explainer
 from repro.datasets import natality
 from repro.engine.table import Table
-from repro.engine.types import DUMMY, NULL, is_null
+from repro.engine.types import NULL, is_null
 from repro.errors import ExplanationError
 
 

@@ -16,7 +16,6 @@ from repro.core.numquery import (
 from repro.datasets import running_example as rex
 from repro.engine.aggregates import count_distinct, count_star
 from repro.engine.expressions import Col, Comparison, Const, conj
-from repro.engine.types import NULL
 from repro.engine.universal import universal_table
 from repro.errors import QueryError
 

@@ -15,7 +15,6 @@ import pytest
 
 from repro.core import (
     DegreeEvaluator,
-    Explanation,
     UserQuestion,
     analyze_additivity,
     compute_intervention,

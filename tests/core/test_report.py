@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.core import AggregateQuery, UserQuestion, single_query
-from repro.core.report import ExplanationReport, explain_question
+from repro.core.report import explain_question
 from repro.datasets import natality
 from repro.datasets import running_example as rex
 from repro.engine.aggregates import count_distinct, count_star

@@ -1,6 +1,5 @@
 """Tests for the pre-flight validation module."""
 
-import pytest
 
 from repro.core import AggregateQuery, UserQuestion, single_query
 from repro.core.validation import validate_database, validate_question

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datasets import running_example as rex
-from repro.engine.database import Database, Delta
+from repro.engine.database import Delta
 from repro.errors import IntegrityError, SchemaError
 
 

@@ -15,7 +15,6 @@ from repro.engine.plan import (
     Select,
     TopK,
     explain,
-    explain_analyze,
 )
 
 

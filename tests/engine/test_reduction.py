@@ -1,6 +1,5 @@
 """Tests for the semijoin full reducer against the projection oracle."""
 
-import pytest
 
 from repro.datasets import running_example as rex
 from repro.engine.database import Database

@@ -1,6 +1,5 @@
 """Tests for schema/database persistence."""
 
-import json
 
 import pytest
 

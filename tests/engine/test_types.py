@@ -2,7 +2,6 @@
 
 import copy
 
-import pytest
 
 from repro.engine.types import (
     DUMMY,

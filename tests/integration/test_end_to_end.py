@@ -8,7 +8,6 @@ fast path against the program-P ground truth at small scale.
 import pytest
 
 from repro.core import Explainer, compute_intervention, is_valid_intervention
-from repro.core.cube_algorithm import MU_INTERV
 from repro.datasets import dblp, geodblp, natality
 from repro.engine.reduction import database_is_reduced
 

@@ -8,7 +8,6 @@ dimension counts, and every accumulator kind (the merge paths of the
 single-pass rollup are only exercised by non-count aggregates).
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

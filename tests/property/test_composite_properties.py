@@ -6,7 +6,6 @@ Prop-3.11 convergence check on the geodblp 8-relation schema (one
 back-and-forth key → ≤ 4 iterations).
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

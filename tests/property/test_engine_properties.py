@@ -4,7 +4,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.engine.aggregates import agg_max, agg_min, agg_sum, count_star
+from repro.engine.aggregates import agg_max, agg_min, count_star
 from repro.engine.cube import cube, cube_bruteforce, dummy_rewrite, undummy
 from repro.engine.groupby import group_by, scalar_aggregate
 from repro.engine.joins import antijoin, full_outer_join, hash_join, semijoin

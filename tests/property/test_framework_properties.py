@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.core import (
     AggregateQuery,
-    Explanation,
     UserQuestion,
     parse_explanation,
     rewrite_back_and_forth,
@@ -18,10 +17,7 @@ from repro.core.topk import (
     top_k_minimal_self_join,
     top_k_no_minimal,
 )
-from repro.datasets import running_example as rex
 from repro.engine.aggregates import count_distinct
-from repro.engine.database import Database
-from repro.engine.reduction import semijoin_reduce
 from repro.engine.table import Table
 from repro.engine.types import DUMMY
 from repro.engine.universal import universal_table

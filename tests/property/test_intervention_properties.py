@@ -15,7 +15,6 @@ formal guarantees of Sections 2–3:
 
 from itertools import chain, combinations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

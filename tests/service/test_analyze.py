@@ -1,0 +1,64 @@
+"""End-to-end tests for the ``POST /v1/analyze`` endpoint."""
+
+import json
+
+import pytest
+
+from repro.service import BackgroundServer, ExplanationService
+
+
+@pytest.fixture(scope="module")
+def live():
+    service = ExplanationService()
+    with BackgroundServer(service) as bg:
+        yield bg
+
+
+@pytest.fixture(scope="module")
+def client(live):
+    return live.client()
+
+
+class TestAnalyze:
+    def test_running_example_certificate(self, client):
+        body = client.analyze(dataset="running-example").data
+        cert = body["certificate"]
+        assert cert["convergence"]["selected_rule"] == "prop-3.11"
+        assert cert["convergence"]["bound"] == 4
+        assert cert["has_errors"] is False
+        assert body["method"] in ("cube", "naive", "exact", "indexed")
+
+    def test_natality_certificate(self, client):
+        body = client.analyze(dataset="natality", params={"rows": 300}).data
+        cert = body["certificate"]
+        assert cert["convergence"]["selected_rule"] == "prop-3.5"
+        assert cert["convergence"]["bound"] == 2
+        assert cert["recommended_method"] == "cube"
+
+    def test_payload_is_deterministic(self, client):
+        first = client.analyze(dataset="running-example")
+        second = client.analyze(dataset="running-example")
+        assert json.dumps(first.data, sort_keys=True) == json.dumps(
+            second.data, sort_keys=True
+        )
+        # Analysis responses are never cached: no hit/miss semantics.
+        assert first.cache_status == second.cache_status == "none"
+
+    def test_auto_method_round_trips(self, client):
+        body = client.analyze(dataset="running-example", method="auto").data
+        assert body["method"] == body["certificate"]["recommended_method"]
+
+    def test_unknown_dataset_is_structured_error(self, client):
+        response = client.analyze(dataset="no-such", raise_on_error=False)
+        assert response.status == 404
+        assert response.data["error"]["type"] == "unknown_dataset"
+
+    def test_auto_topk_matches_recommended_method(self, client):
+        auto = client.topk(dataset="running-example", method="auto", k=3)
+        recommended = client.analyze(dataset="running-example").data[
+            "certificate"
+        ]["recommended_method"]
+        explicit = client.topk(
+            dataset="running-example", method=recommended, k=3
+        )
+        assert auto.data["ranking"] == explicit.data["ranking"]
