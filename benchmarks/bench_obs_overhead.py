@@ -1,0 +1,115 @@
+"""Observability overhead guard: tracing must be (near) free.
+
+The ``phase(...)`` instrumentation sits on every hot path of the
+pipeline, so its cost model is part of the obs subsystem's contract:
+
+* **disabled** (the default) — only a histogram observation per phase;
+* **enabled** — span objects are built into a tree as well.
+
+This module times the Example 4.1 cube on an inflated copy of the
+running-example projection (replicated so the workload dominates timer
+noise) and asserts the *enabled* path stays within a 5% slowdown of
+the disabled path.  A second test exercises :class:`TraceRecorder`,
+the bridge benchmarks use to emit structured ``BENCH_*.json`` phase
+breakdowns.
+
+Run small (the CI smoke preset) with::
+
+    pytest benchmarks/bench_obs_overhead.py --preset small -q
+"""
+
+import gc
+import time
+
+from repro.datasets import running_example as rex
+from repro.engine.aggregates import count_star
+from repro.engine.cube import cube
+from repro.engine.table import Table
+from repro.engine.universal import universal_table
+from repro.obs import TraceRecorder, get_tracer
+
+# The cube builds a handful of spans per call (one per grouping set),
+# a fixed cost of a few tens of microseconds; the table must be large
+# enough that the 5% budget measures relative overhead on a realistic
+# workload rather than that constant against a sub-millisecond run.
+REPLICAS = {"small": 6000, "full": 20000}
+OVERHEAD_BUDGET = 0.05
+REPEATS = 9
+
+DIMENSIONS = ["name", "year"]
+AGGREGATES = [count_star("c")]
+
+
+def _inflated_table(replicas):
+    """Example 4.1's name x year projection, replicated *replicas* times."""
+    u = universal_table(rex.database())
+    base = u.project(
+        ["Author.name", "Publication.year"], distinct=False
+    ).rename({"Author.name": "name", "Publication.year": "year"})
+    return Table(base.columns, base.rows() * replicas)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_tracing_overhead_under_budget(preset, json_record):
+    table = _inflated_table(REPLICAS[preset])
+    tracer = get_tracer()
+
+    def run():
+        cube(table, DIMENSIONS, AGGREGATES)
+
+    # The two legs are *interleaved* (off, on, off, on, ...) and run with
+    # GC paused: timing one leg entirely before the other lets clock
+    # drift masquerade as instrumentation overhead, and span allocations
+    # otherwise shift collection pauses systematically into one leg.
+    disabled_s = enabled_s = float("inf")
+    tracer.disable()
+    run()  # warm every code path before either timing leg
+    gc.disable()
+    try:
+        for _ in range(REPEATS):
+            tracer.disable()
+            disabled_s = min(disabled_s, _timed(run))
+            tracer.enable()
+            tracer.reset()  # spans must not accumulate across repeats
+            enabled_s = min(enabled_s, _timed(run))
+    finally:
+        gc.enable()
+        tracer.disable()
+        tracer.reset()
+
+    overhead = (enabled_s - disabled_s) / disabled_s
+    json_record(
+        "obs_overhead",
+        preset=preset,
+        rows=len(table),
+        disabled_s=disabled_s,
+        enabled_s=enabled_s,
+        overhead=overhead,
+    )
+    print(
+        f"\n== tracing overhead ({len(table)} rows) == "
+        f"disabled {disabled_s * 1e3:.2f}ms, enabled {enabled_s * 1e3:.2f}ms, "
+        f"overhead {overhead * 100:+.2f}% (budget {OVERHEAD_BUDGET * 100:.0f}%)"
+    )
+    assert overhead < OVERHEAD_BUDGET, (
+        f"tracing-enabled cube is {overhead * 100:.1f}% slower than "
+        f"disabled (budget {OVERHEAD_BUDGET * 100:.0f}%)"
+    )
+
+
+def test_trace_recorder_emits_phase_breakdown(json_record):
+    table = _inflated_table(REPLICAS["small"])
+    with TraceRecorder() as rec:
+        cube(table, DIMENSIONS, AGGREGATES)
+    phases = rec.aggregate()
+    assert phases["cube"]["count"] == 1
+    # one span per grouping set of the 2^d rollup, plus the base pass
+    assert phases["cube.grouping_set"]["count"] == 2 ** len(DIMENSIONS)
+    assert phases["cube.base_groups"]["count"] == 1
+    assert all(entry["wall_s"] >= 0 for entry in phases.values())
+    json_record("obs_phase_breakdown", **rec.breakdown())

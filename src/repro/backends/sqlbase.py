@@ -50,6 +50,7 @@ from ..engine.table import Table
 from ..engine.types import DUMMY, NULL, Value, is_null
 from ..engine.universal import JoinTree, universal_table
 from ..errors import QueryError
+from ..obs import phase
 from .base import ExecutionBackend
 
 #: The string constant standing in for the engine's DUMMY singleton
@@ -289,66 +290,89 @@ class SQLBackend(ExecutionBackend):
 
         con = self._connect()
         try:
-            self._load_database(con, database)
-            self._create_universal_view(con, schema)
-            self._check_dimension_values(con, attributes)
+            with phase("backend_sql", backend=self.name) as sql_ph:
+                with phase("backend_sql.load"):
+                    self._load_database(con, database)
+                    self._create_universal_view(con, schema)
+                    self._check_dimension_values(con, attributes)
 
-            # Step 1: the original aggregate values u_j.
-            q_original: Dict[str, Value] = {
-                q.name: self._scalar_aggregate(con, q)
-                for q in query.aggregates
-            }
+                # Step 1: the original aggregate values u_j.
+                with phase("backend_sql.q_original"):
+                    q_original: Dict[str, Value] = {
+                        q.name: self._scalar_aggregate(con, q)
+                        for q in query.aggregates
+                    }
 
-            # Step 2 (+2b): one cube table per aggregate, dummy-rewritten
-            # where the dialect supports it.
-            for q, value_column in zip(query.aggregates, value_columns):
-                select = aggregate_sql(q.aggregate, render_col=qid)
-                where_sql = (
-                    sql_expression(q.where, self.dialect, render_col=qid)
-                    if q.where is not None
-                    else None
-                )
-                body = self._cube_sql(
-                    attributes, aliases, select, value_column, where_sql
-                )
-                self._execute(
-                    con,
-                    f"CREATE TABLE {qid(cube_names[q.name])} AS\n{body}",
-                )
-                self._rewrite_dummies(con, cube_names[q.name], aliases)
+                # Step 2 (+2b): one cube table per aggregate,
+                # dummy-rewritten where the dialect supports it.
+                for q, value_column in zip(query.aggregates, value_columns):
+                    with phase("backend_sql.cube", aggregate=q.name):
+                        select = aggregate_sql(q.aggregate, render_col=qid)
+                        where_sql = (
+                            sql_expression(
+                                q.where, self.dialect, render_col=qid
+                            )
+                            if q.where is not None
+                            else None
+                        )
+                        body = self._cube_sql(
+                            attributes,
+                            aliases,
+                            select,
+                            value_column,
+                            where_sql,
+                        )
+                        self._execute(
+                            con,
+                            f"CREATE TABLE {qid(cube_names[q.name])} "
+                            f"AS\n{body}",
+                        )
+                        self._rewrite_dummies(
+                            con, cube_names[q.name], aliases
+                        )
 
-            # Step 3: combine the cubes.  The UNION of all cube keys is
-            # the set of candidate explanations; LEFT JOINing each cube
-            # onto it is the m-way full outer join without COALESCE
-            # chains (absent combinations stay NULL and get the
-            # aggregate defaults in finalize_explanation_table).
-            key_list = ", ".join(qid(a) for a in aliases)
-            keys_union = "\nUNION\n".join(
-                f"SELECT {key_list} FROM {qid(name)}"
-                for name in cube_names.values()
-            )
-            self._execute(
-                con, f"CREATE TABLE {qid(KEYS_TABLE)} AS\n{keys_union}"
-            )
-            select_parts = [f"{qid(KEYS_TABLE)}.{qid(a)}" for a in aliases]
-            select_parts += [
-                f"{qid(cube_names[q.name])}.{qid(vc)}"
-                for q, vc in zip(query.aggregates, value_columns)
-            ]
-            join_lines = []
-            for name in cube_names.values():
-                conditions = " AND ".join(
-                    self._key_eq(
-                        f"{qid(KEYS_TABLE)}.{qid(a)}", f"{qid(name)}.{qid(a)}"
+                # Step 3: combine the cubes.  The UNION of all cube
+                # keys is the set of candidate explanations; LEFT
+                # JOINing each cube onto it is the m-way full outer
+                # join without COALESCE chains (absent combinations
+                # stay NULL and get the aggregate defaults in
+                # finalize_explanation_table).
+                with phase("backend_sql.join") as join_ph:
+                    key_list = ", ".join(qid(a) for a in aliases)
+                    keys_union = "\nUNION\n".join(
+                        f"SELECT {key_list} FROM {qid(name)}"
+                        for name in cube_names.values()
                     )
-                    for a in aliases
-                )
-                join_lines.append(f"LEFT JOIN {qid(name)} ON {conditions}")
-            rows = self._fetchall(
-                con,
-                f"SELECT {', '.join(select_parts)}\n"
-                f"FROM {qid(KEYS_TABLE)}\n" + "\n".join(join_lines),
-            )
+                    self._execute(
+                        con,
+                        f"CREATE TABLE {qid(KEYS_TABLE)} AS\n{keys_union}",
+                    )
+                    select_parts = [
+                        f"{qid(KEYS_TABLE)}.{qid(a)}" for a in aliases
+                    ]
+                    select_parts += [
+                        f"{qid(cube_names[q.name])}.{qid(vc)}"
+                        for q, vc in zip(query.aggregates, value_columns)
+                    ]
+                    join_lines = []
+                    for name in cube_names.values():
+                        conditions = " AND ".join(
+                            self._key_eq(
+                                f"{qid(KEYS_TABLE)}.{qid(a)}",
+                                f"{qid(name)}.{qid(a)}",
+                            )
+                            for a in aliases
+                        )
+                        join_lines.append(
+                            f"LEFT JOIN {qid(name)} ON {conditions}"
+                        )
+                    rows = self._fetchall(
+                        con,
+                        f"SELECT {', '.join(select_parts)}\n"
+                        f"FROM {qid(KEYS_TABLE)}\n" + "\n".join(join_lines),
+                    )
+                    join_ph.annotate(rows=len(rows))
+                sql_ph.annotate(rows=len(rows))
         finally:
             con.close()
 
@@ -361,10 +385,11 @@ class SQLBackend(ExecutionBackend):
             for row in rows
         ]
         joined = Table(list(attributes) + value_columns, marshalled)
-        return finalize_explanation_table(
-            joined,
-            question,
-            attributes,
-            q_original,
-            support_threshold=support_threshold,
-        )
+        with phase("finalize", rows=len(joined)):
+            return finalize_explanation_table(
+                joined,
+                question,
+                attributes,
+                q_original,
+                support_threshold=support_threshold,
+            )

@@ -49,8 +49,14 @@ Commands
 
         python -m repro serve --port 8722
         curl -s localhost:8722/v1/health
+        curl -s localhost:8722/v1/metrics   # Prometheus text format
 
     See ``docs/service.md`` for the wire protocol.
+
+Most analysis commands accept ``--profile``, which enables the tracer
+for the run and prints the phase tree (wall/CPU time per pipeline
+phase, row counts, program-P iterations vs the certified bound) after
+the normal output.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -80,6 +86,53 @@ from .engine.schema import single_table_schema
 from .errors import ReproError
 
 DEMOS = ("running-example", "natality", "dblp", "geodblp")
+
+#: Commands that accept ``--profile`` (set in ``build_parser``).
+PROFILED_COMMANDS = ("demo", "intervene", "explain", "ask", "report")
+
+
+def _print_profile() -> None:
+    """Render the tracer's phase tree plus a program-P summary line.
+
+    Printed after the command's normal output when ``--profile`` is
+    set.  The summary cross-checks the observed program-P iteration
+    counts against the statically certified convergence bound carried
+    on the spans — the run-time witness of Propositions 3.4–3.11.
+    """
+    from .obs import get_tracer, render_tree
+
+    tracer = get_tracer()
+    roots = tracer.roots()
+    print()
+    print("-- profile (phase tree: wall / cpu / payload) --")
+    if not roots:
+        print("(no phases recorded)")
+        return
+    print(render_tree(roots))
+    runs = [
+        span
+        for root in roots
+        for span in root.walk()
+        if span.name == "program_p" and "iterations" in span.payload
+    ]
+    if runs:
+        iterations = max(int(s.payload["iterations"]) for s in runs)
+        bounds = [
+            int(str(s.payload["certified_bound"]))
+            for s in runs
+            if s.payload.get("certified_bound") is not None
+        ]
+        line = (
+            f"program P: {len(runs)} fixpoint run(s), "
+            f"max {iterations} productive iteration(s)"
+        )
+        if bounds:
+            bound = max(bounds)
+            verdict = "within" if iterations <= bound else "EXCEEDS"
+            line += f" — {verdict} certified bound {bound}"
+        print(line)
+    if tracer.dropped:
+        print(f"({tracer.dropped} span(s) dropped at the max_spans cap)")
 
 #: Datasets ``repro analyze`` accepts: every demo plus the Example 3.7
 #: worst-case chain (whose size is set with ``--chain-p``).
@@ -330,7 +383,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         await server.start()
         print(f"repro explanation service listening on {server.url}")
         print(f"  datasets: {', '.join(service.registry.names())}")
-        print("  endpoints: /v1/explain /v1/topk /v1/analyze /v1/health /v1/stats")
+        print(
+            "  endpoints: /v1/explain /v1/topk /v1/analyze "
+            "/v1/health /v1/stats /v1/metrics"
+        )
         await server.serve_forever()
 
     try:
@@ -377,6 +433,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="execution substrate for Algorithm 1 (default: memory)",
         )
 
+    def add_profile(p):
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="print the traced phase tree (timings, row counts, "
+            "program-P iterations vs certified bound) after the output",
+        )
+
     demo = sub.add_parser("demo", help="run a built-in experiment")
     demo.add_argument("dataset", choices=DEMOS)
     demo.add_argument("--top", type=int, default=5)
@@ -389,12 +453,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(demo)
     add_backend(demo)
+    add_profile(demo)
     demo.set_defaults(func=cmd_demo)
 
     interv = sub.add_parser("intervene", help="compute Δ^φ for a predicate")
     interv.add_argument("phi", help="predicate, e.g. \"Author.name = 'JG'\"")
     interv.add_argument("--dataset", choices=DEMOS, default="running-example")
     add_common(interv)
+    add_profile(interv)
     interv.set_defaults(func=cmd_intervene)
 
     explain = sub.add_parser("explain", help="explain a CSV ratio question")
@@ -416,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="minimal_append",
     )
     add_backend(explain)
+    add_profile(explain)
     explain.set_defaults(func=cmd_explain)
 
     check = sub.add_parser(
@@ -475,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(ask)
     add_backend(ask)
+    add_profile(ask)
     ask.set_defaults(func=cmd_ask)
 
     report = sub.add_parser(
@@ -484,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--top", type=int, default=5)
     report.add_argument("--json", action="store_true")
     add_common(report)
+    add_profile(report)
     report.set_defaults(func=cmd_report)
 
     generate = sub.add_parser(
@@ -524,11 +593,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    profiling = bool(getattr(args, "profile", False))
+    if profiling:
+        from .obs import get_tracer
+
+        get_tracer().reset()
+        get_tracer().enable()
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if profiling:
+            _print_profile()
+            get_tracer().disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

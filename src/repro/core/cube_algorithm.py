@@ -24,6 +24,7 @@ contemplates.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -35,6 +36,7 @@ from ..engine.types import NULL, Row, Value, is_dummy, is_null
 from ..engine.universal import universal_table
 from ..engine.database import Database
 from ..errors import ExplanationError
+from ..obs import phase
 from .additivity import AdditivityReport, analyze_additivity
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -84,8 +86,48 @@ class ExplanationTable:
         """The requested degree column of a row."""
         return tuple(row)[self.table.position(by)]
 
+    def content_fingerprint(self) -> str:
+        """A sha256 over the canonical content of the table *M*.
+
+        Backend- and method-independent: rows are hashed as a sorted
+        multiset, NULL/DUMMY render as distinct sentinels, and integral
+        floats collapse to their integer rendering (SQL backends hand
+        back ``2.0`` where the engine keeps ``2``).  Two explanation
+        tables fingerprint identically iff they have the same columns
+        and the same canonical rows — the equality the differential
+        test battery asserts across backends and methods.
+        """
+        lines = sorted(
+            "\x1f".join(_canonical_cell(v) for v in row)
+            for row in self.table.rows()
+        )
+        head = "\x1f".join(self.table.columns)
+        payload = "\x1e".join([head, *lines])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def __len__(self) -> int:
         return len(self.table)
+
+
+def _canonical_cell(value: Value) -> str:
+    """One cell of :meth:`ExplanationTable.content_fingerprint`."""
+    if is_dummy(value):
+        return "\x00D"
+    if is_null(value):
+        return "\x00N"
+    if isinstance(value, bool):
+        return f"b:{value}"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "f:nan"
+        if value in (float("inf"), float("-inf")):
+            return f"f:{value}"
+        if value.is_integer():
+            return f"i:{int(value)}"
+        return f"f:{value!r}"
+    if isinstance(value, int):
+        return f"i:{value}"
+    return f"s:{value}"
 
 
 def build_explanation_table(
@@ -146,11 +188,13 @@ def build_explanation_table(
     for attr in attributes:
         u.position(attr)  # raise early on unknown columns
     if check_additivity:
-        report = _additivity_report(database, query, u, certificate)
-        report.raise_if_not_additive()
+        with phase("additivity_check"):
+            report = _additivity_report(database, query, u, certificate)
+            report.raise_if_not_additive()
 
     # Step 1: u_j = q_j(D).
-    q_original = query.aggregate_values(u)
+    with phase("q_original", aggregates=len(query.aggregates)):
+        q_original = query.aggregate_values(u)
 
     # Step 2: one cube per aggregate query, over its filtered input.
     from ..engine import fastpath
@@ -158,35 +202,41 @@ def build_explanation_table(
     cubes: List[Table] = []
     value_columns: List[str] = []
     for q in query.aggregates:
-        source = q.filtered(u)
-        alias = f"v_{q.name}"
-        value_columns.append(alias)
-        spec = type(q.aggregate)(q.aggregate.kind, q.aggregate.argument, alias)
-        if cube_impl is not None:
-            chosen: CubeImpl = cube_impl
-        elif use_fastpath and fastpath.supports((spec,)):
-            chosen = fastpath.cube_numpy
-        else:
-            chosen = cube
-        c = chosen(source, attributes, (spec,))
-        if use_dummy_rewrite:
-            c = dummy_rewrite(c, attributes)
-        cubes.append(c)
+        with phase("cube_aggregate", aggregate=q.name) as cube_ph:
+            source = q.filtered(u)
+            alias = f"v_{q.name}"
+            value_columns.append(alias)
+            spec = type(q.aggregate)(
+                q.aggregate.kind, q.aggregate.argument, alias
+            )
+            if cube_impl is not None:
+                chosen: CubeImpl = cube_impl
+            elif use_fastpath and fastpath.supports((spec,)):
+                chosen = fastpath.cube_numpy
+            else:
+                chosen = cube
+            c = chosen(source, attributes, (spec,))
+            if use_dummy_rewrite:
+                c = dummy_rewrite(c, attributes)
+            cube_ph.annotate(rows_in=len(source), groups=len(c))
+            cubes.append(c)
 
     # Step 3: combine the m cubes on the explanation columns.
     if use_dummy_rewrite:
         joined = full_outer_join_many(cubes, attributes, fill=NULL)
     else:
-        joined = _null_aware_outer_join(cubes, list(attributes))
+        with phase("dummy_join", tables=len(cubes), naive=True):
+            joined = _null_aware_outer_join(cubes, list(attributes))
 
     # Steps 3b/4: fill defaults, μ columns, support filter.
-    return finalize_explanation_table(
-        joined,
-        question,
-        attributes,
-        q_original,
-        support_threshold=support_threshold,
-    )
+    with phase("finalize", rows=len(joined)):
+        return finalize_explanation_table(
+            joined,
+            question,
+            attributes,
+            q_original,
+            support_threshold=support_threshold,
+        )
 
 
 def _additivity_report(

@@ -40,6 +40,7 @@ from ..engine.table import Table
 from ..engine.types import DUMMY, NULL, Row, Value, is_null
 from ..engine.universal import JoinTree, universal_table
 from ..errors import ExplanationError
+from ..obs import phase
 from .additivity import AdditivityReport, analyze_additivity
 from .candidates import enumerate_explanations
 from .cube_algorithm import (
@@ -267,30 +268,39 @@ class Explainer:
         cache_key = method if not kwargs else None
         if cache_key and cache_key in self._tables:
             return self._tables[cache_key]
-        if method == "cube":
-            kwargs.setdefault("certificate", self.certificate().additivity)
-            m = build_explanation_table(
-                self.database,
-                self.question,
-                self.attributes,
-                universal=self.universal,
-                support_threshold=self.support_threshold,
-                backend=self.backend,
-                **kwargs,
-            )
-        elif method == "naive":
-            m = self._naive_table(exact=False)
-        elif method == "indexed":
-            from .iterative import IndexedInterventionEvaluator
+        with phase(
+            "explanation_table",
+            method=method,
+            backend=backend_key(self.backend),
+        ) as ph:
+            ph.annotate(certified_bound=self.certificate().certified_bound)
+            if method == "cube":
+                kwargs.setdefault(
+                    "certificate", self.certificate().additivity
+                )
+                m = build_explanation_table(
+                    self.database,
+                    self.question,
+                    self.attributes,
+                    universal=self.universal,
+                    support_threshold=self.support_threshold,
+                    backend=self.backend,
+                    **kwargs,
+                )
+            elif method == "naive":
+                m = self._naive_table(exact=False)
+            elif method == "indexed":
+                from .iterative import IndexedInterventionEvaluator
 
-            m = IndexedInterventionEvaluator(
-                self.database,
-                self.question,
-                self.attributes,
-                universal=self.universal,
-            ).build_table()
-        else:
-            m = self._naive_table(exact=True)
+                m = IndexedInterventionEvaluator(
+                    self.database,
+                    self.question,
+                    self.attributes,
+                    universal=self.universal,
+                ).build_table()
+            else:
+                m = self._naive_table(exact=True)
+            ph.annotate(rows=len(m))
         if cache_key:
             self._tables[cache_key] = m
         return m

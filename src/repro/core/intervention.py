@@ -38,7 +38,16 @@ from ..engine.table import Table
 from ..engine.types import Row
 from ..engine.universal import JoinTree, universal_table
 from ..errors import AnalysisInvariantError, ConvergenceError
+from ..obs import get_registry, phase
 from .predicates import Predicate
+
+#: Productive iterations per fixpoint run — makes the convergence
+#: bounds of Props 3.4/3.5/3.10/3.11 observable in ``/v1/metrics``.
+_P_ITERATIONS = get_registry().histogram(
+    "repro_program_p_iterations",
+    buckets=(1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0),
+    help="Productive program-P iterations per fixpoint run.",
+)
 
 
 @dataclass(frozen=True)
@@ -239,39 +248,62 @@ class InterventionEngine:
                 deleted[name].update(fresh)
             return added
 
-        while True:
-            iteration += 1
-            if iteration > budget:
-                raise ConvergenceError(
-                    f"program P exceeded {budget} iterations; this is a bug"
+        with phase("program_p") as run_ph:
+            while True:
+                iteration += 1
+                if iteration > budget:
+                    raise ConvergenceError(
+                        f"program P exceeded {budget} iterations; "
+                        "this is a bug"
+                    )
+                with phase("program_p.iteration") as iter_ph:
+                    new_by_rule: Dict[str, int] = {}
+                    # Rules (ii) and (iii) evaluate against the Δ of
+                    # the *previous* iteration (naive simultaneous
+                    # semantics): take snapshots before absorbing any
+                    # rule's output, including the seeds — in iteration
+                    # 1 rules (ii)/(iii) see Δ⁰ = ∅, which is the
+                    # counting used by Example 3.7 / Prop 3.5.
+                    snapshot_residual = residual()
+                    snapshot_deleted = {
+                        name: set(rows) for name, rows in deleted.items()
+                    }
+                    if iteration == 1:
+                        new_by_rule["seed"] = absorb(
+                            {
+                                name: set(rows)
+                                for name, rows in seeds.parts().items()
+                            }
+                        )
+                    reduce_new = self._rule_reduce(snapshot_residual)
+                    backward_new = self._rule_backward(snapshot_deleted)
+                    new_by_rule["reduce"] = absorb(reduce_new)
+                    new_by_rule["backward"] = absorb(backward_new)
+                    total_new = sum(new_by_rule.values())
+                    delta_size = sum(
+                        len(rows) for rows in deleted.values()
+                    )
+                    iter_ph.annotate(
+                        iteration=iteration,
+                        seed=new_by_rule.get("seed", 0),
+                        reduce=new_by_rule["reduce"],
+                        backward=new_by_rule["backward"],
+                        delta_size=delta_size,
+                    )
+                if total_new == 0:
+                    # Quiescent iteration: not counted as productive.
+                    iteration -= 1
+                    break
+                trace.append(
+                    IterationTrace(
+                        iteration,
+                        {k: v for k, v in new_by_rule.items() if v},
+                        delta_size,
+                    )
                 )
-            new_by_rule: Dict[str, int] = {}
-            # Rules (ii) and (iii) evaluate against the Δ of the
-            # *previous* iteration (naive simultaneous semantics): take
-            # snapshots before absorbing any rule's output, including
-            # the seeds — in iteration 1 rules (ii)/(iii) see Δ⁰ = ∅,
-            # which is the counting used by Example 3.7 / Prop 3.5.
-            snapshot_residual = residual()
-            snapshot_deleted = {name: set(rows) for name, rows in deleted.items()}
-            if iteration == 1:
-                new_by_rule["seed"] = absorb(
-                    {name: set(rows) for name, rows in seeds.parts().items()}
-                )
-            reduce_new = self._rule_reduce(snapshot_residual)
-            backward_new = self._rule_backward(snapshot_deleted)
-            new_by_rule["reduce"] = absorb(reduce_new)
-            new_by_rule["backward"] = absorb(backward_new)
-            total_new = sum(new_by_rule.values())
-            if total_new == 0:
-                # Quiescent iteration: not counted as productive.
-                iteration -= 1
-                break
-            trace.append(
-                IterationTrace(
-                    iteration,
-                    {k: v for k, v in new_by_rule.items() if v},
-                    sum(len(rows) for rows in deleted.values()),
-                )
+            _P_ITERATIONS.observe(iteration)
+            run_ph.annotate(
+                iterations=iteration, certified_bound=self.certified_bound
             )
 
         if (

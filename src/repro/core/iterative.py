@@ -34,6 +34,7 @@ from ..engine.table import Table
 from ..engine.types import DUMMY, Row, Value, is_null
 from ..engine.universal import JoinTree, universal_table
 from ..errors import QueryError
+from ..obs import phase
 from .cube_algorithm import MU_AGGR, MU_INTERV, ExplanationTable
 from .intervention import InterventionEngine
 from .numquery import AggregateQuery
@@ -294,13 +295,19 @@ class IndexedInterventionEvaluator:
         value_columns = [f"v_{q.name}" for q in query.aggregates]
         columns = list(self.attributes) + value_columns + [MU_INTERV, MU_AGGR]
         rows_out: List[Row] = []
-        for assignment in self.candidate_assignments():
-            mu_i, mu_a, aggr_values = self.degrees_for(assignment)
-            attr_values = tuple(
-                assignment.get(attr, DUMMY) for attr in self.attributes
-            )
-            v_values = tuple(aggr_values[q.name] for q in query.aggregates)
-            rows_out.append(attr_values + v_values + (mu_i, mu_a))
+        with phase(
+            "indexed_table", certified_bound=self.convergence.bound
+        ) as ph:
+            for assignment in self.candidate_assignments():
+                mu_i, mu_a, aggr_values = self.degrees_for(assignment)
+                attr_values = tuple(
+                    assignment.get(attr, DUMMY) for attr in self.attributes
+                )
+                v_values = tuple(
+                    aggr_values[q.name] for q in query.aggregates
+                )
+                rows_out.append(attr_values + v_values + (mu_i, mu_a))
+            ph.annotate(candidates=len(rows_out))
         return ExplanationTable(
             table=Table(columns, rows_out),
             attributes=self.attributes,

@@ -40,6 +40,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 from ..engine.types import Row, Value, is_dummy, is_missing, is_null, sort_key
 from ..errors import ExplanationError
+from ..obs import phase
 from .cube_algorithm import MU_INTERV, ExplanationTable
 from .predicates import Explanation
 
@@ -293,4 +294,7 @@ def top_k_explanations(
         raise ExplanationError(
             f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
         ) from None
-    return fn(m, k, by=by, minimality=minimality)
+    with phase("topk", strategy=strategy, by=by, k=k, rows=len(m)) as ph:
+        ranked = fn(m, k, by=by, minimality=minimality)
+        ph.annotate(returned=len(ranked))
+    return ranked

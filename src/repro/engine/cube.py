@@ -32,6 +32,7 @@ from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import QueryError
+from ..obs import phase
 from .aggregates import Accumulator, AggregateSpec
 from .groupby import accumulate_groups, group_by_rowwise, group_rows
 from .table import Table
@@ -87,46 +88,51 @@ def _masked_rollup(
     count_only = all(a.kind == "count_star" for a in aggregates)
 
     base: Dict[Row, _GroupState]
-    if count_only:
-        if d:
-            key_cols = [table.column(dim) for dim in dims]
-            base = dict(Counter(zip(*key_cols)))
+    with phase("cube.base_groups", rows=len(table), dims=d) as base_ph:
+        if count_only:
+            if d:
+                key_cols = [table.column(dim) for dim in dims]
+                base = dict(Counter(zip(*key_cols)))
+            else:
+                n = len(table)
+                base = {(): n} if n else {}
+            for key in base:
+                _reject_null_dimensions(key, dims)
         else:
-            n = len(table)
-            base = {(): n} if n else {}
-        for key in base:
-            _reject_null_dimensions(key, dims)
-    else:
-        groups = group_rows(table, dims)
-        for key in groups:
-            _reject_null_dimensions(key, dims)
-        base = accumulate_groups(table, groups, aggregates)
+            groups = group_rows(table, dims)
+            for key in groups:
+                _reject_null_dimensions(key, dims)
+            base = accumulate_groups(table, groups, aggregates)
+        base_ph.annotate(groups=len(base), count_only=count_only)
 
     out: Dict[Row, _GroupState] = {}
     for mask in masks:
-        if d == 0 or all(mask):
-            # Full granularity: share the base states as-is.  Masked
-            # keys always contain at least one NULL while base keys
-            # never do, so nothing ever merges into these entries.
-            out.update(base)
-            continue
-        if count_only:
-            for key, count in base.items():
-                masked = tuple(
-                    v if keep else NULL for v, keep in zip(key, mask)
-                )
-                out[masked] = out.get(masked, 0) + count
-        else:
-            for key, parts in base.items():
-                masked = tuple(
-                    v if keep else NULL for v, keep in zip(key, mask)
-                )
-                accs = out.get(masked)
-                if accs is None:
-                    accs = [a.make_accumulator() for a in aggregates]
-                    out[masked] = accs
-                for acc, part in zip(accs, parts):
-                    acc.merge(part)
+        kept = ",".join(dim for dim, keep in zip(dims, mask) if keep)
+        with phase("cube.grouping_set") as set_ph:
+            before = len(out)
+            if d == 0 or all(mask):
+                # Full granularity: share the base states as-is.  Masked
+                # keys always contain at least one NULL while base keys
+                # never do, so nothing ever merges into these entries.
+                out.update(base)
+            elif count_only:
+                for key, count in base.items():
+                    masked = tuple(
+                        v if keep else NULL for v, keep in zip(key, mask)
+                    )
+                    out[masked] = out.get(masked, 0) + count
+            else:
+                for key, parts in base.items():
+                    masked = tuple(
+                        v if keep else NULL for v, keep in zip(key, mask)
+                    )
+                    accs = out.get(masked)
+                    if accs is None:
+                        accs = [a.make_accumulator() for a in aggregates]
+                        out[masked] = accs
+                    for acc, part in zip(accs, parts):
+                        acc.merge(part)
+            set_ph.annotate(set=f"({kept})", groups=len(out) - before)
     return out, count_only
 
 
@@ -244,15 +250,21 @@ def cube(
     if set(aliases) & set(dimensions):
         raise QueryError("aggregate aliases clash with cube dimensions")
 
-    masks = [
-        tuple(d in s for d in dimensions) for s in grouping_sets(dimensions)
-    ]
-    groups, count_only = _masked_rollup(table, dimensions, aggregates, masks)
+    with phase("cube", rows=len(table), dims=len(dimensions)) as ph:
+        masks = [
+            tuple(d in s for d in dimensions)
+            for s in grouping_sets(dimensions)
+        ]
+        groups, count_only = _masked_rollup(
+            table, dimensions, aggregates, masks
+        )
 
-    grand_total: Row = (NULL,) * len(dimensions)
-    if grand_total not in groups:
-        groups[grand_total] = _default_state(aggregates, count_only)
-    return _emit(dimensions, aggregates, groups, count_only)
+        grand_total: Row = (NULL,) * len(dimensions)
+        if grand_total not in groups:
+            groups[grand_total] = _default_state(aggregates, count_only)
+        result = _emit(dimensions, aggregates, groups, count_only)
+        ph.annotate(groups=len(result))
+    return result
 
 
 def cube_rowwise(

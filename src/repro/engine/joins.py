@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError
+from ..obs import phase
 from .table import Table
 from .types import NULL, Row, Value, is_null
 
@@ -237,7 +238,9 @@ def full_outer_join_many(
     """Left-deep chain of full outer joins over *tables*."""
     if not tables:
         raise QueryError("full_outer_join_many needs at least one table")
-    result = tables[0]
-    for table in tables[1:]:
-        result = full_outer_join(result, table, on, fill=fill)
+    with phase("dummy_join", tables=len(tables)) as ph:
+        result = tables[0]
+        for table in tables[1:]:
+            result = full_outer_join(result, table, on, fill=fill)
+        ph.annotate(rows=len(result))
     return result

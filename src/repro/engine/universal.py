@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import SchemaError
+from ..obs import phase
 from .database import Database
 from .schema import DatabaseSchema, ForeignKey
 from .table import Table
@@ -112,21 +113,28 @@ def universal_table(
     schema this is just the qualified table.
     """
     tree = join_tree or JoinTree(database.schema)
-    result: Optional[Table] = None
-    for name, fk in tree.traversal_order:
-        piece = Table.from_relation(database.relation(name), qualify=True)
-        if result is None:
-            result = piece
-            continue
-        assert fk is not None
-        other = fk.target if fk.source == name else fk.source
-        left_on = fk_join_columns(fk, other)
-        right_on = fk_join_columns(fk, name)
-        # 'other' is already inside result; keep all of piece's columns
-        # (including its join columns, for projections onto that
-        # relation) by renaming nothing and joining on the equality.
-        result = _join_keep_all(result, piece, left_on, right_on)
-    assert result is not None
+    with phase(
+        "universal_table", relations=len(database.schema.relations)
+    ) as ph:
+        result: Optional[Table] = None
+        for name, fk in tree.traversal_order:
+            piece = Table.from_relation(
+                database.relation(name), qualify=True
+            )
+            if result is None:
+                result = piece
+                continue
+            assert fk is not None
+            other = fk.target if fk.source == name else fk.source
+            left_on = fk_join_columns(fk, other)
+            right_on = fk_join_columns(fk, name)
+            # 'other' is already inside result; keep all of piece's
+            # columns (including its join columns, for projections onto
+            # that relation) by renaming nothing and joining on the
+            # equality.
+            result = _join_keep_all(result, piece, left_on, right_on)
+        assert result is not None
+        ph.annotate(rows=len(result))
     return result
 
 

@@ -1,0 +1,58 @@
+"""Observability primitives for the explanation pipeline.
+
+This package sits *below* :mod:`repro.engine` in the import layering:
+it depends on nothing but the standard library, and every other layer
+(engine, core, analysis, backends, service, CLI, benchmarks) may
+depend on it.  It provides three building blocks:
+
+* :mod:`repro.obs.metrics` — a process-wide metrics registry with
+  counters, gauges, and fixed-bucket histograms, exportable in the
+  Prometheus text exposition format.
+* :mod:`repro.obs.tracing` — hierarchical tracing spans with wall/CPU
+  timings and structured payloads (row counts, iteration deltas).
+  Span *construction* is opt-in (``get_tracer().enable()``); the
+  cheap per-phase duration histograms are always recorded.
+* :mod:`repro.obs.recorder` — :class:`TraceRecorder`, which benchmarks
+  use to turn a traced run into structured ``BENCH_*.json`` phase
+  breakdowns.
+
+The one-line integration point for pipeline code is :func:`phase`::
+
+    from ..obs import phase
+
+    with phase("universal_table", relations=len(schema)) as ph:
+        table = build(...)
+        ph.annotate(rows=len(table))
+
+which records a ``repro_phase_seconds{phase="universal_table"}``
+histogram sample unconditionally and, when tracing is enabled, a span
+in the current trace tree.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+from .recorder import TraceRecorder
+from .tracing import Phase, Span, Tracer, get_tracer, phase, render_tree, traced
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Phase",
+    "Span",
+    "TraceRecorder",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "phase",
+    "render_prometheus",
+    "render_tree",
+    "traced",
+]

@@ -1,0 +1,79 @@
+"""Turn traced runs into structured benchmark payloads.
+
+:class:`TraceRecorder` is the bridge between the tracer and the
+``BENCH_*.json`` artifacts the benchmark suite emits: it enables span
+collection for the duration of a ``with`` block, then summarizes the
+captured trees into JSON-ready phase breakdowns::
+
+    with TraceRecorder() as rec:
+        build_explanation_table(db, question, attributes)
+    json_record(kind="phase_breakdown", **rec.breakdown())
+
+The recorder restores the tracer's previous enabled/disabled state on
+exit, so wrapping a region inside an already-profiled run is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .tracing import Span, Tracer, get_tracer
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Collect spans for a ``with`` block and export phase summaries."""
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._was_enabled = False
+        self._roots: Tuple[Span, ...] = ()
+        self._dropped = 0
+
+    def __enter__(self) -> "TraceRecorder":
+        self._was_enabled = self._tracer.enabled
+        self._tracer.reset()
+        self._tracer.enable()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._roots = self._tracer.roots()
+        self._dropped = self._tracer.dropped
+        if not self._was_enabled:
+            self._tracer.disable()
+        self._tracer.reset()
+
+    @property
+    def roots(self) -> Tuple[Span, ...]:
+        """Root spans captured by the most recent ``with`` block."""
+        return self._roots
+
+    def spans(self) -> List[Span]:
+        """All captured spans, preorder across trees."""
+        out: List[Span] = []
+        for root in self._roots:
+            out.extend(root.walk())
+        return out
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase totals: ``{name: {count, wall_s, cpu_s, max_wall_s}}``."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for span in self.spans():
+            entry = totals.setdefault(
+                span.name,
+                {"count": 0.0, "wall_s": 0.0, "cpu_s": 0.0, "max_wall_s": 0.0},
+            )
+            entry["count"] += 1
+            entry["wall_s"] += span.wall_seconds
+            entry["cpu_s"] += span.cpu_seconds
+            entry["max_wall_s"] = max(entry["max_wall_s"], span.wall_seconds)
+        return totals
+
+    def breakdown(self) -> Dict[str, object]:
+        """A JSON-ready payload: aggregated phases plus full trees."""
+        return {
+            "phases": self.aggregate(),
+            "trace": [root.to_dict() for root in self._roots],
+            "dropped_spans": self._dropped,
+        }

@@ -1,0 +1,338 @@
+"""Hierarchical tracing spans for the explanation pipeline.
+
+A :class:`Span` is one timed phase — universal-table construction, one
+grouping set of the rollup cube, one program-P iteration — with wall
+and CPU durations and a structured payload (row counts, rule deltas).
+Spans nest: the per-thread span stack makes every ``phase(...)`` block
+opened inside another block a child of it, so a traced run yields a
+phase *tree*.
+
+Two cost tiers, so instrumented hot paths stay cheap by default:
+
+* Always on — every :func:`phase` block records one sample into the
+  ``repro_phase_seconds{phase=...}`` histogram of the default metrics
+  registry.  That is a clock read and a histogram insert; no objects
+  are retained.
+* Opt-in — after ``get_tracer().enable()``, each block also builds a
+  :class:`Span` in the tracer's tree, which ``repro ... --profile``
+  and :class:`~repro.obs.recorder.TraceRecorder` render.
+
+The tracer is thread-safe: each thread grows its own branch (spans
+opened on a thread attach to that thread's innermost open span), and
+finished root spans from all threads land in one shared list.  A
+``max_spans`` cap bounds memory on runaway trees; drops are counted,
+never raised.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from .metrics import Histogram, get_registry
+
+__all__ = [
+    "Span",
+    "Phase",
+    "Tracer",
+    "get_tracer",
+    "phase",
+    "traced",
+    "render_tree",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Family name of the always-on per-phase duration histogram.
+PHASE_SECONDS = "repro_phase_seconds"
+
+Payload = Dict[str, object]
+
+
+class Span:
+    """One finished or in-flight phase in a trace tree."""
+
+    __slots__ = (
+        "name",
+        "payload",
+        "children",
+        "started_at",
+        "wall_seconds",
+        "cpu_seconds",
+    )
+
+    def __init__(self, name: str, payload: Optional[Payload] = None) -> None:
+        self.name = name
+        self.payload: Payload = dict(payload) if payload else {}
+        self.children: List[Span] = []
+        self.started_at = time.time()
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+
+    def annotate(self, **payload: object) -> None:
+        self.payload.update(payload)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, preorder."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable rendering of the subtree."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "wall_s": self.wall_seconds,
+            "cpu_s": self.cpu_seconds,
+        }
+        if self.payload:
+            out["payload"] = dict(self.payload)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, wall={self.wall_seconds:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Collects span trees; disabled (and free) until :meth:`enable`."""
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self._enabled = False
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: List[Span] = []
+        self._span_count = 0
+        self._dropped = 0
+        self.max_spans = max_spans
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def dropped(self) -> int:
+        """Spans not recorded because ``max_spans`` was reached."""
+        return self._dropped
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop all collected spans (keeps the enabled flag)."""
+        with self._lock:
+            self._roots = []
+            self._span_count = 0
+            self._dropped = 0
+        self._local = threading.local()
+
+    def roots(self) -> Tuple[Span, ...]:
+        """Finished root spans, in completion order."""
+        with self._lock:
+            return tuple(self._roots)
+
+    def spans(self) -> Iterator[Span]:
+        """All finished spans (every tree, preorder)."""
+        for root in self.roots():
+            for span in root.walk():
+                yield span
+
+    # -- span bookkeeping (called by Phase) -----------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _open(self, name: str, payload: Payload) -> Optional[Span]:
+        if not self._enabled:
+            return None
+        with self._lock:
+            if self._span_count >= self.max_spans:
+                self._dropped += 1
+                return None
+            self._span_count += 1
+        span = Span(name, payload)
+        self._stack().append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - unbalanced exit
+            while stack and stack[-1] is not span:
+                stack.pop()
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+
+class Phase:
+    """Context manager timing one phase (span + duration histogram)."""
+
+    __slots__ = ("name", "_tracer", "_histogram", "_span", "_wall0", "_cpu0")
+
+    def __init__(
+        self,
+        name: str,
+        tracer: "Tracer",
+        histogram: Optional[Histogram],
+        payload: Payload,
+    ) -> None:
+        self.name = name
+        self._tracer = tracer
+        self._histogram = histogram
+        self._span = tracer._open(name, payload)
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    @property
+    def span(self) -> Optional[Span]:
+        """The live span (``None`` while tracing is disabled)."""
+        return self._span
+
+    def annotate(self, **payload: object) -> None:
+        """Attach payload fields; a no-op while tracing is disabled."""
+        if self._span is not None:
+            self._span.annotate(**payload)
+
+    def __enter__(self) -> "Phase":
+        self._wall0 = time.perf_counter()
+        # The CPU clock is only reported on spans; skip the extra clock
+        # read on the (default) disabled path.
+        if self._span is not None:
+            self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        wall = time.perf_counter() - self._wall0
+        if self._histogram is not None:
+            self._histogram.observe(wall)
+        span = self._span
+        if span is not None:
+            span.wall_seconds = wall
+            span.cpu_seconds = time.process_time() - self._cpu0
+            self._tracer._close(span)
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer used by :func:`phase`."""
+    return _TRACER
+
+
+# Per-name histogram cache: phase() runs on hot paths, so skip the
+# registry's label-key construction + lock after the first call.
+_PHASE_HISTOGRAMS: Dict[str, Histogram] = {}
+
+
+def _phase_histogram(name: str) -> Histogram:
+    histogram = _PHASE_HISTOGRAMS.get(name)
+    if histogram is None:
+        histogram = get_registry().histogram(
+            PHASE_SECONDS,
+            labels={"phase": name},
+            help="Wall-clock seconds spent per pipeline phase.",
+        )
+        _PHASE_HISTOGRAMS[name] = histogram
+    return histogram
+
+
+def phase(name: str, **payload: object) -> Phase:
+    """Open a timed phase block on the default tracer and registry.
+
+    The wall duration always lands in the default registry's
+    ``repro_phase_seconds{phase=name}`` histogram; a span is built only
+    while the default tracer is enabled.
+    """
+    return Phase(name, _TRACER, _phase_histogram(name), payload)
+
+
+def traced(name: Optional[str] = None) -> Callable[[F], F]:
+    """Decorator form of :func:`phase` (phase name defaults to
+    ``module.qualname`` of the wrapped callable)."""
+
+    def decorate(func: F) -> F:
+        phase_name = name or f"{func.__module__}.{func.__qualname__}"
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with phase(phase_name):
+                return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+# -- rendering ----------------------------------------------------------
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 0.001:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def _format_payload(payload: Payload) -> str:
+    if not payload:
+        return ""
+    parts = ", ".join(f"{k}={v}" for k, v in payload.items())
+    return f"  [{parts}]"
+
+
+def _render_span(span: Span, prefix: str, is_last: bool, out: List[str]) -> None:
+    connector = "`- " if is_last else "|- "
+    out.append(
+        f"{prefix}{connector}{span.name}  "
+        f"wall {_format_seconds(span.wall_seconds)}  "
+        f"cpu {_format_seconds(span.cpu_seconds)}"
+        f"{_format_payload(span.payload)}"
+    )
+    child_prefix = prefix + ("   " if is_last else "|  ")
+    for i, child in enumerate(span.children):
+        _render_span(child, child_prefix, i == len(span.children) - 1, out)
+
+
+def render_tree(roots: Tuple[Span, ...]) -> str:
+    """An ASCII phase tree of *roots* (one block per root span)."""
+    out: List[str] = []
+    for root in roots:
+        out.append(
+            f"{root.name}  wall {_format_seconds(root.wall_seconds)}  "
+            f"cpu {_format_seconds(root.cpu_seconds)}"
+            f"{_format_payload(root.payload)}"
+        )
+        for i, child in enumerate(root.children):
+            _render_span(child, "", i == len(root.children) - 1, out)
+    return "\n".join(out)

@@ -12,7 +12,9 @@ backend), so repeated questions skip cube construction entirely.
 Eviction is LRU under two simultaneous budgets — an entry count and a
 byte budget (tables are measured once at insertion time by
 :func:`estimate_table_bytes`).  All operations are thread-safe; the
-hit/miss/eviction counters feed the server's ``/v1/stats`` endpoint.
+hit/miss/eviction counters feed the server's ``/v1/stats`` endpoint
+and, when a :class:`~repro.obs.MetricsRegistry` is supplied, are
+mirrored as ``repro_cache_*`` Prometheus series for ``/v1/metrics``.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..core.cube_algorithm import ExplanationTable
+from ..obs import MetricsRegistry
 
 _SIZE_OVERHEAD = 256  # flat per-entry allowance for wrapper objects
 
@@ -86,6 +89,7 @@ class ExplanationTableCache:
         *,
         max_entries: int = 256,
         max_bytes: int = 256 * 1024 * 1024,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
@@ -101,6 +105,31 @@ class ExplanationTableCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_hits = metrics.counter(
+                "repro_cache_hits_total", help="Explanation-table cache hits."
+            )
+            self._m_misses = metrics.counter(
+                "repro_cache_misses_total",
+                help="Explanation-table cache misses.",
+            )
+            self._m_evictions = metrics.counter(
+                "repro_cache_evictions_total",
+                help="Explanation-table cache LRU/byte-budget evictions.",
+            )
+            self._m_entries = metrics.gauge(
+                "repro_cache_entries", help="Cached explanation tables."
+            )
+            self._m_bytes = metrics.gauge(
+                "repro_cache_bytes",
+                help="Estimated resident bytes of cached tables.",
+            )
+
+    def _sync_occupancy_locked(self) -> None:
+        if self._metrics is not None:
+            self._m_entries.set(len(self._entries))
+            self._m_bytes.set(self._current_bytes)
 
     # -- lookup -----------------------------------------------------------
 
@@ -110,9 +139,13 @@ class ExplanationTableCache:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
+                if self._metrics is not None:
+                    self._m_misses.inc()
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            if self._metrics is not None:
+                self._m_hits.inc()
             return entry[0]
 
     def peek(self, key: str) -> Optional[ExplanationTable]:
@@ -153,6 +186,7 @@ class ExplanationTableCache:
             self._entries[key] = (table, size)
             self._current_bytes += size
             self._evict_locked()
+            self._sync_occupancy_locked()
             return True
 
     def _evict_locked(self) -> None:
@@ -162,6 +196,8 @@ class ExplanationTableCache:
             _, (_, size) = self._entries.popitem(last=False)
             self._current_bytes -= size
             self._evictions += 1
+            if self._metrics is not None:
+                self._m_evictions.inc()
 
     def invalidate(self, key: str) -> bool:
         """Drop one entry; returns True when it was present."""
@@ -170,6 +206,7 @@ class ExplanationTableCache:
             if entry is None:
                 return False
             self._current_bytes -= entry[1]
+            self._sync_occupancy_locked()
             return True
 
     def clear(self) -> None:
@@ -177,6 +214,7 @@ class ExplanationTableCache:
         with self._lock:
             self._entries.clear()
             self._current_bytes = 0
+            self._sync_occupancy_locked()
 
     # -- introspection -----------------------------------------------------
 

@@ -16,15 +16,16 @@ request flows through:
    build (single-flight); everyone shares the result;
 5. **rank** — the Section 4.3 top-K strategies scan the table.
 
-Every counter the ``/v1/stats`` endpoint reports lives here, so the
-"50 concurrent identical requests → one computation" property is
-directly observable.
+Every counter the ``/v1/stats`` endpoint reports lives here — backed
+by a per-service :class:`~repro.obs.MetricsRegistry` also rendered at
+``/v1/metrics`` — so the "50 concurrent identical requests → one
+computation" property is directly observable.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import defaultdict
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -52,6 +53,12 @@ from ..core.parsing import parse_question
 from ..core.question import UserQuestion
 from ..core.topk import RankedExplanation, top_k_explanations
 from ..errors import ExplanationError, ReproError
+from ..obs import (
+    Counter as MetricCounter,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
 from .cache import ExplanationTableCache
 from .coalescer import SingleFlight
 from .errors import BadRequestError, ServiceError
@@ -103,23 +110,62 @@ def rank_table(
 
 
 class Counters:
-    """A tiny thread-safe named-counter bag."""
+    """Dotted-name counter facade over a :class:`MetricsRegistry`.
 
-    def __init__(self) -> None:
+    The service historically counts events under dotted names
+    (``"requests.topk"``, ``"compute.tables_built"``) surfaced by
+    ``/v1/stats``.  Each dotted name now maps onto a Prometheus counter
+    family — ``"<group>.<kind>"`` becomes
+    ``repro_<group>_total{kind="<kind>"}`` — so the same increments
+    feed both the legacy nested-stats payload and ``/v1/metrics``.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self._values: Dict[str, int] = defaultdict(int)
+        self._by_name: Dict[str, MetricCounter] = {}
+
+    def _counter(self, name: str) -> MetricCounter:
+        counter = self._by_name.get(name)
+        if counter is None:
+            group, _, rest = name.partition(".")
+            counter = self.registry.counter(
+                f"repro_{group}_total",
+                labels={"kind": rest or group},
+                help=f"Service {group} events by kind.",
+            )
+            with self._lock:
+                counter = self._by_name.setdefault(name, counter)
+        return counter
 
     def inc(self, name: str, n: int = 1) -> None:
-        with self._lock:
-            self._values[name] += n
+        self._counter(name).inc(n)
 
     def get(self, name: str) -> int:
-        with self._lock:
-            return self._values.get(name, 0)
+        counter = self._by_name.get(name)
+        return int(counter.value) if counter is not None else 0
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
-            return dict(self._values)
+            named = dict(self._by_name)
+        return {name: int(c.value) for name, c in named.items()}
+
+
+def _timings_block(
+    cache_status: str, **phases: float
+) -> Dict[str, object]:
+    """The opt-in per-response ``timings`` payload.
+
+    Carries per-request execution state by design (see the protocol
+    docstring): a cache hit legitimately reports a near-zero
+    ``table_s``, so the cache status is included to interpret it.
+    """
+    block: Dict[str, object] = {
+        name: round(seconds, 6) for name, seconds in phases.items()
+    }
+    block["total_s"] = round(sum(phases.values()), 6)
+    block["cache"] = cache_status
+    return block
 
 
 @dataclass(frozen=True)
@@ -159,17 +205,24 @@ class ExplanationService:
         cache: Optional[ExplanationTableCache] = None,
         max_cache_entries: int = 256,
         max_cache_bytes: int = 256 * 1024 * 1024,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.registry = registry if registry is not None else DatasetRegistry()
+        # Per-instance registry: one service per test gets clean counts;
+        # the process-wide default registry (phase histograms) is merged
+        # in at render time by metrics_text().
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = (
             cache
             if cache is not None
             else ExplanationTableCache(
-                max_entries=max_cache_entries, max_bytes=max_cache_bytes
+                max_entries=max_cache_entries,
+                max_bytes=max_cache_bytes,
+                metrics=self.metrics,
             )
         )
-        self.flights = SingleFlight()
-        self.counters = Counters()
+        self.flights = SingleFlight(metrics=self.metrics)
+        self.counters = Counters(self.metrics)
 
     # -- resolution ---------------------------------------------------------
 
@@ -327,7 +380,9 @@ class ExplanationService:
 
     def topk(self, request: ServiceRequest) -> ServiceResult:
         """Ranked explanations for one request (the ``/v1/topk`` body)."""
+        t0 = time.perf_counter()
         prepared, table, status, warnings = self.table_for(request)
+        t1 = time.perf_counter()
         ranking = rank_table(
             table,
             k=request.k,
@@ -336,6 +391,7 @@ class ExplanationService:
             minimality=request.minimality,
             hybrid_weight=request.hybrid_weight,
         )
+        t2 = time.perf_counter()
         payload = self._base_payload(prepared, table)
         payload.update(
             {
@@ -346,17 +402,24 @@ class ExplanationService:
                 "ranking": ranking_payload(ranking),
             }
         )
+        if request.include_timings:
+            payload["timings"] = _timings_block(
+                status, table_s=t1 - t0, rank_s=t2 - t1
+            )
         return ServiceResult(payload, status, warnings)
 
     def explain(self, request: ServiceRequest) -> ServiceResult:
         """Table metadata plus top-K under both degrees (``/v1/explain``)."""
+        t0 = time.perf_counter()
         prepared, table, status, warnings = self.table_for(request)
+        t1 = time.perf_counter()
         top_i = rank_table(
             table, k=request.k, by="intervention", strategy=request.strategy
         )
         top_a = rank_table(
             table, k=request.k, by="aggravation", strategy=request.strategy
         )
+        t2 = time.perf_counter()
         payload = self._base_payload(prepared, table)
         payload.update(
             {
@@ -370,6 +433,10 @@ class ExplanationService:
                 "top_by_aggravation": ranking_payload(top_a),
             }
         )
+        if request.include_timings:
+            payload["timings"] = _timings_block(
+                status, table_s=t1 - t0, rank_s=t2 - t1
+            )
         return ServiceResult(payload, status, warnings)
 
     def analyze(self, request: ServiceRequest) -> ServiceResult:
@@ -435,6 +502,17 @@ class ExplanationService:
             "cache": self.cache.stats().to_dict(),
             "inflight": self.flights.inflight(),
         }
+
+    def metrics_text(self) -> str:
+        """The ``/v1/metrics`` body: Prometheus text exposition.
+
+        Concatenates this service's private registry (request, compute,
+        cache, single-flight families) with the process-wide default
+        registry (``repro_phase_seconds``,
+        ``repro_program_p_iterations``); the namespaces are disjoint so
+        no family repeats.
+        """
+        return render_prometheus(self.metrics, get_registry())
 
     def health_payload(self) -> Dict[str, object]:
         """The ``/v1/health`` body."""

@@ -30,7 +30,10 @@ traceback.
 Response *payloads* are deliberately free of per-request state (cache
 hit/miss, coalescing) so that identical requests produce bit-identical
 bodies; that metadata travels in the ``X-Repro-Cache`` and
-``X-Repro-Warning`` headers instead.
+``X-Repro-Warning`` headers instead.  The one deliberate exception is
+``include_timings: true``, which opts a request into a per-response
+``timings`` block (phase durations measured for *this* execution) —
+diagnostics requests trade bit-identical bodies for observability.
 """
 
 from __future__ import annotations
@@ -103,6 +106,8 @@ class ServiceRequest:
     hybrid_weight: float = 0.5
     support_threshold: Optional[float] = None
     timeout_s: Optional[float] = None
+    #: Opt-in per-response ``timings`` block (see module docstring).
+    include_timings: bool = False
 
     @classmethod
     def from_dict(cls, data: object) -> "ServiceRequest":
@@ -158,6 +163,9 @@ class ServiceRequest:
             if not isinstance(timeout_s, (int, float)) or timeout_s <= 0:
                 raise BadRequestError("timeout_s must be a positive number")
             timeout_s = float(timeout_s)
+        include_timings = data.get("include_timings", False)
+        if not isinstance(include_timings, bool):
+            raise BadRequestError("include_timings must be a boolean")
         return cls(
             dataset=dataset,
             params=tuple(sorted(params.items())),
@@ -174,6 +182,7 @@ class ServiceRequest:
                 float(support) if support is not None else None
             ),
             timeout_s=timeout_s,
+            include_timings=include_timings,
         )
 
 
@@ -191,6 +200,7 @@ _KNOWN_FIELDS = {
     "hybrid_weight",
     "support_threshold",
     "timeout_s",
+    "include_timings",
 }
 
 

@@ -10,6 +10,8 @@ Endpoints (JSON in, JSON out, one request per connection):
 
 * ``GET  /v1/health`` — liveness, registered datasets, backend availability;
 * ``GET  /v1/stats``  — request/cache/compute counters;
+* ``GET  /v1/metrics`` — Prometheus text exposition (request latency
+  histograms, cache/coalescer counters, pipeline phase histograms);
 * ``POST /v1/explain`` — build (or fetch) the table *M*, return metadata
   plus top-K under both degrees;
 * ``POST /v1/topk``   — ranked explanations for one degree/strategy;
@@ -33,8 +35,9 @@ import asyncio
 import json
 import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Awaitable, Callable, Dict, Optional, Tuple
+from typing import Awaitable, Callable, Dict, Optional, Tuple, Union
 
 from .engine import ExplanationService, ServiceResult
 from .errors import (
@@ -49,7 +52,11 @@ from .protocol import ServiceRequest
 _MAX_HEADER_BYTES = 16 * 1024
 _IO_TIMEOUT = 30.0  # reading the request / draining the response
 
-Handler = Callable[[Optional[dict]], Awaitable[Tuple[int, dict, Dict[str, str]]]]
+#: JSON payloads are dicts; ``/v1/metrics`` returns pre-rendered text.
+Payload = Union[dict, str]
+Handler = Callable[
+    [Optional[dict]], Awaitable[Tuple[int, Payload, Dict[str, str]]]
+]
 
 
 class ExplanationServer:
@@ -184,10 +191,11 @@ class ExplanationServer:
 
     async def _dispatch(
         self, method: str, path: str, body: Optional[bytes]
-    ) -> Tuple[int, dict, Dict[str, str]]:
+    ) -> Tuple[int, Payload, Dict[str, str]]:
         routes: Dict[Tuple[str, str], Handler] = {
             ("GET", "/v1/health"): self._handle_health,
             ("GET", "/v1/stats"): self._handle_stats,
+            ("GET", "/v1/metrics"): self._handle_metrics,
             ("POST", "/v1/explain"): self._handle_explain,
             ("POST", "/v1/topk"): self._handle_topk,
             ("POST", "/v1/analyze"): self._handle_analyze,
@@ -219,6 +227,12 @@ class ExplanationServer:
                     f"request body is not valid JSON: {exc}", kind="bad_json"
                 )
                 return err.status, _error_payload(err), {}
+        latency = self.service.metrics.histogram(
+            "repro_request_seconds",
+            labels={"endpoint": path},
+            help="End-to-end request handling latency by endpoint.",
+        )
+        start = time.perf_counter()
         try:
             return await handler(data)
         except ServiceError as exc:
@@ -235,6 +249,8 @@ class ExplanationServer:
             )
             err = ServiceError("internal server error")
             return err.status, _error_payload(err), {}
+        finally:
+            latency.observe(time.perf_counter() - start)
 
     # -- handlers -------------------------------------------------------------
 
@@ -245,6 +261,16 @@ class ExplanationServer:
     async def _handle_stats(self, _body) -> Tuple[int, dict, Dict[str, str]]:
         self.service.counters.inc("requests.stats")
         return 200, self.service.stats_payload(), {}
+
+    async def _handle_metrics(
+        self, _body
+    ) -> Tuple[int, str, Dict[str, str]]:
+        self.service.counters.inc("requests.metrics")
+        return (
+            200,
+            self.service.metrics_text(),
+            {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+        )
 
     async def _handle_explain(self, body) -> Tuple[int, dict, Dict[str, str]]:
         self.service.counters.inc("requests.explain")
@@ -292,14 +318,22 @@ class ExplanationServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: Payload,
         headers: Dict[str, str],
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        headers = dict(headers)
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = headers.pop(
+                "Content-Type", "text/plain; charset=utf-8"
+            )
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         reason = _REASONS.get(status, "OK")
         lines = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]

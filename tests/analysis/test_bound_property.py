@@ -13,7 +13,7 @@ the count directly, over
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import certify_convergence
@@ -30,9 +30,7 @@ DOMS = ["edu", "com"]
 YEARS = [2001, 2011]
 VENUES = ["SIGMOD", "VLDB"]
 
-common = settings(
-    max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow]
-)
+common = settings(max_examples=50)
 
 
 @st.composite

@@ -1,0 +1,36 @@
+"""Shared pytest/hypothesis configuration for the whole test tree.
+
+Two registered hypothesis profiles replace the per-file ad-hoc
+``settings(...)`` blocks (individual suites now tune only
+``max_examples``; everything else inherits from the loaded profile):
+
+* ``ci`` (the default) — **derandomized** so a red CI run is exactly
+  reproducible from the log, with the per-example ``deadline``
+  explicitly disabled: several suites drive full fixpoint/cube runs
+  whose duration varies by an order of magnitude across CI machines,
+  so any wall-clock deadline would flake.  ``HealthCheck.too_slow``
+  is suppressed for the same reason.
+* ``dev`` — random exploration (fresh examples every run, the point
+  of running locally) at verbose verbosity so shrinking progress is
+  visible; same deadline policy.
+
+Select with ``HYPOTHESIS_PROFILE=dev pytest tests/property``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, Verbosity, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    verbosity=Verbosity.verbose,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

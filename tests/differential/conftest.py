@@ -1,0 +1,100 @@
+"""Fixture matrix for the differential suite.
+
+One session-scoped cache hands out ``(database, question, attributes)``
+workloads and finalized explanation tables keyed by
+``(dataset, method, backend)``, so every pairwise comparison in
+``test_matrix.py`` reuses the same build instead of recomputing it —
+the whole matrix costs one table build per distinct configuration.
+
+Datasets are deliberately small instances of every bundled generator:
+the differential claims being checked (byte-identical fingerprints,
+identical rankings) are size-independent, and the matrix multiplies
+fast.
+"""
+
+import pytest
+
+from repro.backends import available_backends
+from repro.core.explainer import Explainer
+from repro.core.numquery import AggregateQuery, single_query
+from repro.core.question import UserQuestion
+from repro.datasets import dblp, geodblp, natality
+from repro.datasets import running_example as rex
+from repro.engine.aggregates import count_distinct
+from repro.engine.expressions import Col, Comparison, Const
+
+#: Every bundled dataset, small enough for the full matrix.
+DATASETS = ("running-example", "natality-small", "dblp-small", "geodblp-small")
+
+#: SQL backends the matrix attempts; missing drivers skip, not fail.
+SQL_BACKENDS = ("sqlite", "duckdb")
+
+
+def _build_workload(name):
+    if name == "running-example":
+        question = UserQuestion.high(
+            single_query(
+                AggregateQuery(
+                    "q",
+                    count_distinct("Publication.pubid", "q"),
+                    Comparison(
+                        "=", Col("Publication.venue"), Const("SIGMOD")
+                    ),
+                )
+            )
+        )
+        return rex.database(), question, ("Author.name", "Publication.year")
+    if name == "natality-small":
+        return (
+            natality.generate(rows=400, seed=7),
+            natality.q_race_question(),
+            tuple(natality.default_attributes("race")),
+        )
+    if name == "dblp-small":
+        return (
+            dblp.generate(scale=0.1, seed=2014),
+            dblp.bump_question(),
+            tuple(dblp.default_attributes()),
+        )
+    if name == "geodblp-small":
+        return (
+            geodblp.generate(scale=0.1, seed=2014),
+            geodblp.uk_question(),
+            tuple(geodblp.default_attributes()),
+        )
+    raise ValueError(f"unknown differential dataset {name!r}")
+
+
+def require_backend(backend):
+    """Skip (never fail) configurations whose driver is not installed."""
+    if backend not in available_backends():
+        pytest.skip(f"backend {backend!r} not available in this environment")
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = _build_workload(name)
+        return cache[name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def tables(workloads):
+    cache = {}
+
+    def get(dataset, method="cube", backend="memory"):
+        key = (dataset, method, backend)
+        if key not in cache:
+            db, question, attributes = workloads(dataset)
+            explainer = Explainer(
+                db, question, list(attributes), backend=backend
+            )
+            cache[key] = explainer.explanation_table(method)
+        return cache[key]
+
+    return get

@@ -1,0 +1,125 @@
+"""Differential matrix: dataset × backend × method must agree.
+
+Three families of comparisons over the shared fixture matrix:
+
+* **Backend differential** — Algorithm 1 on a SQL backend must produce
+  a table *byte-identical* (by content fingerprint, which canonicalizes
+  SQL integer/float drift) to the in-memory reference, and identical
+  top-K rankings under both degrees.  Missing drivers (duckdb) skip.
+* **Method differential** — the indexed exact evaluator covers a
+  superset of the cube's candidates (the cube only materializes cells
+  with support in the filtered sub-population) and must agree
+  *exactly* on every shared candidate, for both μ_interv and μ_aggr.
+* **Auto resolution** — ``method: "auto"`` must deterministically
+  resolve to the statically recommended method of the PR-4 plan
+  certificate, and the resulting table must be fingerprint-identical
+  to an explicit request for that method.
+
+Rebuild determinism (same plan → same fingerprint across two
+independent builds) underpins the service cache keying and is asserted
+separately.
+"""
+
+import pytest
+
+from repro.core.cube_algorithm import MU_AGGR, MU_INTERV
+from repro.core.explainer import METHODS, Explainer
+from repro.core.topk import top_k_explanations
+
+from conftest import DATASETS, SQL_BACKENDS, require_backend
+
+pytestmark = pytest.mark.differential
+
+#: Genuine divergence this battery surfaced (kept as xfail, not skip, so
+#: a fix flips it green automatically): the footnote-11 "exact-cube"
+#: additivity verdict is unsound when an aggregate's WHERE references
+#: attributes of universal-table rows *outside* sigma_phi(U) that the
+#: back-and-forth cascade deletes.  On dblp, deleting an .edu author
+#: cascades to a co-authored publication counted by the 'com'
+#: aggregates, so the cube cell undercounts the true drop and mu_interv
+#: diverges from the exact program-P evaluator.  See ROADMAP.md.
+KNOWN_CUBE_DIVERGENCE = {("dblp-small", MU_INTERV)}
+
+
+def degree_map(m, column):
+    pos = m.table.position(column)
+    return {str(m.explanation_of(row)): row[pos] for row in m.table.rows()}
+
+
+def ranking_key(m, by, k=5):
+    return [
+        (r.rank, str(r.explanation), r.degree)
+        for r in top_k_explanations(m, k, by=by)
+    ]
+
+
+class TestBackendDifferential:
+    @pytest.mark.parametrize("backend", SQL_BACKENDS)
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_fingerprints_byte_identical(self, tables, dataset, backend):
+        require_backend(backend)
+        reference = tables(dataset, "cube", "memory")
+        other = tables(dataset, "cube", backend)
+        assert (
+            other.content_fingerprint() == reference.content_fingerprint()
+        ), f"{backend} table diverges from memory on {dataset}"
+
+    @pytest.mark.parametrize("by", (MU_INTERV, MU_AGGR))
+    @pytest.mark.parametrize("backend", SQL_BACKENDS)
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_topk_rankings_identical(self, tables, dataset, backend, by):
+        require_backend(backend)
+        reference = tables(dataset, "cube", "memory")
+        other = tables(dataset, "cube", backend)
+        assert ranking_key(other, by) == ranking_key(reference, by)
+
+
+class TestMethodDifferential:
+    @pytest.mark.parametrize("column", (MU_INTERV, MU_AGGR))
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_indexed_agrees_with_cube_on_shared_candidates(
+        self, tables, dataset, column
+    ):
+        cube = degree_map(tables(dataset, "cube"), column)
+        indexed = degree_map(tables(dataset, "indexed"), column)
+        assert set(cube) <= set(indexed), "cube found unknown candidates"
+        diverging = {
+            key: (cube[key], indexed[key])
+            for key in cube
+            if cube[key] != indexed[key]
+        }
+        if diverging and (dataset, column) in KNOWN_CUBE_DIVERGENCE:
+            pytest.xfail(
+                f"footnote-11 soundness gap: cube {column} diverges from "
+                f"exact program-P on {len(diverging)} {dataset} candidates "
+                "(cross-group cascade deletions invisible to sigma_phi(U))"
+            )
+        assert not diverging, f"{column} diverges on {dataset}: {diverging}"
+
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_rebuild_is_deterministic(self, tables, workloads, dataset):
+        db, question, attributes = workloads(dataset)
+        fresh = Explainer(
+            db, question, list(attributes)
+        ).explanation_table("cube")
+        assert (
+            fresh.content_fingerprint()
+            == tables(dataset, "cube").content_fingerprint()
+        )
+
+
+class TestAutoResolution:
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_auto_matches_certificate_recommendation(
+        self, tables, workloads, dataset
+    ):
+        db, question, attributes = workloads(dataset)
+        explainer = Explainer(db, question, list(attributes))
+        resolved = explainer.resolve_method("auto")
+        assert resolved in METHODS
+        assert resolved == explainer.certificate().recommended_method
+        auto_table = explainer.explanation_table(resolved)
+        assert (
+            auto_table.content_fingerprint()
+            == tables(dataset, resolved).content_fingerprint()
+        )

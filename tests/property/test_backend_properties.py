@@ -8,7 +8,7 @@ available SQL backend, within float tolerance.
 import math
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Explainer
@@ -23,11 +23,7 @@ pytestmark = pytest.mark.backend
 
 SQL_BACKENDS = [n for n in available_backends() if n != "memory"]
 
-common = settings(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+common = settings(max_examples=25)
 
 
 @st.composite

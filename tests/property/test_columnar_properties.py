@@ -8,7 +8,7 @@ dimension counts, and every accumulator kind (the merge paths of the
 single-pass rollup are only exercised by non-count aggregates).
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine.aggregates import (
@@ -62,9 +62,7 @@ def all_kind_aggregates():
     ]
 
 
-common = settings(
-    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
-)
+common = settings(max_examples=60)
 
 
 class TestColumnarCubeParity:

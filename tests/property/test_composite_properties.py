@@ -6,7 +6,7 @@ Prop-3.11 convergence check on the geodblp 8-relation schema (one
 back-and-forth key → ≤ 4 iterations).
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
@@ -88,11 +88,7 @@ def warehouse_explanations(draw):
     )
 
 
-common = settings(
-    max_examples=40,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+common = settings(max_examples=40)
 
 
 class TestCompositeKeyInterventions:

@@ -1,7 +1,7 @@
 """Property-based tests for engine operators (hypothesis)."""
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine.aggregates import agg_max, agg_min, count_star
@@ -43,7 +43,7 @@ def cube_tables(draw):
     return Table(["k", "g", "x"], rows)
 
 
-common = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+common = settings(max_examples=60)
 
 
 class TestCubeEquivalence:

@@ -1,7 +1,7 @@
 """Property-based tests for the upper framework layers (hypothesis)."""
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
@@ -24,11 +24,7 @@ from repro.engine.universal import universal_table
 
 from test_intervention_properties import explanations, small_databases
 
-common = settings(
-    max_examples=30,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+common = settings(max_examples=30)
 
 
 class TestRewriteProperties:
@@ -165,11 +161,7 @@ class TestTopKProperties:
 
 
 class TestCubeVsExactProperty:
-    @settings(
-        max_examples=15,
-        deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
+    @settings(max_examples=15)
     @given(db=small_databases(max_authors=3, max_pubs=3))
     def test_cube_equals_exact_on_additive_query(self, db):
         """count(distinct pubid) without WHERE: the cube degrees equal

@@ -15,7 +15,7 @@ formal guarantees of Sections 2–3:
 
 from itertools import chain, combinations
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
@@ -92,11 +92,7 @@ def explanations(draw):
     return Explanation(tuple(atoms))
 
 
-common_settings = settings(
-    max_examples=40,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+common_settings = settings(max_examples=40)
 
 
 class TestValidity:
@@ -153,7 +149,7 @@ def _all_deltas(db):
 
 
 class TestMinimality:
-    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=12)
     @given(db=small_databases(max_authors=2, max_pubs=2), phi=explanations())
     def test_delta_is_contained_in_every_valid_delta(self, db, phi):
         """Theorem 3.3 / Definition 2.6: Δ^φ ⊆ Δ' for all valid Δ'."""
@@ -164,7 +160,7 @@ class TestMinimality:
             if is_valid_intervention(db, phi, candidate):
                 assert computed.issubset(candidate)
 
-    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=15)
     @given(db=small_databases(max_authors=2, max_pubs=2), phi=explanations())
     def test_local_minimality(self, db, phi):
         """Dropping any single tuple from Δ^φ breaks validity."""

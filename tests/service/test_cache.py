@@ -2,7 +2,7 @@
 cached-equals-fresh ranking property across methods and backends."""
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Explainer
@@ -162,11 +162,7 @@ QUESTION = {
 
 
 class TestCachedEqualsFresh:
-    @settings(
-        max_examples=12,
-        deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
+    @settings(max_examples=12)
     @given(rows=small_tables())
     @pytest.mark.parametrize(("method", "backend"), COMBOS)
     def test_cached_ranking_matches_fresh(self, method, backend, rows):

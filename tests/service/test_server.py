@@ -9,6 +9,7 @@ never a traceback.
 
 import importlib.util
 import json
+import re
 import time
 
 import pytest
@@ -290,3 +291,46 @@ class TestCoalescingOverHTTP:
         bodies = {json.dumps(r.data, sort_keys=True) for r in responses}
         assert len(bodies) == 1
         assert all(r.status == 200 for r in responses)
+
+
+class TestMetricsEndpoint:
+    """`/v1/metrics` smoke: valid Prometheus text over a warm service."""
+
+    LINE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9.eE+-]+$")
+
+    def test_metrics_is_prometheus_text(self, client):
+        client.topk(dataset="running-example", k=K)  # warm one request
+        response = client.request("GET", "/v1/metrics")
+        assert response.status == 200
+        assert response.headers["content-type"].startswith(
+            "text/plain; version=0.0.4"
+        )
+        text = response.data
+        assert isinstance(text, str) and text.endswith("\n")
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert self.LINE.match(line), f"malformed sample line: {line!r}"
+
+    def test_metrics_covers_the_pipeline(self, client):
+        text = client.request("GET", "/v1/metrics").data
+        assert "# TYPE repro_requests_total counter" in text
+        assert '"topk"' in text or 'kind="topk"' in text
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "# TYPE repro_request_seconds histogram" in text
+        assert 'repro_request_seconds_bucket{endpoint="/v1/topk",le="+Inf"}' in text
+        # Phase histograms live on the process-global registry and are
+        # merged into the exposition: a topk request runs the cube.
+        assert "# TYPE repro_phase_seconds histogram" in text
+        assert 'phase="universal_table"' in text
+
+    def test_timings_block_is_opt_in(self, client):
+        without = client.topk(dataset="running-example", k=K)
+        assert "timings" not in without.data
+        with_timings = client.topk(
+            dataset="running-example", k=K, include_timings=True
+        )
+        timings = with_timings.data["timings"]
+        assert timings["cache"] in ("miss", "hit", "coalesced")
+        assert timings["total_s"] >= 0
+        assert set(timings) >= {"cache", "total_s"}

@@ -3,16 +3,19 @@
 
 Three rules, all checked without importing any project code:
 
-1. **Stdlib purity** — ``repro.engine``, ``repro.core`` and
-   ``repro.analysis`` must work on a bare Python install: no
+1. **Stdlib purity** — ``repro.obs``, ``repro.engine``, ``repro.core``
+   and ``repro.analysis`` must work on a bare Python install: no
    third-party imports anywhere in those packages, not even inside
    function bodies.  One exemption: ``engine/fastpath.py`` is the
    optional numpy columnar kernel and is import-guarded by its
    callers.
 
 2. **Layering** — module-level imports must respect the dependency
-   order ``engine < analysis < core < backends/datasets < service``
-   (the CLI may use everything).  Function-level imports across layers
+   order ``obs < engine < analysis < core < backends/datasets <
+   service`` (the CLI may use everything).  ``obs`` is the bottom
+   layer: the observability primitives import nothing but the stdlib,
+   and every other layer may instrument itself with them.
+   Function-level imports across layers
    are allowed: they express deliberate, lazily-resolved dependencies
    (e.g. ``core.cube_algorithm`` dispatching to a backend).
 
@@ -38,7 +41,7 @@ SRC = REPO_ROOT / "src" / "repro"
 TESTS = REPO_ROOT / "tests"
 
 #: Packages that must run on a bare Python install.
-STDLIB_ONLY_PACKAGES = ("engine", "core", "analysis")
+STDLIB_ONLY_PACKAGES = ("obs", "engine", "core", "analysis")
 
 #: path (relative to src/repro) -> modules it may import anyway.
 THIRD_PARTY_EXEMPTIONS = {
@@ -49,6 +52,7 @@ THIRD_PARTY_EXEMPTIONS = {
 #: own.  ``core`` reaches up into ``analysis`` (certificate consumers)
 #: strictly via function-level imports, which the rule permits.
 LAYERS = {
+    "obs": -1,
     "engine": 0,
     "core": 1,
     "analysis": 2,
