@@ -44,6 +44,15 @@ def pytest_addoption(parser):
         help="workload size for presettable benchmarks (CI smoke uses "
         "'small'; default 'full')",
     )
+    parser.addoption(
+        "--shards",
+        action="store",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count for partition-parallel benchmarks "
+        "(bench_fig13_scaling's shard axis; default: serial vs 2 shards)",
+    )
 
 
 def pytest_configure(config):
@@ -66,6 +75,12 @@ def pytest_sessionfinish(session, exitstatus):
 def preset(request):
     """The ``--preset`` workload size ('small' or 'full')."""
     return request.config.getoption("--preset")
+
+
+@pytest.fixture(scope="session")
+def shards_option(request):
+    """The ``--shards`` count, or None for the default shard axis."""
+    return request.config.getoption("--shards")
 
 
 @pytest.fixture

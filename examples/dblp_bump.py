@@ -39,7 +39,7 @@ def main() -> None:
           f"{explainer.original_value():.2f}  (question: why so high?)")
     print(explainer.additivity_report().explain())
 
-    top = explainer.top(9, strategy="minimal_append")
+    top = explainer.top(9, method="auto", strategy="minimal_append")
     print("\nTop-9 explanations by intervention (Figure 2 analogue):")
     print(render_ranking(top))
     print(

@@ -44,7 +44,7 @@ def main() -> None:
     print(f"\nRegression slope Q(D) = {slope:.2f} papers/window "
           "(question: why is the series increasing?)")
 
-    top = explainer.top(6, strategy="minimal_append")
+    top = explainer.top(6, method="auto", strategy="minimal_append")
     print("\nTop explanations by intervention "
           "(deleting these flattens the slope the most):")
     print(render_ranking(top))

@@ -140,6 +140,57 @@ def _relation_unique_in_universal(
     return len(bag) == len(set(bag.rows()))
 
 
+def _where_columns_outside(
+    q: AggregateQuery, rel_name: str
+) -> Tuple[str, ...]:
+    """WHERE columns of *q* that do not live on the counted relation."""
+    if q.where is None:
+        return ()
+    outside = [
+        column
+        for column in q.where.columns()
+        if _unqualify(column)[0] != rel_name
+    ]
+    return tuple(dict.fromkeys(outside))
+
+
+def _key_determines_columns(
+    universal: "Table", key: str, columns: Tuple[str, ...]
+) -> bool:
+    """True iff *key* functionally determines *columns* in the universal
+    table — each key value co-occurs with exactly one combination of
+    the column values."""
+    if not columns:
+        return True
+    keyed = universal.project([key], distinct=True)
+    extended = universal.project([key, *columns], distinct=True)
+    return len(extended) == len(keyed)
+
+
+def _where_fd_failure(
+    q: AggregateQuery, rel_name: str, attr: str, outside: Tuple[str, ...]
+) -> AggregateVerdict:
+    """The verdict when the WHERE predicate breaks footnote 11.
+
+    A WHERE column outside the counted relation that the counted key
+    does not determine lets one key value appear both inside and
+    outside ``σ_w(U)``; removing a universal row then changes the
+    count by a non-additive amount, so the cube identity fails.
+    """
+    return AggregateVerdict(
+        q.name,
+        q.aggregate.kind,
+        VERDICT_NEEDS_ITERATIVE,
+        f"count(distinct {rel_name}.{attr}) filters on "
+        f"{', '.join(outside)}, which the counted key does not "
+        f"functionally determine: one {attr} value can satisfy the "
+        "WHERE predicate through some universal rows but not others, "
+        "so per-group counts are not additive under intervention "
+        "(footnote 11)",
+        rule="footnote 11",
+    )
+
+
 def _certify_count_distinct(
     schema: DatabaseSchema,
     q: AggregateQuery,
@@ -164,14 +215,25 @@ def _certify_count_distinct(
             f"count(distinct {rel_name}.{attr}) does not count "
             f"{rel_name}'s primary key {target.primary_key}",
         )
+    counted_key = f"{rel_name}.{attr}"
+    outside = _where_columns_outside(q, rel_name)
+    fd_condition = (
+        f"; and {counted_key} functionally determines the WHERE "
+        f"columns {', '.join(outside)}"
+        if outside
+        else ""
+    )
     # Footnote 11 condition: a b&f key into rel_name whose source
-    # relation is unique per universal row.
+    # relation is unique per universal row — and the aggregate's WHERE
+    # predicate must not discriminate between universal rows sharing a
+    # counted-key value (the key functionally determines every WHERE
+    # column outside the counted relation).
     for fk in schema.back_and_forth_keys:
         if fk.target != rel_name:
             continue
         condition = (
             f"every universal row contains a unique {fk.source} tuple "
-            "(footnote 11)"
+            f"(footnote 11){fd_condition}"
         )
         if universal is None:
             return AggregateVerdict(
@@ -184,6 +246,8 @@ def _certify_count_distinct(
                 rule="footnote 11",
                 data_condition=condition,
             )
+        if not _key_determines_columns(universal, counted_key, outside):
+            return _where_fd_failure(q, rel_name, attr, outside)
         if _relation_unique_in_universal(schema, universal, fk.source):
             return AggregateVerdict(
                 q.name,
@@ -204,7 +268,8 @@ def _certify_count_distinct(
         )
     if not schema.has_back_and_forth:
         condition = (
-            f"each {rel_name} tuple occurs in exactly one universal row"
+            f"each {rel_name} tuple occurs in exactly one universal "
+            f"row{fd_condition}"
         )
         if universal is None:
             return AggregateVerdict(
@@ -217,6 +282,8 @@ def _certify_count_distinct(
                 rule="footnote 11",
                 data_condition=condition,
             )
+        if not _key_determines_columns(universal, counted_key, outside):
+            return _where_fd_failure(q, rel_name, attr, outside)
         if _relation_unique_in_universal(schema, universal, rel_name):
             return AggregateVerdict(
                 q.name,

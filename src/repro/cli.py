@@ -173,7 +173,25 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print(f"dataset: {db}")
     explainer = Explainer(db, question, attributes, backend=args.backend)
     print(f"Q(D) = {explainer.original_value()}")
-    ranking = explainer.top(args.top, by=args.by, strategy=args.strategy)
+    # SQL backends implement only Algorithm 1 ("cube"); in memory the
+    # certificate picks the fastest *sound* method for this question.
+    if args.backend != "memory":
+        method = "cube"
+        if not explainer.certificate().additivity.all_exact_cube:
+            print(
+                "note: the certificate flags this query as not "
+                "intervention-additive; cube degrees are the Algorithm-1 "
+                "approximation (the memory backend's 'auto' method is exact)"
+            )
+            explainer.seed_table(
+                "cube",
+                explainer.explanation_table("cube", check_additivity=False),
+            )
+    else:
+        method = explainer.resolve_method("auto")
+    ranking = explainer.top(
+        args.top, method=method, by=args.by, strategy=args.strategy
+    )
     print(render_ranking(ranking))
     return 0
 
@@ -369,6 +387,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = ExplanationService(
         max_cache_entries=args.cache_entries,
         max_cache_bytes=int(args.cache_mb * 1024 * 1024),
+        shards=args.shards,
     )
     server = ExplanationServer(
         service,
@@ -383,6 +402,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         await server.start()
         print(f"repro explanation service listening on {server.url}")
         print(f"  datasets: {', '.join(service.registry.names())}")
+        print(f"  shards: {service.shards}")
         print(
             "  endpoints: /v1/explain /v1/topk /v1/analyze "
             "/v1/health /v1/stats /v1/metrics"
@@ -578,6 +598,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache byte budget in MiB")
     serve.add_argument("--max-request-kb", type=float, default=1024.0,
                        help="request body size limit in KiB")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="worker processes per cube build "
+                            "(default: REPRO_SHARDS, else 1 = serial)")
     serve.set_defaults(func=cmd_serve)
 
     sql = sub.add_parser("sql", help="print SQL / datalog renderings")

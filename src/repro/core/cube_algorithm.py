@@ -143,6 +143,7 @@ def build_explanation_table(
     use_fastpath: bool = True,
     backend: object = "memory",
     certificate: Optional["AdditivityCertificate"] = None,
+    shards: Optional[int] = None,
 ) -> ExplanationTable:
     """Run Algorithm 1 and return the materialized table *M*.
 
@@ -168,6 +169,14 @@ def build_explanation_table(
     :class:`~repro.backends.ExecutionBackend` instance.  The ablation
     knobs (``use_dummy_rewrite``, ``cube_impl``, ``use_fastpath``)
     only apply to the in-memory path.
+
+    ``shards`` (default: the ``REPRO_SHARDS`` environment variable,
+    else 1) spreads each per-aggregate cube across worker processes
+    via :mod:`repro.parallel`: the universal table is partitioned once
+    by a driver key and every aggregate's cube is computed as a merge
+    of per-shard partial states — content-identical to serial
+    execution at any shard count.  Sharding applies only to the
+    in-memory path and is superseded by an explicit ``cube_impl``.
     """
     if backend != "memory":
         from ..backends import MemoryBackend, get_backend
@@ -199,26 +208,33 @@ def build_explanation_table(
     # Step 2: one cube per aggregate query, over its filtered input.
     from ..engine import fastpath
 
+    shard_session = _shard_session(u, attributes, query, shards, cube_impl)
+
     cubes: List[Table] = []
     value_columns: List[str] = []
     for q in query.aggregates:
         with phase("cube_aggregate", aggregate=q.name) as cube_ph:
-            source = q.filtered(u)
             alias = f"v_{q.name}"
             value_columns.append(alias)
             spec = type(q.aggregate)(
                 q.aggregate.kind, q.aggregate.argument, alias
             )
-            if cube_impl is not None:
-                chosen: CubeImpl = cube_impl
-            elif use_fastpath and fastpath.supports((spec,)):
-                chosen = fastpath.cube_numpy
+            if shard_session is not None:
+                c = shard_session.cube(q.where, attributes, (spec,))
+                cube_ph.annotate(sharded=shard_session.shards)
             else:
-                chosen = cube
-            c = chosen(source, attributes, (spec,))
+                source = q.filtered(u)
+                if cube_impl is not None:
+                    chosen: CubeImpl = cube_impl
+                elif use_fastpath and fastpath.supports((spec,)):
+                    chosen = fastpath.cube_numpy
+                else:
+                    chosen = cube
+                c = chosen(source, attributes, (spec,))
+                cube_ph.annotate(rows_in=len(source))
             if use_dummy_rewrite:
                 c = dummy_rewrite(c, attributes)
-            cube_ph.annotate(rows_in=len(source), groups=len(c))
+            cube_ph.annotate(groups=len(c))
             cubes.append(c)
 
     # Step 3: combine the m cubes on the explanation columns.
@@ -237,6 +253,53 @@ def build_explanation_table(
             q_original,
             support_threshold=support_threshold,
         )
+
+
+def _shard_session(
+    u: Table,
+    attributes: Sequence[str],
+    query: NumericalQuery,
+    shards: Optional[int],
+    cube_impl: Optional[CubeImpl],
+):
+    """A :class:`~repro.parallel.ShardedCubeSession` when sharding applies.
+
+    Returns ``None`` (serial execution) when the resolved shard count
+    is 1 or an explicit ``cube_impl`` overrides the cube.  The session
+    scatters the universal table once, projected down to the columns
+    any aggregate's cube will touch; the driver key prefers a shared
+    ``count(distinct X)`` argument so per-shard distinct-sets stay
+    disjoint.
+    """
+    from ..parallel import (
+        ShardedCubeSession,
+        choose_driver_key,
+        resolve_shard_count,
+    )
+
+    if cube_impl is not None:
+        return None
+    n = resolve_shard_count(shards)
+    if n <= 1:
+        return None
+    needed: Dict[str, None] = dict.fromkeys(attributes)
+    arguments: List[Optional[str]] = []
+    for q in query.aggregates:
+        arguments.append(q.aggregate.argument)
+        if q.aggregate.argument is not None:
+            needed.setdefault(q.aggregate.argument)
+        if q.where is not None:
+            for c in q.where.columns():
+                needed.setdefault(c)
+    driver = choose_driver_key(tuple(attributes), arguments)
+    needed.setdefault(driver)
+    return ShardedCubeSession(
+        u,
+        tuple(attributes),
+        shards=n,
+        driver_key=driver,
+        columns=tuple(needed),
+    )
 
 
 def _additivity_report(

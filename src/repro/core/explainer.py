@@ -146,6 +146,13 @@ class Explainer:
         backends run Algorithm 1 inside a real DBMS and produce the
         same rankings as the in-memory engine; the other methods
         (``naive``/``exact``/``indexed``) are memory-only.
+    shards:
+        Partition-parallel cube execution: spread each cube build
+        over this many worker processes (:mod:`repro.parallel`).
+        ``None`` defers to the ``REPRO_SHARDS`` environment variable;
+        1 runs serially.  The resulting table is content-identical at
+        every shard count, so this is a pure execution knob — it does
+        not enter the plan fingerprint.  Memory backend only.
     """
 
     def __init__(
@@ -156,6 +163,7 @@ class Explainer:
         *,
         support_threshold: Optional[float] = None,
         backend: object = "memory",
+        shards: Optional[int] = None,
     ) -> None:
         if not attributes:
             raise ExplanationError("Explainer needs at least one attribute")
@@ -164,6 +172,10 @@ class Explainer:
         self.attributes = tuple(attributes)
         self.support_threshold = support_threshold
         self.backend = backend
+        #: Shard count for partition-parallel cube builds (None defers
+        #: to ``REPRO_SHARDS``).  An execution knob, not part of the
+        #: plan fingerprint: any shard count yields identical tables.
+        self.shards = shards
         self.join_tree = JoinTree(database.schema)
         self.universal = universal_table(database, self.join_tree)
         for attr in self.attributes:
@@ -278,6 +290,7 @@ class Explainer:
                 kwargs.setdefault(
                     "certificate", self.certificate().additivity
                 )
+                kwargs.setdefault("shards", self.shards)
                 m = build_explanation_table(
                     self.database,
                     self.question,

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import Counter
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import QueryError
 from ..obs import phase
@@ -66,22 +66,56 @@ def rollup_sets(dimensions: Sequence[str]) -> List[Tuple[str, ...]]:
 # path, a list of accumulators otherwise.
 _GroupState = Union[int, List[Accumulator]]
 
+#: Public alias for the shard/merge API (the parallel executor passes
+#: these across process boundaries).
+GroupState = _GroupState
 
-def _masked_rollup(
+#: A pluggable replacement for the serial base-grouping pass: given
+#: ``(table, dimensions, aggregates)`` it either returns the merged
+#: full-granularity states (plus the count-only flag) or ``None`` to
+#: decline, in which case the serial pass runs.  The partition-parallel
+#: executor (:mod:`repro.parallel`) installs one to fan the base pass
+#: out across worker processes.
+BaseStatesHook = Callable[
+    [Table, Sequence[str], Sequence[AggregateSpec]],
+    Optional[Tuple[Dict[Row, _GroupState], bool]],
+]
+
+_BASE_STATES_HOOK: Optional[BaseStatesHook] = None
+
+
+def set_parallel_base_hook(
+    hook: Optional[BaseStatesHook],
+) -> Optional[BaseStatesHook]:
+    """Install (or clear, with None) the parallel base-grouping hook.
+
+    Returns the previously installed hook so callers can restore it.
+    The hook is consulted by every cube/rollup/grouping-sets call in
+    this process; it must produce states identical to
+    :func:`base_states` on the same input.
+    """
+    global _BASE_STATES_HOOK
+    previous = _BASE_STATES_HOOK
+    _BASE_STATES_HOOK = hook
+    return previous
+
+
+def base_states(
     table: Table,
     dimensions: Sequence[str],
     aggregates: Sequence[AggregateSpec],
-    masks: Sequence[Tuple[bool, ...]],
 ) -> Tuple[Dict[Row, _GroupState], bool]:
-    """The single-pass columnar core shared by cube and grouping sets.
+    """Full-granularity partial states: one entry per distinct key.
 
-    Groups the table once at full dimension granularity (a ``Counter``
-    over the zipped dimension columns when every aggregate is
-    COUNT(*)), rejects NULL dimension values, then merges the partial
-    per-key states into one entry per *mask* (a boolean keep-vector
-    over ``dimensions``).  The full mask reuses the base states
-    without copying.  Returns the ordered result map and whether the
-    fast count path was taken.
+    The shardable half of the cube: groups the table once at full
+    dimension granularity (a ``Counter`` over the zipped dimension
+    columns when every aggregate is COUNT(*)) and rejects NULL
+    dimension values.  Because every state supports ``merge``
+    (integer addition / :meth:`Accumulator.merge`), the states of any
+    row partition of *table* combine via :func:`merge_states` into
+    exactly the states of the whole table — which is what makes
+    partition-parallel cube execution exact rather than approximate.
+    Returns the state map and whether the fast count path was taken.
     """
     dims = list(dimensions)
     d = len(dims)
@@ -104,7 +138,55 @@ def _masked_rollup(
                 _reject_null_dimensions(key, dims)
             base = accumulate_groups(table, groups, aggregates)
         base_ph.annotate(groups=len(base), count_only=count_only)
+    return base, count_only
 
+
+def merge_states(
+    dst: Dict[Row, _GroupState],
+    src: Dict[Row, _GroupState],
+    aggregates: Sequence[AggregateSpec],
+    count_only: bool,
+) -> None:
+    """Fold the base states *src* into *dst* in place.
+
+    Keys present in both merge via integer addition (count-only path)
+    or :meth:`Accumulator.merge`; keys only in *src* are adopted, so
+    *dst* takes ownership of their accumulator objects.  The operation
+    is associative and commutative up to dict ordering — the property
+    the parallel reduction tree relies on.
+    """
+    if count_only:
+        for key, count in src.items():
+            existing = dst.get(key)
+            if existing is None:
+                dst[key] = count
+            else:
+                dst[key] = existing + count  # type: ignore[operator]
+    else:
+        for key, parts in src.items():
+            accs = dst.get(key)
+            if accs is None:
+                dst[key] = parts
+            else:
+                for acc, part in zip(accs, parts):  # type: ignore[arg-type]
+                    acc.merge(part)
+
+
+def rollup_states(
+    base: Dict[Row, _GroupState],
+    dimensions: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+    masks: Sequence[Tuple[bool, ...]],
+    count_only: bool,
+) -> Dict[Row, _GroupState]:
+    """Merge full-granularity *base* states into one entry per *mask*.
+
+    Each mask is a boolean keep-vector over ``dimensions``; dropped
+    positions become NULL ("don't care").  The full mask reuses the
+    base states without copying.
+    """
+    dims = list(dimensions)
+    d = len(dims)
     out: Dict[Row, _GroupState] = {}
     for mask in masks:
         kept = ",".join(dim for dim, keep in zip(dims, mask) if keep)
@@ -133,7 +215,61 @@ def _masked_rollup(
                     for acc, part in zip(accs, parts):
                         acc.merge(part)
             set_ph.annotate(set=f"({kept})", groups=len(out) - before)
+    return out
+
+
+def _base_states_via_hook(
+    table: Table,
+    dimensions: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Tuple[Dict[Row, _GroupState], bool]:
+    """Base states through the parallel hook when one is installed."""
+    hook = _BASE_STATES_HOOK
+    if hook is not None:
+        result = hook(table, dimensions, aggregates)
+        if result is not None:
+            return result
+    return base_states(table, dimensions, aggregates)
+
+
+def _masked_rollup(
+    table: Table,
+    dimensions: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+    masks: Sequence[Tuple[bool, ...]],
+) -> Tuple[Dict[Row, _GroupState], bool]:
+    """The single-pass columnar core shared by cube and grouping sets:
+    one base-grouping pass (possibly fanned out via the parallel hook)
+    rolled up into one entry per mask."""
+    base, count_only = _base_states_via_hook(table, dimensions, aggregates)
+    out = rollup_states(base, dimensions, aggregates, masks, count_only)
     return out, count_only
+
+
+def cube_from_base_states(
+    base: Dict[Row, _GroupState],
+    dimensions: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+    count_only: bool,
+) -> Table:
+    """Finish a cube from full-granularity base states.
+
+    The second half of :func:`cube`: roll the states up into all
+    ``2^d`` grouping sets, add the always-present grand-total row, and
+    emit the result table.  The parallel executor feeds this with
+    states merged across shards; running the *identical* rollup/emit
+    code is what keeps sharded results byte-identical in content to
+    serial ones.
+    """
+    masks = [
+        tuple(d in s for d in dimensions)
+        for s in grouping_sets(dimensions)
+    ]
+    groups = rollup_states(base, dimensions, aggregates, masks, count_only)
+    grand_total: Row = (NULL,) * len(dimensions)
+    if grand_total not in groups:
+        groups[grand_total] = _default_state(aggregates, count_only)
+    return _emit(dimensions, aggregates, groups, count_only)
 
 
 def _emit(
@@ -231,6 +367,26 @@ def rollup(
     )
 
 
+def validate_cube_args(
+    table: Table,
+    dimensions: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> None:
+    """The shared argument checks of :func:`cube`.
+
+    Raises :class:`~repro.errors.QueryError` for duplicate dimensions,
+    unknown columns, duplicate aggregate aliases, or aliases clashing
+    with dimensions.  Exposed so the partition-parallel executor can
+    validate before scattering work to the pool.
+    """
+    if len(set(dimensions)) != len(dimensions):
+        raise QueryError(f"duplicate cube dimensions: {dimensions}")
+    table.positions(dimensions)
+    aliases = _validate_aggregates(table, aggregates)
+    if set(aliases) & set(dimensions):
+        raise QueryError("aggregate aliases clash with cube dimensions")
+
+
 def cube(
     table: Table,
     dimensions: Sequence[str],
@@ -243,26 +399,15 @@ def cube(
     combinations present in the data (plus the grand-total row, which
     always exists, even on empty input).
     """
-    if len(set(dimensions)) != len(dimensions):
-        raise QueryError(f"duplicate cube dimensions: {dimensions}")
-    table.positions(dimensions)
-    aliases = _validate_aggregates(table, aggregates)
-    if set(aliases) & set(dimensions):
-        raise QueryError("aggregate aliases clash with cube dimensions")
+    validate_cube_args(table, dimensions, aggregates)
 
     with phase("cube", rows=len(table), dims=len(dimensions)) as ph:
-        masks = [
-            tuple(d in s for d in dimensions)
-            for s in grouping_sets(dimensions)
-        ]
-        groups, count_only = _masked_rollup(
-            table, dimensions, aggregates, masks
+        base, count_only = _base_states_via_hook(
+            table, dimensions, aggregates
         )
-
-        grand_total: Row = (NULL,) * len(dimensions)
-        if grand_total not in groups:
-            groups[grand_total] = _default_state(aggregates, count_only)
-        result = _emit(dimensions, aggregates, groups, count_only)
+        result = cube_from_base_states(
+            base, dimensions, aggregates, count_only
+        )
         ph.annotate(groups=len(result))
     return result
 

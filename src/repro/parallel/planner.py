@@ -1,0 +1,141 @@
+"""Shard planner: hash-partition a table into N disjoint slices.
+
+Rows are bucketed by a deterministic content hash of one *driver key*
+column, so the partition is
+
+* **disjoint and complete** — every row lands in exactly one shard;
+* **driver-key-complete** — all rows sharing a driver-key value land
+  in the *same* shard, so a ``count(distinct driver)`` never sees the
+  same value from two shards (partial seen-sets stay disjoint);
+* **deterministic** — the assignment depends only on (value, shard
+  count), never on row order, process, or interpreter hash seeds
+  (``zlib.crc32`` over a canonical byte rendering, not the salted
+  builtin ``hash``).
+
+Correctness of the partition-parallel cube does *not* depend on the
+key choice: base-granularity states merge exactly for every supported
+aggregate (:func:`repro.engine.cube.merge_states`), so any row
+partition yields identical results.  The driver key only shapes the
+*cost* — disjoint distinct-sets and balanced shards.
+
+Shard slices are **materialized** (fresh compact column lists) rather
+than zero-copy selections: a selection vector pickles its entire base
+column store, which would ship the whole table to every worker.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..engine.table import Table
+from ..engine.types import Value, is_dummy, is_null
+from ..errors import ShardError
+
+
+def canonical_shard_bytes(value: Value) -> bytes:
+    """A deterministic byte rendering of one driver-key value.
+
+    Mirrors the conventions of the explanation-table content
+    fingerprint: NULL/DUMMY get sentinel renderings and integral
+    floats collapse to their integer form, so ``2`` and ``2.0`` bucket
+    together on every backend.
+    """
+    if value is True or value is False:
+        return b"b:1" if value else b"b:0"
+    if is_null(value):
+        return b"\x00N"
+    if is_dummy(value):
+        return b"\x00D"
+    if isinstance(value, float):
+        if value == value and value.is_integer():
+            return b"i:%d" % int(value)
+        return b"f:" + repr(value).encode("utf-8")
+    if isinstance(value, int):
+        return b"i:%d" % value
+    return b"s:" + str(value).encode("utf-8")
+
+
+def shard_of(value: Value, shards: int) -> int:
+    """The shard index a driver-key value hashes to."""
+    return zlib.crc32(canonical_shard_bytes(value)) % shards
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A materialized hash partition of one table.
+
+    ``slices[i]`` holds exactly the rows whose driver-key value hashes
+    to bucket ``i``; empty buckets hold an empty table with the same
+    columns.
+    """
+
+    driver_key: str
+    shards: int
+    slices: Tuple[Table, ...]
+    total_rows: int
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        return tuple(len(s) for s in self.slices)
+
+
+def plan_shards(
+    table: Table, shards: int, driver_key: str
+) -> ShardPlan:
+    """Partition *table* into *shards* slices by hashing *driver_key*.
+
+    Raises :class:`~repro.errors.ShardError` for a non-positive shard
+    count and :class:`~repro.errors.QueryError` (via the table) for an
+    unknown driver column.  The completeness invariant (slice sizes sum
+    to the input size) is checked before returning.
+    """
+    if shards < 1:
+        raise ShardError(f"shard count must be >= 1, got {shards}")
+    driver_col = table.column(driver_key)
+    n = len(table)
+    buckets: List[List[int]] = [[] for _ in range(shards)]
+    if shards == 1:
+        buckets[0] = list(range(n))
+    else:
+        for i in range(n):
+            buckets[shard_of(driver_col[i], shards)].append(i)
+
+    columns = list(table.columns)
+    arrays = table.column_arrays()
+    slices = []
+    for indices in buckets:
+        data = [[col[i] for i in indices] for col in arrays]
+        slices.append(Table.from_columns(columns, data, nrows=len(indices)))
+
+    placed = sum(len(s) for s in slices)
+    if placed != n:
+        raise ShardError(
+            f"shard plan lost rows: placed {placed} of {n} "
+            f"(driver key {driver_key!r}, {shards} shards)"
+        )
+    return ShardPlan(
+        driver_key=driver_key,
+        shards=shards,
+        slices=tuple(slices),
+        total_rows=n,
+    )
+
+
+def choose_driver_key(
+    attributes: Sequence[str], argument_columns: Sequence[str]
+) -> str:
+    """Pick the partition column for one explanation-table build.
+
+    When every aggregate counts the same argument column (the common
+    ``count(distinct X)`` shape), that column drives the partition so
+    per-shard distinct-sets are disjoint; otherwise the first relevant
+    attribute does (any choice is correct — see the module docstring).
+    """
+    distinct_args = {c for c in argument_columns if c is not None}
+    if len(distinct_args) == 1:
+        return next(iter(distinct_args))
+    if attributes:
+        return attributes[0]
+    raise ShardError("cannot choose a driver key without attributes")

@@ -1,0 +1,98 @@
+"""The shard worker pool: pinned, spawn-safe, crash-detecting.
+
+One :class:`ShardPool` holds N single-process executors, with shard
+``i`` pinned to worker ``i``.  Pinning is what makes the scatter-once
+protocol work: a shard's slice lives in exactly one worker's cache
+(:mod:`repro.parallel.tasks`), so tasks for that shard must always
+land on that worker.
+
+Pools are process-global and keyed by shard count — the service can
+answer many requests over one warm pool.  A crashed worker surfaces as
+``BrokenProcessPool`` (or a timeout) on ``result()``; the executor
+treats every such infrastructure failure as a signal to
+:func:`discard_pool` and fall back to serial execution, never as a
+user-facing error.
+
+Workers use the ``spawn`` start method unconditionally: fork is unsafe
+under threads (the service is threaded) and spawn is the only method
+available everywhere, so workers re-import the package and share no
+parent state beyond what the task payload carries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Dict, List, Union
+
+from ..obs import Gauge, get_registry
+from .tasks import CubeTask, ShardCacheMiss, ShardStates, run_cube_task
+
+TaskFuture = Future[Union[ShardStates, ShardCacheMiss]]
+
+_POOL_SIZE_GAUGE_NAME = "repro_shard_pool_size"
+
+
+def _pool_gauge() -> Gauge:
+    return get_registry().gauge(
+        _POOL_SIZE_GAUGE_NAME,
+        help="Worker processes currently provisioned for sharded cubes.",
+    )
+
+
+class ShardPool:
+    """N pinned single-worker executors (shard i -> worker i)."""
+
+    def __init__(self, shards: int) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        self.shards = shards
+        self._executors: List[ProcessPoolExecutor] = [
+            ProcessPoolExecutor(max_workers=1, mp_context=ctx)
+            for _ in range(shards)
+        ]
+        self._closed = False
+        _pool_gauge().inc(shards)
+
+    def submit(self, task: CubeTask) -> TaskFuture:
+        """Submit one task to its shard's pinned worker."""
+        return self._executors[task.shard].submit(run_cube_task, task)
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        _pool_gauge().dec(self.shards)
+        for executor in self._executors:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+_POOLS: Dict[int, ShardPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def get_pool(shards: int) -> ShardPool:
+    """The process-global warm pool for *shards* workers."""
+    with _POOLS_LOCK:
+        pool = _POOLS.get(shards)
+        if pool is None:
+            pool = ShardPool(shards)
+            _POOLS[shards] = pool
+        return pool
+
+
+def discard_pool(shards: int) -> None:
+    """Tear down the pool for *shards* (after a crash or timeout)."""
+    with _POOLS_LOCK:
+        pool = _POOLS.pop(shards, None)
+    if pool is not None:
+        pool.shutdown()
+
+
+def shutdown_pools() -> None:
+    """Tear down every warm pool (interpreter exit, test cleanup)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown()

@@ -1,0 +1,134 @@
+"""Picklable shard tasks and the worker-side entry point.
+
+Workers are spawned (never forked), so everything crossing the process
+boundary must pickle cleanly:
+
+* :class:`CubeTask` carries plain dataclasses — aggregate specs,
+  expression ASTs, column tuples.  NULL/DUMMY survive the round trip
+  as process-local singletons (their ``__new__`` returns the
+  interned instance on unpickle).
+* Shard data travels as materialized column tuples, not
+  :class:`~repro.engine.table.Table` objects, so no selection vectors
+  or caches ride along.
+* Results are full-granularity base states
+  (:func:`repro.engine.cube.base_states`), whose accumulators are
+  plain attribute objects.
+
+Each worker keeps its **one** scattered slice in a module-global cache
+keyed by ``(token, shard)``; later tasks of the same build reference
+it by token instead of re-shipping the data.  A worker that restarted
+(or never saw the scatter) answers :class:`ShardCacheMiss`, and the
+parent retries with the data attached.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..engine.aggregates import AggregateSpec
+from ..engine.cube import GroupState, base_states
+from ..engine.expressions import Expression
+from ..engine.table import Table
+from ..engine.types import Row, Value
+
+#: Worker-side slice cache.  One live scatter per worker: entries from
+#: older tokens are evicted when a new scatter arrives.
+_SHARD_CACHE: Dict[Tuple[str, int], Table] = {}
+
+
+@dataclass(frozen=True)
+class CubeTask:
+    """One shard's share of one cube build.
+
+    ``data``/``columns`` are only populated on scatter (the first task
+    of a build, or a retry after a cache miss); otherwise the worker
+    resolves the slice from its cache by ``(token, shard)``.
+    ``crash_for_test`` makes the worker die hard mid-task — the seam
+    the graceful-degradation regression test uses, carried in the
+    payload because spawn workers never see parent monkeypatching.
+    """
+
+    token: str
+    shard: int
+    dimensions: Tuple[str, ...]
+    aggregates: Tuple[AggregateSpec, ...]
+    where: Optional[Expression] = None
+    columns: Optional[Tuple[str, ...]] = None
+    data: Optional[Tuple[Tuple[Value, ...], ...]] = None
+    crash_for_test: bool = False
+
+
+@dataclass(frozen=True)
+class ShardCacheMiss:
+    """The worker has no slice for this token; parent must re-scatter."""
+
+    token: str
+    shard: int
+
+
+@dataclass
+class ShardStates:
+    """One shard's partial cube: full-granularity base states."""
+
+    shard: int
+    states: Dict[Row, GroupState]
+    count_only: bool
+    rows: int
+    elapsed: float
+
+
+def shard_table_payload(
+    table: Table,
+) -> Tuple[Tuple[str, ...], Tuple[Tuple[Value, ...], ...]]:
+    """A compact picklable rendering of one materialized slice."""
+    return (
+        tuple(table.columns),
+        tuple(tuple(col) for col in table.column_arrays()),
+    )
+
+
+def _resolve_slice(task: CubeTask) -> Optional[Table]:
+    key = (task.token, task.shard)
+    table = _SHARD_CACHE.get(key)
+    if table is not None:
+        return table
+    if task.data is None or task.columns is None:
+        return None
+    nrows = len(task.data[0]) if task.data else 0
+    table = Table.from_columns(
+        list(task.columns), [list(col) for col in task.data], nrows=nrows
+    )
+    for stale in [k for k in _SHARD_CACHE if k[0] != task.token]:
+        del _SHARD_CACHE[stale]
+    _SHARD_CACHE[key] = table
+    return table
+
+
+def run_cube_task(task: CubeTask) -> Union[ShardStates, ShardCacheMiss]:
+    """Worker entry point: filter the slice, group at full granularity.
+
+    Returns :class:`ShardStates` on success, :class:`ShardCacheMiss`
+    when the slice is unknown.  Data-level errors (NULL grouping
+    values, unknown columns) raise — the pool pickles them back to the
+    parent, where they re-raise as the deterministic errors they are.
+    """
+    if task.crash_for_test:  # pragma: no cover - kills the process
+        os._exit(13)
+    start = time.perf_counter()
+    table = _resolve_slice(task)
+    if table is None:
+        return ShardCacheMiss(task.token, task.shard)
+    source = table if task.where is None else table.filter(task.where)
+    states, count_only = base_states(
+        source, task.dimensions, task.aggregates
+    )
+    return ShardStates(
+        shard=task.shard,
+        states=states,
+        count_only=count_only,
+        rows=len(source),
+        elapsed=time.perf_counter() - start,
+    )

@@ -206,8 +206,16 @@ class ExplanationService:
         max_cache_entries: int = 256,
         max_cache_bytes: int = 256 * 1024 * 1024,
         metrics: Optional[MetricsRegistry] = None,
+        shards: Optional[int] = None,
     ) -> None:
+        from ..parallel import resolve_shard_count
+
         self.registry = registry if registry is not None else DatasetRegistry()
+        #: Shard count for cube builds: explicit arg, else the
+        #: ``REPRO_SHARDS`` environment variable, else 1 (serial).
+        #: Results are content-identical at any shard count, so shards
+        #: never enter the cache key.
+        self.shards = resolve_shard_count(shards)
         # Per-instance registry: one service per test gets clean counts;
         # the process-wide default registry (phase histograms) is merged
         # in at render time by metrics_text().
@@ -321,6 +329,7 @@ class ExplanationService:
                 prepared.attributes,
                 support_threshold=prepared.request.support_threshold,
                 backend=backend,
+                shards=self.shards,
             )
             return explainer.explanation_table(prepared.method)
 
@@ -501,6 +510,7 @@ class ExplanationService:
             "compute": nested["compute"],
             "cache": self.cache.stats().to_dict(),
             "inflight": self.flights.inflight(),
+            "shards": self.shards,
         }
 
     def metrics_text(self) -> str:
@@ -524,4 +534,5 @@ class ExplanationService:
             "backends": {
                 name: name in available for name in backend_names()
             },
+            "shards": self.shards,
         }

@@ -48,6 +48,24 @@ def _workload(name):
 WORKLOADS = ("running-example", "dblp", "natality")
 
 
+def _cube_explainer(workload, db, question, attributes, backend="memory"):
+    """An Explainer whose cube table is prebuilt for parity checks.
+
+    The dblp bump question is no longer certified additive (its WHERE
+    filters on Author.dom, which the counted pubid does not determine),
+    so the cube is built as the Section 6 approximation with the gate
+    off — identically on every backend, keeping the parity comparison
+    meaningful.
+    """
+    explainer = Explainer(db, question, attributes, backend=backend)
+    if workload == "dblp":
+        explainer.seed_table(
+            "cube",
+            explainer.explanation_table("cube", check_additivity=False),
+        )
+    return explainer
+
+
 def _close(a, b, tol=1e-9):
     if is_null(a) or is_null(b):
         return is_null(a) and is_null(b)
@@ -64,8 +82,10 @@ class TestTop5Parity:
     def test_top5_ranking_matches_memory(self, backend_name, workload):
         backend = _backend_or_skip(backend_name)
         db, question, attributes = _workload(workload)
-        mem = Explainer(db, question, attributes).top(5)
-        other = Explainer(db, question, attributes, backend=backend).top(5)
+        mem = _cube_explainer(workload, db, question, attributes).top(5)
+        other = _cube_explainer(
+            workload, db, question, attributes, backend=backend
+        ).top(5)
         assert [r.explanation for r in other] == [r.explanation for r in mem]
         assert [r.rank for r in other] == [r.rank for r in mem]
         for a, b in zip(mem, other):
@@ -93,9 +113,11 @@ class TestTableParity:
     def test_all_strategies_agree(self, backend_name):
         backend = _backend_or_skip(backend_name)
         db, question, attributes = _workload("dblp")
-        mem = Explainer(db, question, attributes).explanation_table()
+        mem = Explainer(db, question, attributes).explanation_table(
+            check_additivity=False
+        )
         other = get_backend(backend).build_explanation_table(
-            db, question, attributes
+            db, question, attributes, check_additivity=False
         )
         for strategy in ("no_minimal", "minimal_self_join", "minimal_append"):
             for by in (MU_INTERV, MU_AGGR):

@@ -113,18 +113,30 @@ class TestSlackWitness:
         q_residual = ev.intervention_values(phi)["q"]
         assert q_residual == q_d - q_phi
 
-    def test_structural_report_is_positive_despite_slack(self, cross_domain_db):
-        """The paper's structural condition passes here — documenting
-        that the checker certifies the *structural* condition only, as
-        stated in Section 4.1."""
+    def test_checker_rejects_author_side_where(self, cross_domain_db):
+        """The checker now closes the footnote-11 hole: the structural
+        condition alone would pass here, but the WHERE filters on
+        Author.dom, which Publication.pubid does not functionally
+        determine (P1 has both a com and an edu author), so the verdict
+        is NOT additive — matching the slack witness above."""
         from repro.core.additivity import analyze_additivity
 
         report = analyze_additivity(
             cross_domain_db, single_query(com_count())
         )
-        assert report.additive  # structural condition holds...
-        # ...while test_author_side_where_has_slack shows the exact
-        # identity can still fail for author-side WHERE predicates.
+        assert not report.additive
+        assert "Author.dom" in report.per_aggregate[0].reason
+
+    def test_checker_accepts_publication_side_where(self, cross_domain_db):
+        """With the WHERE on Publication attributes only, the FD check
+        is vacuous and the structural certificate stands — matching the
+        exactness shown in test_publication_side_where_is_exact."""
+        from repro.core.additivity import analyze_additivity
+
+        report = analyze_additivity(
+            cross_domain_db, single_query(venue_count())
+        )
+        assert report.additive
 
 
 class TestAudit:

@@ -94,7 +94,13 @@ def tables(workloads):
             explainer = Explainer(
                 db, question, list(attributes), backend=backend
             )
-            cache[key] = explainer.explanation_table(method)
+            kwargs = {}
+            if method == "cube" and dataset == "dblp-small":
+                # The bump question is no longer certified additive
+                # (footnote-11 WHERE/FD condition); the matrix still
+                # compares its cube as the Section 6 approximation.
+                kwargs["check_additivity"] = False
+            cache[key] = explainer.explanation_table(method, **kwargs)
         return cache[key]
 
     return get

@@ -1,0 +1,237 @@
+"""Fan-out executor behavior: shard-count invariance across datasets
+and methods, the scatter-once protocol, graceful degradation when a
+worker dies, and the pickle contract the spawn pool depends on."""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.core.explainer import Explainer
+from repro.datasets import natality
+from repro.datasets import running_example as rex
+from repro.engine.aggregates import agg_sum, count_distinct, count_star
+from repro.engine.cube import cube as serial_cube
+from repro.engine.expressions import Col, Comparison, Const
+from repro.engine.table import Table
+from repro.engine.types import DUMMY, NULL
+from repro.errors import QueryError, ShardError
+from repro.obs import get_registry
+from repro.parallel import (
+    CubeTask,
+    ShardedCubeSession,
+    merge_shard_states,
+    resolve_shard_count,
+    resolve_shard_mode,
+    shutdown_pools,
+)
+
+
+def _canon(table):
+    return sorted(tuple(map(repr, r)) for r in table.rows())
+
+
+@pytest.fixture
+def small_table():
+    import random
+
+    rng = random.Random(11)
+    n = 400
+    return Table.from_columns(
+        ["k", "a", "b", "v"],
+        [
+            [f"k{rng.randrange(37)}" for _ in range(n)],
+            [f"a{rng.randrange(5)}" for _ in range(n)],
+            [f"b{rng.randrange(3)}" for _ in range(n)],
+            [rng.randrange(100) for _ in range(n)],
+        ],
+        nrows=n,
+    )
+
+
+AGGS = (count_distinct("k", alias="cd"), agg_sum("v", alias="s"))
+
+
+class TestConfig:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "8")
+        assert resolve_shard_count(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        assert resolve_shard_count() == 4
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shard_count() == 1
+
+    def test_garbage_env_warns_and_serializes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "lots")
+        with pytest.warns(RuntimeWarning):
+            assert resolve_shard_count() == 1
+
+    def test_mode_validation(self):
+        assert resolve_shard_mode("inline") == "inline"
+        with pytest.raises(ShardError):
+            resolve_shard_mode("threads")
+
+
+class TestInlineInvariance:
+    @pytest.mark.parametrize("shards", (1, 2, 3, 7))
+    def test_fingerprint_identical_any_shard_count(
+        self, small_table, shards
+    ):
+        serial = serial_cube(small_table, ["a", "b"], AGGS)
+        session = ShardedCubeSession(
+            small_table,
+            ["a", "b"],
+            shards=shards,
+            driver_key="k",
+            mode="inline",
+        )
+        assert _canon(session.cube(None, ["a", "b"], AGGS)) == _canon(serial)
+
+    def test_predicate_pushed_to_shards(self, small_table):
+        where = Comparison("!=", Col("b"), Const("b0"))
+        serial = serial_cube(small_table.filter(where), ["a"], AGGS)
+        session = ShardedCubeSession(
+            small_table, ["a"], shards=3, driver_key="k", mode="inline"
+        )
+        assert _canon(session.cube(where, ["a"], AGGS)) == _canon(serial)
+
+    def test_count_star_fast_path(self, small_table):
+        aggs = (count_star(alias="n"),)
+        serial = serial_cube(small_table, ["a", "b"], aggs)
+        session = ShardedCubeSession(
+            small_table, ["a", "b"], shards=4, driver_key="k", mode="inline"
+        )
+        assert _canon(session.cube(None, ["a", "b"], aggs)) == _canon(serial)
+
+    def test_data_errors_still_raise(self, small_table):
+        session = ShardedCubeSession(
+            small_table, ["a"], shards=2, driver_key="k", mode="inline"
+        )
+        with pytest.raises(QueryError):
+            session.cube(None, ["a", "nope"], AGGS)
+
+
+class TestExplainerInvariance:
+    @pytest.mark.parametrize("shards", (2, 3))
+    def test_natality_pipeline(self, monkeypatch, shards):
+        monkeypatch.setenv("REPRO_SHARD_MODE", "inline")
+        db = natality.generate(rows=600, seed=5)
+        question = natality.q_race_question()
+        attrs = natality.default_attributes("race")
+        serial = Explainer(db, question, attrs, shards=1)
+        sharded = Explainer(db, question, attrs, shards=shards)
+        assert (
+            sharded.explanation_table("cube").content_fingerprint()
+            == serial.explanation_table("cube").content_fingerprint()
+        )
+
+    def test_indexed_method_ignores_shards(self, monkeypatch):
+        # Non-cube methods run per-candidate program P; the shards knob
+        # must be inert (and harmless) there.
+        monkeypatch.setenv("REPRO_SHARD_MODE", "inline")
+        from repro.cli import _demo_setup
+
+        db, question, attrs = _demo_setup("running-example", 0, 0.0, 0)
+        serial = Explainer(db, question, attrs, shards=1)
+        sharded = Explainer(db, question, attrs, shards=3)
+        assert (
+            sharded.explanation_table("indexed").content_fingerprint()
+            == serial.explanation_table("indexed").content_fingerprint()
+        )
+
+
+class TestMergeTreeChecks:
+    def test_merges_counts_exactly(self):
+        merged = merge_shard_states(
+            [{("x",): 3, ("y",): 2}, {("x",): 1}, {("z",): 5}], (), True
+        )
+        assert merged == {("x",): 4, ("y",): 2, ("z",): 5}
+
+    def test_empty_input(self):
+        assert merge_shard_states([], (), True) == {}
+
+    def test_detects_lossy_merge(self, monkeypatch):
+        """A merge that drops a group must trip the conservation check
+        and raise ShardError rather than emit a silently wrong cube."""
+        from repro.parallel import executor
+
+        def lossy_merge(dst, src, aggregates, count_only):
+            src.pop(("y",), None)
+            for key, count in src.items():
+                dst[key] = dst.get(key, 0) + count
+
+        monkeypatch.setattr(executor, "merge_states", lossy_merge)
+        with pytest.raises(ShardError, match="lost or invented groups"):
+            merge_shard_states(
+                [{("x",): 3}, {("y",): 2}], (), True
+            )
+
+
+class TestProcessPool:
+    """Real spawn-pool round trips.  Kept to one small table and a
+    handful of calls: each worker is a fresh interpreter."""
+
+    @pytest.fixture(autouse=True)
+    def _teardown_pools(self):
+        yield
+        shutdown_pools()
+
+    def test_process_matches_serial_and_reuses_scatter(self, small_table):
+        serial = serial_cube(small_table, ["a"], AGGS)
+        session = ShardedCubeSession(
+            small_table, ["a"], shards=2, driver_key="k", mode="process"
+        )
+        assert _canon(session.cube(None, ["a"], AGGS)) == _canon(serial)
+        assert session._scattered
+        # Second call ships only predicates (scatter-once protocol).
+        where = Comparison("=", Col("b"), Const("b1"))
+        expected = serial_cube(small_table.filter(where), ["a"], AGGS)
+        assert _canon(session.cube(where, ["a"], AGGS)) == _canon(expected)
+
+    def test_worker_crash_degrades_to_serial(self, small_table):
+        """Kill one shard worker mid-run: the build must fall back to
+        serial execution with a RuntimeWarning, increment the fallback
+        counter, and produce a fingerprint-identical table."""
+        registry = get_registry()
+        counter = registry.counter(
+            "repro_shard_fallbacks_total",
+            labels={"reason": "BrokenProcessPool"},
+        )
+        before = counter.value
+        serial = serial_cube(small_table, ["a"], AGGS)
+        session = ShardedCubeSession(
+            small_table, ["a"], shards=2, driver_key="k", mode="process"
+        )
+        session._crash_shards = {1}
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = session.cube(None, ["a"], AGGS)
+        assert _canon(result) == _canon(serial)
+        assert counter.value == before + 1
+        # The discarded pool is rebuilt transparently on the next call.
+        assert _canon(session.cube(None, ["a"], AGGS)) == _canon(serial)
+
+
+class TestPickleContract:
+    def test_sentinels_survive_round_trip(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+        assert pickle.loads(pickle.dumps(DUMMY)) is DUMMY
+
+    def test_cube_task_round_trips(self):
+        task = CubeTask(
+            token="t-1",
+            shard=0,
+            dimensions=("a",),
+            aggregates=AGGS,
+            where=Comparison("=", Col("b"), Const(NULL)),
+            columns=("a", "b"),
+            data=((1, NULL), ("x", DUMMY)),
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.dimensions == ("a",)
+        assert clone.data[0][1] is NULL
+        assert clone.data[1][1] is DUMMY
+        assert clone.aggregates[0].kind == "count_distinct"

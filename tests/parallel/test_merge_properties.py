@@ -1,0 +1,118 @@
+"""Merge algebra properties (hypothesis): the exactness foundation.
+
+Partition-parallel cubes are exact because full-granularity base
+states merge associatively and commutatively for every supported
+aggregate, for *any* row partition — not just driver-key ones.  These
+properties pin that foundation directly against the serial pass.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.aggregates import (
+    agg_avg,
+    agg_max,
+    agg_min,
+    agg_sum,
+    count_distinct,
+    count_star,
+)
+from repro.engine.cube import base_states, cube, cube_from_base_states, merge_states
+from repro.engine.table import Table
+from repro.engine.types import NULL
+from repro.parallel import merge_shard_states
+
+dim_values = st.sampled_from(["a", "b", "c"])
+measure_values = st.one_of(st.integers(-5, 5), st.just(NULL))
+
+rows = st.lists(
+    st.tuples(dim_values, dim_values, measure_values), max_size=40
+)
+
+AGG_SETS = st.sampled_from(
+    [
+        (count_star(alias="n"),),
+        (count_distinct("v", alias="cd"),),
+        (agg_sum("v", alias="s"), agg_avg("v", alias="a")),
+        (agg_min("v", alias="lo"), agg_max("v", alias="hi")),
+        (count_star(alias="n"), count_distinct("v", alias="cd")),
+    ]
+)
+
+
+def _table(data):
+    cols = list(zip(*data)) if data else ((), (), ())
+    return Table.from_columns(
+        ["d1", "d2", "v"], [list(c) for c in cols], nrows=len(data)
+    )
+
+
+def _canon(table):
+    return sorted(tuple(map(repr, r)) for r in table.rows())
+
+
+def _states(data, aggs):
+    return base_states(_table(data), ["d1", "d2"], aggs)
+
+
+def _value_of(states, aggs, count_only):
+    """Render merged states comparably (accumulators lack __eq__)."""
+    out = {}
+    for key, state in states.items():
+        if count_only:
+            out[key] = state
+        else:
+            out[key] = tuple(acc.result() for acc in state)
+    return out
+
+
+@given(data=rows, cut=st.integers(0, 40), aggs=AGG_SETS)
+def test_partition_merge_equals_serial(data, cut, aggs):
+    """Merging the states of any 2-way row split == one serial pass."""
+    cut = min(cut, len(data))
+    whole, count_only = _states(data, aggs)
+    left, _ = _states(data[:cut], aggs)
+    right, _ = _states(data[cut:], aggs)
+    merge_states(left, right, aggs, count_only)
+    assert _value_of(left, aggs, count_only) == _value_of(
+        whole, aggs, count_only
+    )
+
+
+@given(
+    data=rows,
+    cuts=st.tuples(st.integers(0, 40), st.integers(0, 40)),
+    aggs=AGG_SETS,
+)
+def test_merge_associative_and_commutative(data, cuts, aggs):
+    """((A+B)+C) == (A+(B+C)) == ((C+B)+A) for any 3-way split."""
+    i, j = sorted(min(c, len(data)) for c in cuts)
+    parts = [data[:i], data[i:j], data[j:]]
+    _, count_only = _states(data, aggs)
+
+    def reduce_order(order):
+        states = [_states(parts[k], aggs)[0] for k in order]
+        acc = states[0]
+        for nxt in states[1:]:
+            merge_states(acc, nxt, aggs, count_only)
+        return _value_of(acc, aggs, count_only)
+
+    first = reduce_order([0, 1, 2])
+    assert reduce_order([2, 1, 0]) == first
+    assert reduce_order([1, 2, 0]) == first
+
+
+@given(data=rows, shards=st.integers(1, 5), aggs=AGG_SETS)
+def test_reduction_tree_matches_serial_cube(data, shards, aggs):
+    """merge_shard_states + cube_from_base_states == serial cube, for
+    an arbitrary (round-robin, not driver-key) row partition."""
+    serial = cube(_table(data), ["d1", "d2"], aggs)
+    parts = [data[k::shards] for k in range(shards)]
+    partials = []
+    count_only = True
+    for part in parts:
+        states, count_only = _states(part, aggs)
+        partials.append(states)
+    merged = merge_shard_states(partials, aggs, count_only)
+    parallel = cube_from_base_states(merged, ["d1", "d2"], aggs, count_only)
+    assert _canon(parallel) == _canon(serial)

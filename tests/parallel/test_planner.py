@@ -1,0 +1,119 @@
+"""Shard planner invariants: disjoint, complete, driver-key-complete,
+deterministic — for arbitrary value mixes including NULL/DUMMY and the
+int/float collapse the fingerprint canonicalization also performs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.table import Table
+from repro.engine.types import DUMMY, NULL
+from repro.errors import ShardError
+from repro.parallel import (
+    ShardPlan,
+    canonical_shard_bytes,
+    choose_driver_key,
+    plan_shards,
+    shard_of,
+)
+
+driver_values = st.one_of(
+    st.integers(-50, 50),
+    st.sampled_from(["x", "y", "z", ""]),
+    st.booleans(),
+    st.just(NULL),
+    st.just(DUMMY),
+    st.floats(allow_nan=False, allow_infinity=False, width=16),
+)
+
+
+def _table(keys):
+    return Table.from_columns(
+        ["k", "payload"],
+        [list(keys), list(range(len(keys)))],
+        nrows=len(keys),
+    )
+
+
+class TestCanonicalBytes:
+    def test_int_float_collapse(self):
+        assert canonical_shard_bytes(2) == canonical_shard_bytes(2.0)
+
+    def test_bool_is_not_int(self):
+        # bool is an int subclass; the canonical rendering must still
+        # keep True/1 apart so SQL backends and the engine agree.
+        assert canonical_shard_bytes(True) != canonical_shard_bytes(1)
+        assert canonical_shard_bytes(False) != canonical_shard_bytes(0)
+
+    def test_sentinels_distinct(self):
+        assert canonical_shard_bytes(NULL) != canonical_shard_bytes(DUMMY)
+        assert canonical_shard_bytes(NULL) != canonical_shard_bytes("N")
+
+    @given(value=driver_values, shards=st.integers(1, 8))
+    def test_shard_of_in_range_and_deterministic(self, value, shards):
+        first = shard_of(value, shards)
+        assert 0 <= first < shards
+        assert shard_of(value, shards) == first
+
+
+class TestPlanShards:
+    @given(keys=st.lists(driver_values, max_size=60), shards=st.integers(1, 5))
+    def test_disjoint_and_complete(self, keys, shards):
+        table = _table(keys)
+        plan = plan_shards(table, shards, "k")
+        assert isinstance(plan, ShardPlan)
+        assert sum(plan.sizes) == len(table)
+        # Every (key, payload) pair survives exactly once.
+        scattered = sorted(
+            (repr(k), p)
+            for sl in plan.slices
+            for k, p in zip(sl.column("k"), sl.column("payload"))
+        )
+        original = sorted(
+            (repr(k), p)
+            for k, p in zip(table.column("k"), table.column("payload"))
+        )
+        assert scattered == original
+
+    @given(keys=st.lists(driver_values, max_size=60), shards=st.integers(2, 5))
+    def test_driver_key_complete(self, keys, shards):
+        plan = plan_shards(_table(keys), shards, "k")
+        seen = {}
+        for i, sl in enumerate(plan.slices):
+            for value in sl.column("k"):
+                home = seen.setdefault(repr(value), i)
+                assert home == i, f"driver value {value!r} split across shards"
+
+    @given(keys=st.lists(driver_values, max_size=40), shards=st.integers(1, 4))
+    def test_deterministic(self, keys, shards):
+        a = plan_shards(_table(keys), shards, "k")
+        b = plan_shards(_table(keys), shards, "k")
+        for sa, sb in zip(a.slices, b.slices):
+            assert list(map(repr, sa.column("k"))) == list(
+                map(repr, sb.column("k"))
+            )
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ShardError):
+            plan_shards(_table(["a"]), 0, "k")
+
+    def test_empty_buckets_keep_columns(self):
+        plan = plan_shards(_table(["same"] * 5), 3, "k")
+        assert sum(1 for s in plan.slices if len(s)) == 1
+        for sl in plan.slices:
+            assert list(sl.columns) == ["k", "payload"]
+
+
+class TestChooseDriverKey:
+    def test_prefers_shared_distinct_argument(self):
+        assert (
+            choose_driver_key(("A.x",), ["P.pubid", "P.pubid"]) == "P.pubid"
+        )
+
+    def test_falls_back_to_first_attribute(self):
+        assert choose_driver_key(("A.x", "A.y"), ["P.a", "P.b"]) == "A.x"
+        assert choose_driver_key(("A.x",), [None]) == "A.x"
+
+    def test_requires_some_attribute(self):
+        with pytest.raises(ShardError):
+            choose_driver_key((), [None, None])

@@ -53,6 +53,7 @@ class TestHappyPath:
         assert "running-example" in body["datasets"]
         assert body["backends"]["memory"] is True
         assert body["backends"]["sqlite"] is True
+        assert body["shards"] >= 1
 
     def test_topk_matches_offline_and_cache_warms(self, live, client):
         first = client.topk(dataset="running-example", k=K)
@@ -92,6 +93,7 @@ class TestHappyPath:
         assert after["cache"]["hits"] >= before["cache"]["hits"]
         assert after["compute"]["tables_built"] >= 1
         assert "inflight" in after
+        assert after["shards"] >= 1
 
     def test_sqlite_backend_round_trip(self, client):
         response = client.topk(
