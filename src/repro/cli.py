@@ -388,6 +388,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_cache_entries=args.cache_entries,
         max_cache_bytes=int(args.cache_mb * 1024 * 1024),
         shards=args.shards,
+        refresh=args.refresh,
     )
     server = ExplanationServer(
         service,
@@ -403,8 +404,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"repro explanation service listening on {server.url}")
         print(f"  datasets: {', '.join(service.registry.names())}")
         print(f"  shards: {service.shards}")
+        print(f"  refresh: {service.refresh}")
         print(
-            "  endpoints: /v1/explain /v1/topk /v1/analyze "
+            "  endpoints: /v1/explain /v1/topk /v1/analyze /v1/mutate "
             "/v1/health /v1/stats /v1/metrics"
         )
         await server.serve_forever()
@@ -413,6 +415,56 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("shutting down")
+    return 0
+
+
+def cmd_mutate(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.client import ServiceClient
+    from .service.errors import ClientError
+
+    if args.mutations.startswith("@"):
+        with open(args.mutations[1:], "r", encoding="utf-8") as handle:
+            mutations = json.load(handle)
+    else:
+        mutations = json.loads(args.mutations)
+    if isinstance(mutations, dict):
+        mutations = [mutations]
+    params = json.loads(args.params) if args.params else None
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        response = client.mutate(
+            dataset=args.dataset, mutations=mutations, params=params
+        )
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    data = response.data
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{data['dataset']}: +{data['inserted']} -{data['deleted']} rows "
+        f"across {', '.join(data['relations'])}"
+    )
+    print(f"  fingerprint: {data['previous_fingerprint'][:12]} -> "
+          f"{data['fingerprint'][:12]}  (refresh: {data['refresh']})")
+    for patch in data.get("patched", ()):
+        if "error" in patch:
+            print(f"  plan {patch['question']!r}: "
+                  f"error {patch['error']['kind']}")
+            continue
+        line = f"  plan {patch['question']!r}: {patch['strategy']}"
+        if patch.get("reason"):
+            line += f" (reason: {patch['reason']})"
+        if patch["strategy"] == "patched":
+            line += (f", {patch['groups_touched']} groups via "
+                     f"{patch['delta_rows_added']}+/"
+                     f"{patch['delta_rows_removed']}- delta rows")
+        print(line)
+    if response.warning:
+        print(f"  warning: {response.warning}")
     return 0
 
 
@@ -601,7 +653,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=None,
                        help="worker processes per cube build "
                             "(default: REPRO_SHARDS, else 1 = serial)")
+    serve.add_argument("--refresh", choices=("full", "incremental"),
+                       default=None,
+                       help="cache refresh mode under mutations "
+                            "(default: REPRO_REFRESH, else full)")
     serve.set_defaults(func=cmd_serve)
+
+    mutate = sub.add_parser(
+        "mutate",
+        help="POST insert/delete batches to a running service "
+             "(/v1/mutate)",
+    )
+    mutate.add_argument("dataset", help="registered dataset name")
+    mutate.add_argument(
+        "--mutations", required=True,
+        help="JSON array of {relation, insert, delete} objects "
+             "(or one object), or @file.json",
+    )
+    mutate.add_argument("--params", default=None,
+                        help="dataset params as a JSON object")
+    mutate.add_argument("--host", default="127.0.0.1")
+    mutate.add_argument("--port", type=int, default=8722)
+    mutate.add_argument("--timeout", type=float, default=60.0)
+    mutate.add_argument("--json", action="store_true",
+                        help="print the raw response payload")
+    mutate.set_defaults(func=cmd_mutate)
 
     sql = sub.add_parser("sql", help="print SQL / datalog renderings")
     sql.add_argument("dataset", choices=DEMOS)

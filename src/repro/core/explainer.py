@@ -30,10 +30,20 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..analysis.analyzer import PlanCertificate
+    from ..incremental import IncrementalSession, RefreshStats
 
 from ..engine.database import Database
 from ..engine.table import Table
@@ -182,6 +192,7 @@ class Explainer:
             self.universal.position(attr)  # fail fast on unknown columns
         self._tables: Dict[str, ExplanationTable] = {}
         self._certificate: Optional["PlanCertificate"] = None
+        self._incremental: Optional["IncrementalSession"] = None
 
     # -- analysis -----------------------------------------------------------
 
@@ -366,6 +377,62 @@ class Explainer:
             aggregate_names=tuple(query.names),
             q_original=dict(evaluator.q_original),
         )
+
+    # -- incremental maintenance ------------------------------------------------
+
+    def apply_delta(
+        self,
+        mutations: Mapping[str, Mapping[str, Iterable[Sequence[Value]]]],
+        *,
+        method: str = "cube",
+    ) -> "RefreshStats":
+        """Mutate the database and refresh the table *M* incrementally.
+
+        *mutations* maps relation names to ``{"insert": rows,
+        "delete": rows}`` batches (deletes run first, so an update is a
+        delete+insert pair).  The first call sets up an
+        :class:`~repro.incremental.IncrementalSession` — one extra
+        table build — after which each delta is folded into the live
+        cube states in time proportional to the delta's universal
+        rows; non-additive plans or exactness violations fall back to
+        a full recompute (never a wrong table).
+
+        The explainer's derived state (universal table, cached tables,
+        certificate) is re-synced to the mutated instance, with the
+        refreshed table seeded under *method*, so subsequent
+        :meth:`top`/:meth:`explanation_table` calls serve the new
+        state.  Mutate the database only through this method while
+        using it — out-of-band writes before the first call escape the
+        session's mutation log.
+        """
+        from ..incremental import IncrementalSession
+
+        session = self._incremental
+        if session is None or session.method != method:
+            if session is not None:
+                session.close()
+            session = IncrementalSession(
+                self.database,
+                self.question,
+                self.attributes,
+                method=method,
+                support_threshold=self.support_threshold,
+                shards=self.shards,
+            )
+            self._incremental = session
+        for name, spec in mutations.items():
+            relation = self.database.relation(name)
+            relation.delete_many(tuple(spec.get("delete", ()) or ()))
+            relation.insert_many(tuple(spec.get("insert", ()) or ()))
+        stats = session.refresh()
+        # Derived state is stale after the writes: recompute the
+        # universal table, drop memoized tables and the certificate,
+        # and seed the refreshed M so reads skip a rebuild.
+        self.universal = universal_table(self.database, self.join_tree)
+        self._tables = {}
+        self._certificate = None
+        self._tables[self.resolve_method(method)] = session.table()
+        return stats
 
     # -- ranking ----------------------------------------------------------------
 

@@ -88,6 +88,29 @@ class Database:
         cached = getattr(self, "_fingerprint_cache", None)
         if cached is not None and cached[0] == token:
             return cached[1]
+        digest = self.fingerprint_from_digests(
+            {
+                name: (_row_digest(row) for row in self.relations[name].row_list())
+                for name in self.relation_names
+            }
+        )
+        self._fingerprint_cache = (token, digest)
+        return digest
+
+    def fingerprint_from_digests(
+        self, digests: Mapping[str, Iterable[bytes]]
+    ) -> str:
+        """The content fingerprint, given per-relation row digests.
+
+        ``digests`` maps every relation name to an iterable of
+        :func:`_row_digest` values (one per stored row, multiplicity
+        preserved).  Sorting the per-row digests keeps the result
+        independent of storage order, so this produces exactly the
+        hash :meth:`content_fingerprint` would compute from the rows
+        themselves — callers that maintain digests incrementally (the
+        incremental mutation log) can rebase in O(changed rows) and
+        :meth:`prime_fingerprint` the memo with the result.
+        """
         h = hashlib.sha256()
         h.update(str(self.schema).encode("utf-8"))
         for fk in self.schema.foreign_keys:
@@ -95,19 +118,26 @@ class Database:
         for name in self.relation_names:
             h.update(b"\x00R")
             h.update(name.encode("utf-8"))
-            # Hash via the relation's version-cached columnar snapshot;
-            # sorting the per-row digests keeps the result independent
-            # of storage order, so the digest is byte-identical to the
-            # row-set hash it replaces (the service cache keys depend
-            # on that stability).
-            row_digests = sorted(
-                _row_digest(row) for row in self.relations[name].row_list()
-            )
-            for digest in row_digests:
-                h.update(digest)
-        digest = h.hexdigest()
+            # sorted() is near-linear when the caller hands us an
+            # already-sorted list (the mutation log does); one joined
+            # update call keeps the hashing itself at C speed.
+            h.update(b"".join(sorted(digests[name])))
+        return h.hexdigest()
+
+    def prime_fingerprint(self, digest: str) -> None:
+        """Seed the fingerprint memo with an externally computed digest.
+
+        The caller asserts ``digest`` equals what
+        :meth:`content_fingerprint` would return for the current
+        contents; subsequent calls then return it without re-hashing
+        every row.  Used by the incremental mutation log, which tracks
+        row digests as mutations arrive.
+        """
+        token = tuple(
+            (name, id(rel), rel.version, len(rel))
+            for name, rel in ((n, self.relations[n]) for n in self.relation_names)
+        )
         self._fingerprint_cache = (token, digest)
-        return digest
 
     # -- integrity --------------------------------------------------------
 

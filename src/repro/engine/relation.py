@@ -12,20 +12,46 @@ paper's scaling experiments.
 from __future__ import annotations
 
 from typing import (
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
 from ..errors import IntegrityError
 from .schema import RelationSchema
 from .types import Row, Value, is_null, sort_key
+
+#: Signature of a mutation subscriber: ``(relation, inserted, deleted)``.
+#: Each call describes one *effective* batch — rows that were actually
+#: added and rows that were actually removed, never no-ops.
+MutationSubscriber = Callable[["Relation", Tuple[Row, ...], Tuple[Row, ...]], None]
+
+#: A row predicate: either a callable over an attribute->value mapping
+#: or a boolean :class:`~repro.engine.expressions.Expression`.
+RowPredicate = Union[Callable[[Mapping[str, Value]], bool], object]
+
+
+def _as_env_predicate(
+    predicate: RowPredicate,
+) -> Callable[[Mapping[str, Value]], bool]:
+    """Normalize *predicate* to a callable over attribute environments."""
+    evaluate = getattr(predicate, "evaluate", None)
+    if evaluate is not None and not callable(predicate):
+        return lambda env: bool(evaluate(env))
+    if callable(predicate):
+        return lambda env: bool(predicate(env))
+    raise TypeError(
+        "predicate must be callable or an Expression with .evaluate()"
+    )
 
 
 class Relation:
@@ -50,6 +76,7 @@ class Relation:
         # rebuilt lazily after any mutation.  Never mutated in place,
         # so Tables built from it keep a consistent zero-copy view.
         self._columnar: Optional[Tuple[int, List[Row], List[List[Value]]]] = None
+        self._subscribers: List[MutationSubscriber] = []
         if rows is not None:
             self.insert_many(rows)
 
@@ -139,22 +166,50 @@ class Relation:
         """One attribute's values aligned with :meth:`row_list`."""
         return self.column_arrays()[self.schema.index_of(attribute)]
 
+    # -- mutation subscribers ---------------------------------------------
+
+    def subscribe(self, callback: MutationSubscriber) -> None:
+        """Register *callback* to receive effective mutation batches.
+
+        After every successful mutating call the relation invokes each
+        subscriber once as ``callback(relation, inserted, deleted)``
+        with the rows that were *actually* added/removed — silent
+        no-ops (re-inserts, deletes of absent rows) are excluded, so a
+        subscriber that replays the batches reconstructs the relation
+        exactly.  This is the capture point for
+        :class:`repro.incremental.MutationLog`.
+        """
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: MutationSubscriber) -> None:
+        """Remove a previously registered subscriber (no-op if absent)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify(
+        self, inserted: Sequence[Row], deleted: Sequence[Row]
+    ) -> None:
+        if not self._subscribers or (not inserted and not deleted):
+            return
+        ins = tuple(inserted)
+        dels = tuple(deleted)
+        for callback in list(self._subscribers):
+            callback(self, ins, dels)
+
     # -- mutation --------------------------------------------------------
 
-    def insert(self, row: Sequence[Value]) -> bool:
-        """Insert one row; returns True if it was new.
-
-        Raises :class:`IntegrityError` on arity mismatch or when a
-        *different* row with the same primary key already exists.
-        Re-inserting an identical row is a silent no-op.
-        """
+    def _insert_row(self, row: Sequence[Value]) -> Optional[Row]:
+        """Insert core without notification; the new row, or None."""
         tup = tuple(row)
         if len(tup) != self.arity:
             raise IntegrityError(
                 f"{self.name}: row arity {len(tup)} != schema arity {self.arity}"
             )
         if tup in self._rows:
-            return False
+            return None
         key = self._pk_of(tup)
         existing = self._pk_index.get(key)
         if existing is not None and existing != tup:
@@ -166,41 +221,146 @@ class Relation:
         self._pk_index[key] = tup
         self._secondary.clear()
         self._version += 1
-        return True
+        return tup
 
-    def insert_many(self, rows: Iterable[Sequence[Value]]) -> int:
-        """Insert many rows; returns the number actually added."""
-        added = 0
-        for row in rows:
-            if self.insert(row):
-                added += 1
-        return added
-
-    def delete(self, row: Sequence[Value]) -> bool:
-        """Delete one row; returns True if it was present."""
+    def _delete_row(self, row: Sequence[Value]) -> Optional[Row]:
+        """Delete core without notification; the removed row, or None."""
         tup = tuple(row)
         if tup not in self._rows:
-            return False
+            return None
         self._rows.discard(tup)
         self._pk_index.pop(self._pk_of(tup), None)
         self._secondary.clear()
         self._version += 1
+        return tup
+
+    def insert(self, row: Sequence[Value]) -> bool:
+        """Insert one row; returns True if it was new.
+
+        Raises :class:`IntegrityError` on arity mismatch or when a
+        *different* row with the same primary key already exists.
+        Re-inserting an identical row is a silent no-op.
+        """
+        tup = self._insert_row(row)
+        if tup is None:
+            return False
+        self._notify((tup,), ())
+        return True
+
+    def insert_many(self, rows: Iterable[Sequence[Value]]) -> int:
+        """Insert many rows; returns the number actually added.
+
+        Subscribers see the whole call as one batch — including the
+        rows added before a mid-batch :class:`IntegrityError`, so
+        mutation logs never miss an effective insert.
+        """
+        added = []
+        try:
+            for row in rows:
+                tup = self._insert_row(row)
+                if tup is not None:
+                    added.append(tup)
+        finally:
+            self._notify(added, ())
+        return len(added)
+
+    def delete(self, row: Sequence[Value]) -> bool:
+        """Delete one row; returns True if it was present."""
+        tup = self._delete_row(row)
+        if tup is None:
+            return False
+        self._notify((), (tup,))
         return True
 
     def delete_many(self, rows: Iterable[Sequence[Value]]) -> int:
-        """Delete many rows; returns the number actually removed."""
-        removed = 0
-        for row in rows:
-            if self.delete(row):
-                removed += 1
-        return removed
+        """Delete many rows; returns the number actually removed.
+
+        Subscribers see the whole call as one batch.
+        """
+        removed = []
+        try:
+            for row in rows:
+                tup = self._delete_row(row)
+                if tup is not None:
+                    removed.append(tup)
+        finally:
+            self._notify((), removed)
+        return len(removed)
 
     def clear(self) -> None:
         """Remove all rows."""
+        dropped = tuple(self._rows)
         self._rows.clear()
         self._pk_index.clear()
         self._secondary.clear()
         self._version += 1
+        self._notify((), dropped)
+
+    def _env_of(self, row: Row) -> Dict[str, Value]:
+        return dict(zip(self.schema.attribute_names, row))
+
+    def delete_where(self, predicate: RowPredicate) -> List[Row]:
+        """Delete every row matching *predicate*; the deleted rows.
+
+        *predicate* is either a callable over an attribute->value
+        mapping or a boolean expression
+        (:class:`~repro.engine.expressions.Expression`).  Subscribers
+        see the whole call as one batch.
+        """
+        test = _as_env_predicate(predicate)
+        matched = [row for row in self._rows if test(self._env_of(row))]
+        for row in matched:
+            self._delete_row(row)
+        self._notify((), matched)
+        return matched
+
+    def update_where(
+        self,
+        predicate: RowPredicate,
+        assignments: Mapping[str, Union[Value, Callable[[Mapping[str, Value]], Value]]],
+    ) -> List[Row]:
+        """Rewrite every row matching *predicate*; the new rows.
+
+        *assignments* maps attribute names to replacement values, or to
+        callables computing the replacement from the row's
+        attribute->value environment.  The update is applied as one
+        delete+insert batch (subscribers see it as a single
+        notification); rows the assignments leave unchanged are
+        untouched.  On a primary-key conflict the relation is rolled
+        back to its pre-call state and :class:`IntegrityError`
+        propagates.
+        """
+        positions = {
+            self.schema.index_of(name): value
+            for name, value in assignments.items()
+        }
+        test = _as_env_predicate(predicate)
+        pairs: List[Tuple[Row, Row]] = []
+        for row in self._rows:
+            env = self._env_of(row)
+            if not test(env):
+                continue
+            values = list(row)
+            for position, value in positions.items():
+                values[position] = value(env) if callable(value) else value
+            new_row = tuple(values)
+            if new_row != row:
+                pairs.append((row, new_row))
+        for old_row, _ in pairs:
+            self._delete_row(old_row)
+        inserted: List[Row] = []
+        try:
+            for _, new_row in pairs:
+                if self._insert_row(new_row) is not None:
+                    inserted.append(new_row)
+        except IntegrityError:
+            for row in inserted:
+                self._delete_row(row)
+            for old_row, _ in pairs:
+                self._insert_row(old_row)
+            raise
+        self._notify(inserted, [old for old, _ in pairs])
+        return inserted
 
     # -- lookups ---------------------------------------------------------
 

@@ -71,6 +71,24 @@ class ShardError(ReproError):
     """
 
 
+class IncrementalError(ReproError):
+    """An incremental patch cannot be applied exactly.
+
+    Raised by :mod:`repro.incremental` when a delta violates the
+    conditions for exact maintenance — a retraction of an unknown
+    group, a negative count after retraction (conservation failure), a
+    float-valued SUM (retraction is not exact under floating point), or
+    a NULL dimension value that the cold cube build would also reject.
+    :class:`~repro.incremental.IncrementalSession` catches this and
+    falls back to a full recompute; the ``reason`` attribute labels the
+    ``repro_incremental_fallbacks_total`` counter.
+    """
+
+    def __init__(self, message: str, *, reason: str = "conservation") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class ConvergenceError(ReproError):
     """The fixpoint loop exceeded its iteration budget.
 

@@ -1,0 +1,37 @@
+"""Incremental explanation maintenance (delta cubes).
+
+The cold pipeline computes explanation tables over a frozen instance;
+this package keeps them warm under writes.  Three pieces:
+
+* :class:`MutationLog` — typed capture of insert/delete batches per
+  relation, via the :meth:`Relation.subscribe
+  <repro.engine.relation.Relation.subscribe>` API.
+* :class:`DeltaCubeBuilder` — invertible per-key cube states that
+  fold a net delta in time proportional to the delta's universal
+  rows, sharing the conservation-checked merge algebra of
+  :mod:`repro.parallel`.
+* :class:`IncrementalSession` — the patched-state lifecycle: refresh,
+  verification, and graceful fallback to full recompute (warning +
+  ``repro_incremental_fallbacks_total{reason}``) on any non-additive
+  plan or exactness violation.
+
+Layering: ``engine < parallel < incremental < core`` — this package
+is stdlib-only and imports :mod:`repro.core` / :mod:`repro.analysis`
+only inside functions (table finalization, certification, cold
+fallback builds).  See ``docs/incremental.md`` for the delta
+protocol, exactness conditions, and fallback semantics.
+"""
+
+from .delta import PATCHABLE_KINDS, DeltaApplyStats, DeltaCubeBuilder
+from .log import MutationBatch, MutationLog
+from .session import IncrementalSession, RefreshStats
+
+__all__ = [
+    "PATCHABLE_KINDS",
+    "DeltaApplyStats",
+    "DeltaCubeBuilder",
+    "MutationBatch",
+    "MutationLog",
+    "IncrementalSession",
+    "RefreshStats",
+]

@@ -24,7 +24,13 @@ reproduction into that serving system, with stdlib-only dependencies:
 Start a server with ``python -m repro serve``; see ``docs/service.md``.
 """
 
-from .cache import CacheStats, ExplanationTableCache, estimate_table_bytes
+from .cache import (
+    REFRESH_MODES,
+    CacheStats,
+    ExplanationTableCache,
+    estimate_table_bytes,
+    incremental_key,
+)
 from .client import ServiceClient, ServiceResponse
 from .coalescer import SingleFlight
 from .engine import ExplanationService, ServiceResult, rank_table
@@ -36,7 +42,13 @@ from .errors import (
     RequestTimeoutError,
     ServiceError,
 )
-from .protocol import QuestionSpec, ServiceRequest, ranking_payload
+from .protocol import (
+    MutateRequest,
+    MutationSpec,
+    QuestionSpec,
+    ServiceRequest,
+    ranking_payload,
+)
 from .registry import DatasetRegistry, ResolvedDataset
 from .server import BackgroundServer, ExplanationServer
 
@@ -49,9 +61,12 @@ __all__ = [
     "ExplanationServer",
     "ExplanationService",
     "ExplanationTableCache",
+    "MutateRequest",
+    "MutationSpec",
     "NotFoundError",
     "PayloadTooLargeError",
     "QuestionSpec",
+    "REFRESH_MODES",
     "RequestTimeoutError",
     "ResolvedDataset",
     "ServiceClient",
@@ -61,6 +76,7 @@ __all__ = [
     "ServiceResult",
     "SingleFlight",
     "estimate_table_bytes",
+    "incremental_key",
     "rank_table",
     "ranking_payload",
 ]

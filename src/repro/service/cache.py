@@ -19,6 +19,7 @@ mirrored as ``repro_cache_*`` Prometheus series for ``/v1/metrics``.
 
 from __future__ import annotations
 
+import hashlib
 import sys
 import threading
 from collections import OrderedDict
@@ -29,6 +30,24 @@ from ..core.cube_algorithm import ExplanationTable
 from ..obs import MetricsRegistry
 
 _SIZE_OVERHEAD = 256  # flat per-entry allowance for wrapper objects
+
+#: Valid cache refresh modes: ``"full"`` (mutations age entries out via
+#: new fingerprints) or ``"incremental"`` (the service patches tables
+#: in place and re-inserts them under the successor plan fingerprint).
+REFRESH_MODES = ("full", "incremental")
+
+
+def incremental_key(base_fingerprint: str, chain_key: str) -> str:
+    """The cache address of a patched table: (base plan, delta chain).
+
+    In ``refresh="incremental"`` mode a patched entry is content-equal
+    to the cold table of the *successor* plan, so the service inserts
+    it under both the successor plan fingerprint (where future
+    requests look) and this derived key (which names the patch lineage
+    for observability and invalidation).
+    """
+    text = "\x1f".join((base_fingerprint, chain_key))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def estimate_table_bytes(m: ExplanationTable) -> int:
@@ -61,6 +80,9 @@ class CacheStats:
     current_bytes: int
     max_entries: int
     max_bytes: int
+    #: Entries by origin: built cold vs. patched incrementally.
+    built_entries: int = 0
+    patched_entries: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -71,6 +93,8 @@ class CacheStats:
             "current_bytes": self.current_bytes,
             "max_entries": self.max_entries,
             "max_bytes": self.max_bytes,
+            "built_entries": self.built_entries,
+            "patched_entries": self.patched_entries,
         }
 
 
@@ -90,15 +114,24 @@ class ExplanationTableCache:
         max_entries: int = 256,
         max_bytes: int = 256 * 1024 * 1024,
         metrics: Optional[MetricsRegistry] = None,
+        refresh: str = "full",
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         if max_bytes < 1:
             raise ValueError("max_bytes must be >= 1")
+        if refresh not in REFRESH_MODES:
+            raise ValueError(
+                f"refresh must be one of {REFRESH_MODES}, got {refresh!r}"
+            )
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        #: How entries follow database mutations: ``"full"`` entries
+        #: are immutable and age out; ``"incremental"`` entries may be
+        #: patched copies inserted by the service's mutate path.
+        self.refresh = refresh
         self._lock = threading.RLock()
-        self._entries: "OrderedDict[str, Tuple[ExplanationTable, int]]" = (
+        self._entries: "OrderedDict[str, Tuple[ExplanationTable, int, str]]" = (
             OrderedDict()
         )
         self._current_bytes = 0
@@ -125,11 +158,28 @@ class ExplanationTableCache:
                 "repro_cache_bytes",
                 help="Estimated resident bytes of cached tables.",
             )
+            self._m_built = metrics.gauge(
+                "repro_cache_built_entries",
+                help="Cached tables that were built cold.",
+            )
+            self._m_patched = metrics.gauge(
+                "repro_cache_patched_entries",
+                help="Cached tables that were patched incrementally.",
+            )
+
+    def _origin_counts_locked(self) -> Tuple[int, int]:
+        built = sum(
+            1 for (_, _, origin) in self._entries.values() if origin == "built"
+        )
+        return built, len(self._entries) - built
 
     def _sync_occupancy_locked(self) -> None:
         if self._metrics is not None:
             self._m_entries.set(len(self._entries))
             self._m_bytes.set(self._current_bytes)
+            built, patched = self._origin_counts_locked()
+            self._m_built.set(built)
+            self._m_patched.set(patched)
 
     # -- lookup -----------------------------------------------------------
 
@@ -169,13 +219,21 @@ class ExplanationTableCache:
 
     # -- insertion / eviction ---------------------------------------------
 
-    def put(self, key: str, table: ExplanationTable) -> bool:
+    def put(
+        self, key: str, table: ExplanationTable, *, origin: str = "built"
+    ) -> bool:
         """Insert (or refresh) *key*; returns False when not cacheable.
+
+        ``origin`` tags how the table came to be — ``"built"`` (cold
+        compute) or ``"patched"`` (incremental delta application) —
+        for the patched-vs-rebuilt occupancy counts.
 
         A table bigger than the whole byte budget is refused outright —
         admitting it would flush every other entry for a value that can
         never be joined by a second one.
         """
+        if origin not in ("built", "patched"):
+            raise ValueError(f"origin must be 'built' or 'patched', got {origin!r}")
         size = estimate_table_bytes(table)
         with self._lock:
             if size > self.max_bytes:
@@ -183,7 +241,7 @@ class ExplanationTableCache:
             old = self._entries.pop(key, None)
             if old is not None:
                 self._current_bytes -= old[1]
-            self._entries[key] = (table, size)
+            self._entries[key] = (table, size, origin)
             self._current_bytes += size
             self._evict_locked()
             self._sync_occupancy_locked()
@@ -193,7 +251,7 @@ class ExplanationTableCache:
         while len(self._entries) > self.max_entries or (
             self._current_bytes > self.max_bytes and self._entries
         ):
-            _, (_, size) = self._entries.popitem(last=False)
+            _, (_, size, _) = self._entries.popitem(last=False)
             self._current_bytes -= size
             self._evictions += 1
             if self._metrics is not None:
@@ -221,6 +279,7 @@ class ExplanationTableCache:
     def stats(self) -> CacheStats:
         """A consistent snapshot of the counters and occupancy."""
         with self._lock:
+            built, patched = self._origin_counts_locked()
             return CacheStats(
                 hits=self._hits,
                 misses=self._misses,
@@ -229,6 +288,8 @@ class ExplanationTableCache:
                 current_bytes=self._current_bytes,
                 max_entries=self.max_entries,
                 max_bytes=self.max_bytes,
+                built_entries=built,
+                patched_entries=patched,
             )
 
     def __repr__(self) -> str:

@@ -141,6 +141,27 @@ class ServiceClient:
             raise_on_error=raise_on_error,
         )
 
+    def mutate(
+        self,
+        *,
+        dataset: str,
+        mutations: list,
+        params: Optional[Mapping] = None,
+        raise_on_error: bool = True,
+    ) -> ServiceResponse:
+        """POST ``/v1/mutate``: batch inserts/deletes against *dataset*.
+
+        *mutations* is a list of ``{"relation": name, "insert": [rows],
+        "delete": [rows]}`` objects; rows are JSON arrays of scalars
+        (``null`` marks the engine NULL).
+        """
+        body: Dict[str, object] = {"dataset": dataset, "mutations": mutations}
+        if params:
+            body["params"] = dict(params)
+        return self._checked(
+            "POST", "/v1/mutate", body, raise_on_error=raise_on_error
+        )
+
 
 def _build_body(fields: Dict[str, object]) -> Dict[str, object]:
     """Normalize convenience forms into the wire-protocol body."""

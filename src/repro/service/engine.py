@@ -24,9 +24,11 @@ computation" property is directly observable.
 
 from __future__ import annotations
 
+import os
+import re
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .._version import __version__
@@ -53,16 +55,22 @@ from ..core.parsing import parse_question
 from ..core.question import UserQuestion
 from ..core.topk import RankedExplanation, top_k_explanations
 from ..errors import ExplanationError, ReproError
+from ..incremental import IncrementalSession
 from ..obs import (
     Counter as MetricCounter,
     MetricsRegistry,
     get_registry,
     render_prometheus,
 )
-from .cache import ExplanationTableCache
+from .cache import REFRESH_MODES, ExplanationTableCache
 from .coalescer import SingleFlight
 from .errors import BadRequestError, ServiceError
-from .protocol import ServiceRequest, jsonable_value, ranking_payload
+from .protocol import (
+    MutateRequest,
+    ServiceRequest,
+    jsonable_value,
+    ranking_payload,
+)
 from .registry import DatasetRegistry, ResolvedDataset
 
 
@@ -195,6 +203,34 @@ class ServiceResult:
     warnings: Tuple[str, ...] = ()
 
 
+@dataclass
+class _TrackedSession:
+    """One live incremental session plus the plan template it serves.
+
+    The template re-derives the successor plan fingerprint after each
+    mutation (only ``database_fingerprint`` changes), so patched tables
+    land in the cache exactly where the next request will look.
+    """
+
+    session: IncrementalSession
+    dataset_key: Tuple[str, Tuple[Tuple[str, object], ...]]
+    question: str  # canonical question_key text
+    attributes: Tuple[str, ...]
+    method: str
+    support_threshold: Optional[float]
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def plan_fingerprint(self, database_fingerprint: str) -> str:
+        return ExplanationPlan(
+            database_fingerprint=database_fingerprint,
+            question=self.question,
+            attributes=self.attributes,
+            method=self.method,
+            backend="memory",
+            support_threshold=self.support_threshold,
+        ).fingerprint
+
+
 class ExplanationService:
     """Compute-once-serve-many explanations over registered datasets."""
 
@@ -207,10 +243,23 @@ class ExplanationService:
         max_cache_bytes: int = 256 * 1024 * 1024,
         metrics: Optional[MetricsRegistry] = None,
         shards: Optional[int] = None,
+        refresh: Optional[str] = None,
     ) -> None:
         from ..parallel import resolve_shard_count
 
         self.registry = registry if registry is not None else DatasetRegistry()
+        #: How cached tables follow database mutations: explicit arg,
+        #: else the ``REPRO_REFRESH`` environment variable, else
+        #: ``"full"``.  Under ``"incremental"`` the service keeps an
+        #: :class:`~repro.incremental.IncrementalSession` per built
+        #: cube plan and ``mutate()`` patches tables in place.
+        if refresh is None:
+            refresh = os.environ.get("REPRO_REFRESH", "full") or "full"
+        if refresh not in REFRESH_MODES:
+            raise ValueError(
+                f"refresh must be one of {REFRESH_MODES}, got {refresh!r}"
+            )
+        self.refresh = refresh
         #: Shard count for cube builds: explicit arg, else the
         #: ``REPRO_SHARDS`` environment variable, else 1 (serial).
         #: Results are content-identical at any shard count, so shards
@@ -227,10 +276,17 @@ class ExplanationService:
                 max_entries=max_cache_entries,
                 max_bytes=max_cache_bytes,
                 metrics=self.metrics,
+                refresh=self.refresh,
             )
         )
         self.flights = SingleFlight(metrics=self.metrics)
         self.counters = Counters(self.metrics)
+        # Incremental sessions keyed by plan template (dataset, question,
+        # attributes, method, support); _mutate_lock serializes writes so
+        # one refresh sees one consistent net delta.
+        self._sessions: Dict[tuple, _TrackedSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._mutate_lock = threading.Lock()
 
     # -- resolution ---------------------------------------------------------
 
@@ -356,6 +412,78 @@ class ExplanationService:
                 raise BadRequestError(str(exc), kind=_kind_of(exc)) from exc
             raise
 
+    def _session_key(self, prepared: PreparedRequest) -> tuple:
+        return (
+            prepared.dataset.name,
+            tuple(sorted(dict(prepared.dataset.params).items())),
+            question_key(prepared.question),
+            prepared.attributes,
+            prepared.method,
+            prepared.request.support_threshold,
+        )
+
+    def _incremental_eligible(self, prepared: PreparedRequest) -> bool:
+        """Plans the mutate path keeps warm: in-memory cube builds.
+
+        Other methods (naive/exact/indexed) stay on the cold path —
+        after a mutation their fingerprints change and the next request
+        rebuilds on a normal cache miss.
+        """
+        return (
+            self.refresh == "incremental"
+            and prepared.method == "cube"
+            and prepared.backend_name == "memory"
+        )
+
+    def _incremental_table(
+        self, prepared: PreparedRequest, warnings_out: List[str]
+    ) -> Tuple[ExplanationTable, str]:
+        """(table, origin) from a new-or-existing incremental session."""
+        key = self._session_key(prepared)
+        with self._sessions_lock:
+            tracked = self._sessions.get(key)
+        if tracked is None:
+            try:
+                session = IncrementalSession(
+                    prepared.dataset.database,
+                    prepared.question,
+                    prepared.attributes,
+                    method=prepared.method,
+                    support_threshold=prepared.request.support_threshold,
+                    shards=self.shards,
+                    metrics=self.metrics,
+                )
+            except ReproError as exc:
+                raise BadRequestError(str(exc), kind=_kind_of(exc)) from exc
+            candidate = _TrackedSession(
+                session=session,
+                dataset_key=(
+                    prepared.dataset.name,
+                    tuple(sorted(dict(prepared.dataset.params).items())),
+                ),
+                question=question_key(prepared.question),
+                attributes=prepared.attributes,
+                method=prepared.method,
+                support_threshold=prepared.request.support_threshold,
+            )
+            with self._sessions_lock:
+                tracked = self._sessions.setdefault(key, candidate)
+            if tracked is not candidate:
+                session.close()  # lost a registration race
+        with tracked.lock:
+            try:
+                table = tracked.session.table()
+            except ReproError as exc:
+                raise BadRequestError(str(exc), kind=_kind_of(exc)) from exc
+            stats = tracked.session.last_stats
+        origin = "patched" if stats and stats.strategy == "patched" else "built"
+        if stats is not None and stats.strategy == "rebuilt":
+            warnings_out.append(
+                "incremental refresh fell back to full recompute "
+                f"(reason: {stats.reason})"
+            )
+        return table, origin
+
     def table_for(
         self, request: ServiceRequest
     ) -> Tuple[PreparedRequest, ExplanationTable, str, Tuple[str, ...]]:
@@ -371,9 +499,17 @@ class ExplanationService:
             existing = self.cache.peek(key)
             if existing is not None:
                 return existing
-            table = self._build_table(prepared, runtime_warnings)
+            if self._incremental_eligible(prepared):
+                table, origin = self._incremental_table(
+                    prepared, runtime_warnings
+                )
+            else:
+                table, origin = (
+                    self._build_table(prepared, runtime_warnings),
+                    "built",
+                )
             self.counters.inc("compute.tables_built")
-            self.cache.put(key, table)
+            self.cache.put(key, table, origin=origin)
             return table
 
         table, leader = self.flights.do(key, compute)
@@ -474,6 +610,127 @@ class ExplanationService:
         }
         return ServiceResult(payload, "none", prepared.static_warnings)
 
+    def mutate(self, request: MutateRequest) -> ServiceResult:
+        """Apply insert/delete batches to a dataset (``/v1/mutate``).
+
+        Deletes run before inserts within each mutation spec.  Under
+        ``refresh="incremental"`` every live session for the dataset is
+        refreshed immediately and its (patched or rebuilt) table is
+        re-inserted under the successor plan fingerprint, so the next
+        read is a cache hit; under ``"full"`` the mutation just changes
+        the content fingerprint and stale entries age out via LRU.
+        """
+        dataset = self.registry.resolve(request.dataset, dict(request.params))
+        database = dataset.database
+        warnings_out: List[str] = []
+        with self._mutate_lock:
+            old_fingerprint = database.content_fingerprint()
+            inserted = deleted = 0
+            touched: List[str] = []
+            for spec in request.mutations:
+                try:
+                    relation = database.relation(spec.relation)
+                except ReproError as exc:
+                    raise BadRequestError(
+                        str(exc), kind=_kind_of(exc)
+                    ) from exc
+                for row in spec.insert + spec.delete:
+                    if len(row) != relation.arity:
+                        raise BadRequestError(
+                            f"{spec.relation}: row arity {len(row)} != "
+                            f"schema arity {relation.arity}"
+                        )
+                try:
+                    deleted += relation.delete_many(spec.delete)
+                    inserted += relation.insert_many(spec.insert)
+                except ReproError as exc:
+                    raise BadRequestError(
+                        str(exc), kind=_kind_of(exc)
+                    ) from exc
+                touched.append(spec.relation)
+            self.counters.inc("mutate.batches", len(request.mutations))
+            self.counters.inc("mutate.rows_inserted", inserted)
+            self.counters.inc("mutate.rows_deleted", deleted)
+            # Refresh sessions BEFORE computing the new fingerprint:
+            # each session's log checkpoint rebases incrementally and
+            # primes the database fingerprint memo, so the call below
+            # is O(1) instead of a full content re-hash.
+            patched = self._refresh_sessions(dataset, warnings_out)
+            new_fingerprint = database.content_fingerprint()
+        payload: Dict[str, object] = {
+            "dataset": dataset.name,
+            "params": dict(dataset.params),
+            "fingerprint": new_fingerprint,
+            "previous_fingerprint": old_fingerprint,
+            "inserted": inserted,
+            "deleted": deleted,
+            "relations": touched,
+            "refresh": self.refresh,
+            "patched": patched,
+        }
+        return ServiceResult(payload, "none", tuple(warnings_out))
+
+    def _refresh_sessions(
+        self,
+        dataset: ResolvedDataset,
+        warnings_out: List[str],
+    ) -> List[Dict[str, object]]:
+        """Refresh every session serving *dataset*; re-cache the tables."""
+        if self.refresh != "incremental":
+            return []
+        dataset_key = (
+            dataset.name,
+            tuple(sorted(dict(dataset.params).items())),
+        )
+        with self._sessions_lock:
+            live = [
+                (key, tracked)
+                for key, tracked in self._sessions.items()
+                if tracked.dataset_key == dataset_key
+            ]
+        patched: List[Dict[str, object]] = []
+        for key, tracked in live:
+            entry: Dict[str, object] = {
+                "question": tracked.question,
+                "attributes": list(tracked.attributes),
+                "method": tracked.method,
+            }
+            try:
+                with tracked.lock:
+                    stats = tracked.session.refresh()
+                    table = tracked.session.table()
+            except ReproError as exc:
+                # The successor plan itself fails (e.g. a count_distinct
+                # verdict flip made a cube plan non-additive).  The
+                # mutation stands; the session is dropped and the next
+                # request surfaces the error through the normal path.
+                with self._sessions_lock:
+                    if self._sessions.get(key) is tracked:
+                        del self._sessions[key]
+                tracked.session.close()
+                entry["error"] = {"kind": _kind_of(exc), "message": str(exc)}
+                warnings_out.append(
+                    f"incremental refresh failed for plan "
+                    f"{tracked.question!r}: {exc}"
+                )
+                patched.append(entry)
+                continue
+            origin = "patched" if stats.strategy == "patched" else "built"
+            self.cache.put(
+                tracked.plan_fingerprint(stats.fingerprint),
+                table,
+                origin=origin,
+            )
+            self.counters.inc("mutate.refreshes")
+            if stats.strategy == "rebuilt":
+                warnings_out.append(
+                    "incremental refresh fell back to full recompute "
+                    f"(reason: {stats.reason})"
+                )
+            entry.update(stats.to_dict())
+            patched.append(entry)
+        return patched
+
     def _base_payload(
         self, prepared: PreparedRequest, table: ExplanationTable
     ) -> Dict[str, object]:
@@ -509,8 +766,38 @@ class ExplanationService:
             "requests": nested["requests"],
             "compute": nested["compute"],
             "cache": self.cache.stats().to_dict(),
+            "incremental": self._incremental_stats(),
             "inflight": self.flights.inflight(),
             "shards": self.shards,
+        }
+
+    def _incremental_stats(self) -> Dict[str, object]:
+        """The ``incremental`` block of ``/v1/stats``.
+
+        Patch/fallback totals are read back from the metrics registry —
+        the sessions increment ``repro_incremental_*`` counters there —
+        so the JSON stats and ``/v1/metrics`` can never disagree.
+        """
+        patches = 0
+        fallbacks: Dict[str, int] = {}
+        for name, value in self.metrics.snapshot().items():
+            if name == "repro_incremental_patches_total":
+                patches = int(value)
+            elif name.startswith("repro_incremental_fallbacks_total"):
+                match = re.search(r'reason="([^"]*)"', name)
+                reason = match.group(1) if match else "unknown"
+                fallbacks[reason] = fallbacks.get(reason, 0) + int(value)
+        with self._sessions_lock:
+            sessions = len(self._sessions)
+            patchable = sum(
+                1 for t in self._sessions.values() if t.session.patchable
+            )
+        return {
+            "mode": self.refresh,
+            "sessions": sessions,
+            "patchable_sessions": patchable,
+            "patches": patches,
+            "fallbacks": fallbacks,
         }
 
     def metrics_text(self) -> str:
@@ -535,4 +822,5 @@ class ExplanationService:
                 name: name in available for name in backend_names()
             },
             "shards": self.shards,
+            "refresh": self.refresh,
         }

@@ -44,7 +44,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.explainer import AUTO_METHOD, METHODS
 from ..core.topk import RankedExplanation
-from ..engine.types import Value, is_dummy, is_null
+from ..engine.types import NULL, Value, is_dummy, is_null
 from .errors import BadRequestError
 
 DEGREES = ("intervention", "aggravation", "hybrid")
@@ -202,6 +202,118 @@ _KNOWN_FIELDS = {
     "timeout_s",
     "include_timings",
 }
+
+
+# -- mutation requests ------------------------------------------------------
+
+
+def _wire_row(value: object, where: str) -> Tuple[Value, ...]:
+    """One wire row (a JSON array of scalars) as an engine row tuple."""
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise BadRequestError(f"{where} must be an array of scalar values")
+    row: List[Value] = []
+    for cell in value:
+        if cell is None:
+            row.append(NULL)
+        elif isinstance(cell, (int, float, str, bool)):
+            row.append(cell)
+        else:
+            raise BadRequestError(
+                f"{where} cells must be scalars or null, got {type(cell).__name__}"
+            )
+    return tuple(row)
+
+
+def _wire_rows(value: object, where: str) -> Tuple[Tuple[Value, ...], ...]:
+    if value is None:
+        return ()
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise BadRequestError(f"{where} must be an array of rows")
+    return tuple(
+        _wire_row(row, f"{where}[{i}]") for i, row in enumerate(value)
+    )
+
+
+@dataclass(frozen=True)
+class MutationSpec:
+    """One relation's insert/delete batch inside a mutate request.
+
+    Deletes are applied before inserts (per spec), so an "update" can
+    be expressed as a delete+insert pair against one relation without
+    tripping primary-key conflicts.
+    """
+
+    relation: str
+    insert: Tuple[Tuple[Value, ...], ...] = ()
+    delete: Tuple[Tuple[Value, ...], ...] = ()
+
+    @classmethod
+    def from_value(cls, value: object, index: int) -> "MutationSpec":
+        where = f"mutations[{index}]"
+        if not isinstance(value, Mapping):
+            raise BadRequestError(
+                f"{where} must be an object with relation/insert/delete"
+            )
+        unknown = set(value) - {"relation", "insert", "delete"}
+        if unknown:
+            raise BadRequestError(
+                f"{where}: unknown fields {sorted(unknown)}",
+                kind="unknown_field",
+            )
+        relation = value.get("relation")
+        if not isinstance(relation, str) or not relation:
+            raise BadRequestError(f"{where}.relation must be a non-empty string")
+        insert = _wire_rows(value.get("insert"), f"{where}.insert")
+        delete = _wire_rows(value.get("delete"), f"{where}.delete")
+        if not insert and not delete:
+            raise BadRequestError(
+                f"{where} must carry at least one insert or delete row"
+            )
+        return cls(relation=relation, insert=insert, delete=delete)
+
+
+@dataclass(frozen=True)
+class MutateRequest:
+    """One validated ``POST /v1/mutate`` request."""
+
+    dataset: str
+    params: Tuple[Tuple[str, object], ...] = ()
+    mutations: Tuple[MutationSpec, ...] = ()
+
+    @classmethod
+    def from_dict(cls, data: object) -> "MutateRequest":
+        if not isinstance(data, Mapping):
+            raise BadRequestError("request body must be a JSON object")
+        unknown = set(data) - {"dataset", "params", "mutations"}
+        if unknown:
+            raise BadRequestError(
+                f"unknown request fields: {sorted(unknown)}",
+                kind="unknown_field",
+            )
+        dataset = data.get("dataset")
+        if not isinstance(dataset, str) or not dataset:
+            raise BadRequestError("dataset must be a non-empty string")
+        params = data.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise BadRequestError("params must be a JSON object")
+        raw = data.get("mutations")
+        if (
+            not isinstance(raw, Sequence)
+            or isinstance(raw, (str, bytes))
+            or not raw
+        ):
+            raise BadRequestError(
+                "mutations must be a non-empty array of "
+                "{relation, insert, delete} objects"
+            )
+        mutations = tuple(
+            MutationSpec.from_value(m, i) for i, m in enumerate(raw)
+        )
+        return cls(
+            dataset=dataset,
+            params=tuple(sorted(params.items())),
+            mutations=mutations,
+        )
 
 
 def _choice(

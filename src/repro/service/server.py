@@ -17,7 +17,10 @@ Endpoints (JSON in, JSON out, one request per connection):
 * ``POST /v1/topk``   — ranked explanations for one degree/strategy;
 * ``POST /v1/analyze`` — the static plan certificate (certified
   convergence bound, per-aggregate additivity verdicts, lint
-  diagnostics) with no table build.
+  diagnostics) with no table build;
+* ``POST /v1/mutate`` — batch inserts/deletes against a registered
+  dataset; under ``refresh="incremental"`` live explanation tables are
+  patched in place and re-cached under the successor fingerprint.
 
 Per-request serving metadata (cache hit/miss/coalesced, degradation
 warnings) travels in ``X-Repro-Cache`` / ``X-Repro-Warning`` response
@@ -47,7 +50,7 @@ from .errors import (
     RequestTimeoutError,
     ServiceError,
 )
-from .protocol import ServiceRequest
+from .protocol import MutateRequest, ServiceRequest
 
 _MAX_HEADER_BYTES = 16 * 1024
 _IO_TIMEOUT = 30.0  # reading the request / draining the response
@@ -199,6 +202,7 @@ class ExplanationServer:
             ("POST", "/v1/explain"): self._handle_explain,
             ("POST", "/v1/topk"): self._handle_topk,
             ("POST", "/v1/analyze"): self._handle_analyze,
+            ("POST", "/v1/mutate"): self._handle_mutate,
         }
         handler = routes.get((method, path))
         if handler is None:
@@ -296,11 +300,19 @@ class ExplanationServer:
         )
         return 200, result.payload, _result_headers(result)
 
+    async def _handle_mutate(self, body) -> Tuple[int, dict, Dict[str, str]]:
+        self.service.counters.inc("requests.mutate")
+        request = MutateRequest.from_dict(body)
+        result = await self._run_service_call(
+            lambda: self.service.mutate(request), None
+        )
+        return 200, result.payload, _result_headers(result)
+
     async def _run_service_call(
-        self, fn: Callable[[], ServiceResult], request: ServiceRequest
+        self, fn: Callable[[], ServiceResult], request: Optional[ServiceRequest]
     ) -> ServiceResult:
         timeout = self.request_timeout
-        if request.timeout_s is not None:
+        if request is not None and request.timeout_s is not None:
             timeout = min(timeout, request.timeout_s)
         loop = asyncio.get_running_loop()
         try:

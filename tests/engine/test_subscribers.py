@@ -1,0 +1,95 @@
+"""Tests for the Relation mutation-subscriber API.
+
+The incremental subsystem's mutation log relies on two invariants
+checked here: subscribers see *effective* batches only (no-ops are
+invisible), and every row a call actually added/removed is notified —
+including rows inserted before a mid-batch ``IntegrityError``.
+"""
+
+import pytest
+
+from repro.engine.relation import Relation
+from repro.engine.schema import make_schema
+from repro.errors import IntegrityError
+
+
+@pytest.fixture
+def rel():
+    return Relation(make_schema("Author", ["id", "name", "inst"], ["id"]))
+
+
+@pytest.fixture
+def events(rel):
+    log = []
+    rel.subscribe(lambda r, ins, dels: log.append((r.name, ins, dels)))
+    return log
+
+
+class TestSubscribe:
+    def test_insert_notifies_one_batch(self, rel, events):
+        rel.insert(("A1", "JG", "C.edu"))
+        assert events == [("Author", (("A1", "JG", "C.edu"),), ())]
+
+    def test_noop_insert_is_invisible(self, rel, events):
+        rel.insert(("A1", "JG", "C.edu"))
+        rel.insert(("A1", "JG", "C.edu"))  # duplicate: no event
+        assert len(events) == 1
+
+    def test_noop_delete_is_invisible(self, rel, events):
+        rel.delete(("A9", "nobody", "nowhere"))
+        assert events == []
+
+    def test_insert_many_is_one_batch(self, rel, events):
+        rel.insert_many([("A1", "a", "x"), ("A2", "b", "y")])
+        assert len(events) == 1
+        assert len(events[0][1]) == 2
+
+    def test_delete_many_is_one_batch(self, rel, events):
+        rel.insert_many([("A1", "a", "x"), ("A2", "b", "y")])
+        rel.delete_many([("A1", "a", "x"), ("A2", "b", "y"), ("A3", "c", "z")])
+        _, inserted, deleted = events[-1]
+        assert inserted == ()
+        assert len(deleted) == 2  # the phantom A3 delete is not an event
+
+    def test_unsubscribe_stops_events(self, rel, events):
+        rel.unsubscribe(rel._subscribers[0])
+        rel.insert(("A1", "a", "x"))
+        assert events == []
+
+    def test_partial_insert_many_still_notified(self, rel, events):
+        """Rows added before a mid-batch failure must reach subscribers.
+
+        Otherwise a mutation log diverges from the relation it mirrors.
+        """
+        with pytest.raises(IntegrityError):
+            rel.insert_many(
+                [("A1", "a", "x"), ("A2", "b", "y"), ("A1", "dup", "z")]
+            )
+        assert len(rel) == 2
+        assert len(events) == 1
+        _, inserted, deleted = events[0]
+        assert set(inserted) == {("A1", "a", "x"), ("A2", "b", "y")}
+        assert deleted == ()
+
+
+class TestDeleteWhere:
+    def test_predicate_delete_notifies_batch(self, rel, events):
+        rel.insert_many([("A1", "a", "x"), ("A2", "b", "x"), ("A3", "c", "y")])
+        removed = rel.delete_where(lambda env: env["inst"] == "x")
+        assert len(removed) == 2
+        assert len(rel) == 1
+        _, inserted, deleted = events[-1]
+        assert inserted == ()
+        assert set(deleted) == {("A1", "a", "x"), ("A2", "b", "x")}
+
+
+class TestUpdateWhere:
+    def test_update_notifies_delete_and_insert(self, rel, events):
+        rel.insert_many([("A1", "a", "x"), ("A2", "b", "y")])
+        new_rows = rel.update_where(
+            lambda env: env["inst"] == "x", {"inst": "z"}
+        )
+        assert new_rows == [("A1", "a", "z")]
+        _, inserted, deleted = events[-1]
+        assert deleted == (("A1", "a", "x"),)
+        assert inserted == (("A1", "a", "z"),)

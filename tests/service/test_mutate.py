@@ -1,0 +1,235 @@
+"""Tests for ``POST /v1/mutate`` and the incremental refresh mode.
+
+Covers the mutate wire protocol (happy path, validation failures), the
+incremental session lifecycle behind ``refresh="incremental"`` (patch
+on mutate, re-cache under the successor fingerprint, served tables
+identical to a cold service), and the observability surface (cache
+origin counts, ``/v1/stats`` incremental block).
+"""
+
+import pytest
+
+from repro.service.errors import BadRequestError
+from repro.service import (
+    BackgroundServer,
+    ExplanationService,
+    MutateRequest,
+    MutationSpec,
+)
+
+ROWS = 400
+SEED = 7
+PARAMS = {"rows": ROWS, "seed": SEED}
+ATTRS = ["Birth.sex", "Birth.marital"]
+
+EXPLAIN = {
+    "dataset": "natality",
+    "params": PARAMS,
+    "attributes": ATTRS,
+    "method": "cube",
+}
+
+
+def _incremental_service():
+    return ExplanationService(refresh="incremental")
+
+
+def _birth_rows(service, n, *, offset=0):
+    db = service.registry.resolve("natality", PARAMS).database
+    return [list(r) for r in db.relation("Birth").row_list()[offset : offset + n]]
+
+
+class TestProtocol:
+    def test_request_parses(self):
+        request = MutateRequest.from_dict(
+            {
+                "dataset": "natality",
+                "params": PARAMS,
+                "mutations": [
+                    {"relation": "Birth", "delete": [[1, 2]], "insert": []}
+                ],
+            }
+        )
+        assert request.dataset == "natality"
+        assert isinstance(request.mutations[0], MutationSpec)
+
+    def test_empty_mutations_rejected(self):
+        with pytest.raises(BadRequestError, match="mutations"):
+            MutateRequest.from_dict({"dataset": "natality", "mutations": []})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(BadRequestError):
+            MutateRequest.from_dict(
+                {
+                    "dataset": "natality",
+                    "mutations": [{"relation": "Birth", "nope": []}],
+                }
+            )
+
+
+class TestMutateEndpoint:
+    def test_mutate_changes_fingerprint(self):
+        service = _incremental_service()
+        with BackgroundServer(service) as bg:
+            client = bg.client()
+            victims = _birth_rows(service, 3)
+            response = client.mutate(
+                dataset="natality",
+                params=PARAMS,
+                mutations=[{"relation": "Birth", "delete": victims}],
+            )
+            assert response.status == 200
+            body = response.data
+            assert body["deleted"] == 3
+            assert body["inserted"] == 0
+            assert body["fingerprint"] != body["previous_fingerprint"]
+            assert body["refresh"] == "incremental"
+
+    def test_unknown_relation_is_400(self):
+        service = _incremental_service()
+        with BackgroundServer(service) as bg:
+            response = bg.client().mutate(
+                dataset="natality",
+                params=PARAMS,
+                mutations=[{"relation": "Nope", "insert": [[1]]}],
+                raise_on_error=False,
+            )
+            assert response.status == 400
+            assert response.data["error"]["type"] == "schema_error"
+
+    def test_arity_mismatch_is_400(self):
+        service = _incremental_service()
+        with BackgroundServer(service) as bg:
+            response = bg.client().mutate(
+                dataset="natality",
+                params=PARAMS,
+                mutations=[{"relation": "Birth", "insert": [[1, 2]]}],
+                raise_on_error=False,
+            )
+            assert response.status == 400
+            assert "arity" in response.data["error"]["message"]
+
+
+class TestIncrementalServing:
+    def test_mutate_patches_sessions_and_rewarns_cache(self):
+        service = _incremental_service()
+        with BackgroundServer(service) as bg:
+            client = bg.client()
+            first = client.explain(**EXPLAIN)
+            assert first.cache_status == "miss"
+            victims = _birth_rows(service, 5)
+            body = client.mutate(
+                dataset="natality",
+                params=PARAMS,
+                mutations=[{"relation": "Birth", "delete": victims}],
+            ).data
+            assert len(body["patched"]) == 1
+            assert body["patched"][0]["strategy"] == "patched"
+            # The patched table was re-cached under the successor
+            # fingerprint: the next read is a hit, not a rebuild.
+            second = client.explain(**EXPLAIN)
+            assert second.cache_status == "hit"
+            assert second.data != first.data
+
+    def test_served_table_identical_to_cold_service(self):
+        warm_service = _incremental_service()
+        with BackgroundServer(warm_service) as bg:
+            client = bg.client()
+            client.explain(**EXPLAIN)
+            victims = _birth_rows(warm_service, 5)
+            client.mutate(
+                dataset="natality",
+                params=PARAMS,
+                mutations=[{"relation": "Birth", "delete": victims}],
+            )
+            warm = client.explain(**EXPLAIN)
+
+        # A fresh full-refresh service over the same mutated state.
+        cold_service = ExplanationService(refresh="full")
+        db = cold_service.registry.resolve("natality", PARAMS).database
+        db.relation("Birth").delete_many(
+            [tuple(row) for row in victims]
+        )
+        with BackgroundServer(cold_service) as bg:
+            cold = bg.client().explain(**EXPLAIN)
+        comparable = (
+            "q_original",
+            "original_value",
+            "table_size",
+            "top_by_intervention",
+            "top_by_aggravation",
+            "fingerprint",
+        )
+        for key in comparable:
+            assert warm.data[key] == cold.data[key], key
+
+    def test_stats_expose_incremental_counters(self):
+        service = _incremental_service()
+        with BackgroundServer(service) as bg:
+            client = bg.client()
+            client.explain(**EXPLAIN)
+            client.mutate(
+                dataset="natality",
+                params=PARAMS,
+                mutations=[
+                    {"relation": "Birth", "delete": _birth_rows(service, 2)}
+                ],
+            )
+            stats = client.stats()
+            block = stats["incremental"]
+            assert block["mode"] == "incremental"
+            assert block["sessions"] == 1
+            assert block["patchable_sessions"] == 1
+            assert block["patches"] >= 1
+            cache = stats["cache"]
+            assert cache["built_entries"] >= 1
+            assert cache["patched_entries"] >= 1
+
+    def test_cli_mutate_subcommand(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        service = _incremental_service()
+        with BackgroundServer(service) as bg:
+            bg.client().explain(**EXPLAIN)
+            victims = _birth_rows(service, 2)
+            mutations = json.dumps(
+                [{"relation": "Birth", "delete": victims}]
+            )
+            rc = main(
+                [
+                    "mutate",
+                    "natality",
+                    "--mutations",
+                    mutations,
+                    "--params",
+                    json.dumps(PARAMS),
+                    "--host",
+                    bg.host,
+                    "--port",
+                    str(bg.port),
+                ]
+            )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "-2 rows" in out or "deleted" in out
+        assert "patched" in out
+
+    def test_full_mode_has_no_sessions(self):
+        service = ExplanationService(refresh="full")
+        with BackgroundServer(service) as bg:
+            client = bg.client()
+            client.explain(**EXPLAIN)
+            body = client.mutate(
+                dataset="natality",
+                params=PARAMS,
+                mutations=[
+                    {"relation": "Birth", "delete": _birth_rows(service, 2)}
+                ],
+            ).data
+            assert body["patched"] == []
+            assert body["refresh"] == "full"
+            # Stale entry is simply not hit under the new fingerprint.
+            again = client.explain(**EXPLAIN)
+            assert again.cache_status == "miss"

@@ -68,6 +68,12 @@ class TestTopLevel:
 
         assert Explainer and Bar and Database  # imported successfully
 
+    def test_incremental_all_names_resolve(self):
+        import repro.incremental as incremental
+
+        for name in incremental.__all__:
+            assert hasattr(incremental, name), name
+
     def test_error_hierarchy(self):
         from repro.errors import (
             ConvergenceError,
@@ -88,6 +94,10 @@ class TestTopLevel:
         ):
             assert issubclass(exc, ReproError)
         assert issubclass(NotAdditiveError, ExplanationError)
+
+        from repro.errors import IncrementalError
+
+        assert issubclass(IncrementalError, ReproError)
 
     def test_py_typed_marker_shipped(self):
         from pathlib import Path

@@ -4,22 +4,26 @@
 Three rules, all checked without importing any project code:
 
 1. **Stdlib purity** — ``repro.obs``, ``repro.engine``,
-   ``repro.parallel``, ``repro.core`` and ``repro.analysis`` must work
-   on a bare Python install: no third-party imports anywhere in those
-   packages, not even inside function bodies.  One exemption:
-   ``engine/fastpath.py`` is the optional numpy columnar kernel and is
-   import-guarded by its callers.
+   ``repro.parallel``, ``repro.incremental``, ``repro.core`` and
+   ``repro.analysis`` must work on a bare Python install: no
+   third-party imports anywhere in those packages, not even inside
+   function bodies.  One exemption: ``engine/fastpath.py`` is the
+   optional numpy columnar kernel and is import-guarded by its
+   callers.
 
 2. **Layering** — module-level imports must respect the dependency
-   order ``obs < engine < parallel < core < analysis <
+   order ``obs < engine < parallel < incremental < core < analysis <
    backends/datasets < service`` (the CLI may use everything).
    ``obs`` is the bottom layer: the observability primitives import
    nothing but the stdlib, and every other layer may instrument
    itself with them.  ``parallel`` sits directly on the engine — its
    spawn workers re-import only the engine's cube kernels.
-   Function-level imports across layers
-   are allowed: they express deliberate, lazily-resolved dependencies
-   (e.g. ``core.cube_algorithm`` dispatching to a backend).
+   ``incremental`` maintains engine-level cube states and reaches up
+   into ``core``/``analysis`` (table finalization, certification)
+   strictly via function-level imports.  Function-level imports
+   across layers are allowed: they express deliberate,
+   lazily-resolved dependencies (e.g. ``core.cube_algorithm``
+   dispatching to a backend).
 
 3. **Oracle quarantine** — the retained row-path oracles
    (``cube_rowwise``, ``cube_bruteforce``, ``group_by_rowwise``) exist
@@ -43,7 +47,14 @@ SRC = REPO_ROOT / "src" / "repro"
 TESTS = REPO_ROOT / "tests"
 
 #: Packages that must run on a bare Python install.
-STDLIB_ONLY_PACKAGES = ("obs", "engine", "parallel", "core", "analysis")
+STDLIB_ONLY_PACKAGES = (
+    "obs",
+    "engine",
+    "parallel",
+    "incremental",
+    "core",
+    "analysis",
+)
 
 #: path (relative to src/repro) -> modules it may import anyway.
 THIRD_PARTY_EXEMPTIONS = {
@@ -57,11 +68,12 @@ LAYERS = {
     "obs": -1,
     "engine": 0,
     "parallel": 1,
-    "core": 2,
-    "analysis": 3,
-    "backends": 4,
-    "datasets": 4,
-    "service": 5,
+    "incremental": 2,
+    "core": 3,
+    "analysis": 4,
+    "backends": 5,
+    "datasets": 5,
+    "service": 6,
 }
 
 ORACLES = {"cube_rowwise", "cube_bruteforce", "group_by_rowwise"}
