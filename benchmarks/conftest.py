@@ -53,6 +53,14 @@ def pytest_addoption(parser):
         help="shard count for partition-parallel benchmarks "
         "(bench_fig13_scaling's shard axis; default: serial vs 2 shards)",
     )
+    parser.addoption(
+        "--strategy",
+        action="store",
+        choices=("fixpoint", "closure"),
+        default=None,
+        help="program-P intervention strategy for the convergence "
+        "benchmarks (bench_fig5's strategy axis; default: fixpoint)",
+    )
 
 
 def pytest_configure(config):
@@ -81,6 +89,12 @@ def preset(request):
 def shards_option(request):
     """The ``--shards`` count, or None for the default shard axis."""
     return request.config.getoption("--shards")
+
+
+@pytest.fixture(scope="session")
+def strategy_option(request):
+    """The ``--strategy`` name, or None for the default (fixpoint)."""
+    return request.config.getoption("--strategy")
 
 
 @pytest.fixture

@@ -70,6 +70,24 @@ class PlanCertificate:
         """The concrete iteration bound, when one was derived."""
         return self.convergence.bound
 
+    @property
+    def recommended_strategy(self) -> str:
+        """The program-P evaluation schedule this plan should use.
+
+        ``"closure"`` when the schema has back-and-forth keys — they
+        are what lets the fixpoint degenerate to Θ(n) iterations
+        (Example 3.7), and exactly what the FK cascade closure index
+        (:mod:`repro.engine.closure`) precomputes.  Without any,
+        Proposition 3.5 already bounds the fixpoint at 2 iterations,
+        the closure index cannot beat it, and the linter flags the
+        combination as RS008 — so the verdict stays ``"fixpoint"``.
+        Consumed by ``Explainer(strategy="auto")``, ``repro analyze``
+        and ``/v1/analyze``.
+        """
+        return (
+            "closure" if self.convergence.back_and_forth_count else "fixpoint"
+        )
+
     def to_dict(self) -> Dict[str, object]:
         """A JSON-ready rendering (the ``/v1/analyze`` body)."""
         return {
@@ -82,6 +100,7 @@ class PlanCertificate:
             ),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "recommended_method": self.recommended_method,
+            "recommended_strategy": self.recommended_strategy,
             "has_errors": self.has_errors,
         }
 
@@ -125,6 +144,15 @@ class PlanCertificate:
                 f"  {marker} {rule.rule:<10} {status:<8} "
                 f"bound {rule.bound_expression:<16} {rule.reason}"
             )
+        strategy_reason = (
+            "back-and-forth cascades collapse to closure-index probes"
+            if self.recommended_strategy == "closure"
+            else "no back-and-forth keys; the fixpoint is already bounded"
+        )
+        lines.append(
+            f"  recommended strategy: {self.recommended_strategy} "
+            f"({strategy_reason})"
+        )
         lines.append("")
         lines.append("Additivity")
         if self.additivity is None:

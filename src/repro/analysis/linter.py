@@ -14,12 +14,19 @@ code       severity  meaning
 ``RS005``  warning   foreign-key attribute used as explanation dimension
 ``RS006``  error     predicate constant outside the column's declared type
 ``RS007``  error     aggregate argument/WHERE references an unknown column
+``RS008``  warning   closure-index strategy cannot pay off on this schema
 =========  ========  =====================================================
 
 RS004/RS005 are warnings, not errors: key columns *can* be explanation
 dimensions (the paper's count-distinct examples group by keys), but
 near-unique dimensions explode the cube and usually indicate a
-mis-specified attribute list.
+mis-specified attribute list.  RS008 fires when the schema has no
+back-and-forth foreign keys: Proposition 3.5 then bounds program P at
+2 iterations, so the FK cascade closure index
+(:mod:`repro.engine.closure`) has nothing to accelerate and the
+certificate's ``recommended_strategy`` stays ``"fixpoint"`` —
+requesting ``strategy="closure"`` is sound (tables stay byte
+identical) but pays the index build for no iteration savings.
 """
 
 from __future__ import annotations
@@ -259,6 +266,18 @@ def lint_plan(
         findings.extend(_lint_attribute(schema, spec))
     if query is not None:
         findings.extend(_lint_query(schema, query))
+    if not schema.back_and_forth_keys:
+        findings.append(
+            Diagnostic(
+                "RS008",
+                SEVERITY_WARNING,
+                "schema has no back-and-forth foreign keys, so program P "
+                "is certified to converge within 2 iterations (Prop 3.5); "
+                "the closure-index strategy cannot apply profitably here "
+                "— recommended strategy is 'fixpoint'",
+                "schema",
+            )
+        )
     errors = [d for d in findings if d.severity == SEVERITY_ERROR]
     warnings = [d for d in findings if d.severity != SEVERITY_ERROR]
     return tuple(errors + warnings)

@@ -46,6 +46,7 @@ class DuckDBBackend(SQLBackend):
 
     name: ClassVar[str] = "duckdb"
     dialect = "duckdb"
+    dummy_is_null = True
 
     @classmethod
     def is_available(cls) -> bool:
@@ -73,7 +74,9 @@ class DuckDBBackend(SQLBackend):
         kinds = set()
         for row in rows:
             value = row[position]
-            if is_null(value):
+            # None rows appear when inferring over already-marshalled
+            # SQL rows (the top-K pushdown's NULL don't-care markers).
+            if value is None or is_null(value):
                 continue
             if isinstance(value, bool):
                 kinds.add("bool")

@@ -39,10 +39,15 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..analysis.additivity import AdditivityCertificate
 
-from ..core.cube_algorithm import ExplanationTable, finalize_explanation_table
+from ..core.cube_algorithm import (
+    MU_INTERV,
+    ExplanationTable,
+    finalize_explanation_table,
+)
 from ..core.numquery import AggregateQuery
 from ..core.question import UserQuestion
-from ..core.sqlgen import aggregate_sql, sql_expression
+from ..core.sqlgen import aggregate_sql, sql_expression, topk_select
+from ..core.topk import RankedExplanation
 from ..core.additivity import analyze_additivity
 from ..engine.database import Database
 from ..engine.schema import DatabaseSchema
@@ -62,6 +67,7 @@ DUMMY_TEXT = "__DUMMY__"
 UNIVERSAL_VIEW = "__U"
 KEYS_TABLE = "__K"
 CUBE_PREFIX = "__C_"
+TOPK_TABLE = "__M"
 
 
 def qid(name: str) -> str:
@@ -133,6 +139,18 @@ class SQLBackend(ExecutionBackend):
         """Map one SQL key value back to the engine domain."""
         if value is None or value == DUMMY_TEXT:
             return DUMMY
+        return value
+
+    #: Whether the don't-care marker is in-database NULL (DuckDB) or
+    #: the string dummy constant (the paper's Section 4.2 encoding).
+    dummy_is_null: bool = False
+
+    def _key_to_sql(self, value: Value) -> Any:
+        """Inverse of :meth:`_key_to_engine` for loading M rows."""
+        if value is DUMMY:
+            return None if self.dummy_is_null else DUMMY_TEXT
+        if is_null(value):
+            return None
         return value
 
     # -- shared plumbing ------------------------------------------------
@@ -226,6 +244,91 @@ class SQLBackend(ExecutionBackend):
         if q.where is not None:
             sql += f" WHERE {sql_expression(q.where, self.dialect, render_col=qid)}"
         return self._value_to_engine(self._fetchall(con, sql)[0][0])
+
+    # -- Section 4.3: top-K pushed into the DBMS ------------------------
+
+    def top_k(
+        self,
+        m: ExplanationTable,
+        k: int,
+        *,
+        by: str = MU_INTERV,
+        minimality: str = "general",
+    ) -> List[RankedExplanation]:
+        """Plain top-K of a finalized *M* as one window query.
+
+        Loads the table's attribute and degree columns into the DBMS
+        and ranks with the ``ROW_NUMBER() OVER`` rendering of
+        :func:`repro.core.sqlgen.topk_select` — the paper's "push the
+        computation inside the database engine" applied to Section
+        4.3's No-Minimal strategy.  The result matches
+        :func:`repro.core.topk.top_k_no_minimal` tie-for-tie (the
+        window ORDER BY is a strict total order over M rows).  The
+        minimal strategies stay in-memory: their domination filters
+        are iterative subset probes, not a single ranking.
+        """
+        attributes = list(m.attributes)
+        table = m.table
+        mu_pos = table.position(by)
+        attr_pos = table.positions(attributes)
+        aliases = _attribute_aliases(attributes, [by])
+        rows = table.rows()
+        sql_rows = [
+            tuple(self._key_to_sql(row[i]) for i in attr_pos)
+            + (
+                None
+                if is_null(row[mu_pos]) or row[mu_pos] is DUMMY
+                else row[mu_pos],
+            )
+            for row in rows
+        ]
+        by_key = {tuple(row[i] for i in attr_pos): row for row in rows}
+        con = self._connect()
+        try:
+            with phase("backend_topk", backend=self.name, k=k, rows=len(rows)):
+                defs = []
+                for j, alias in enumerate(aliases):
+                    col_type = self._column_type("any", sql_rows, j)
+                    defs.append(f"{qid(alias)} {col_type}".rstrip())
+                mu_type = self._column_type("any", sql_rows, len(aliases))
+                defs.append(f"{qid(by)} {mu_type}".rstrip())
+                self._execute(
+                    con,
+                    f"CREATE TABLE {qid(TOPK_TABLE)} ({', '.join(defs)})",
+                )
+                if sql_rows:
+                    marks = ", ".join("?" for _ in defs)
+                    con.executemany(
+                        f"INSERT INTO {qid(TOPK_TABLE)} VALUES ({marks})",
+                        sql_rows,
+                    )
+                sql = topk_select(
+                    by,
+                    aliases,
+                    k=k,
+                    minimality=minimality,
+                    dialect=self.dialect,
+                    table=qid(TOPK_TABLE),
+                    render_col=qid,
+                    dummy_is_null=self.dummy_is_null,
+                ).rstrip(";")
+                ranked_rows = self._fetchall(con, sql)
+        finally:
+            con.close()
+        n = len(attributes)
+        output: List[RankedExplanation] = []
+        for ranked in ranked_rows:
+            key = tuple(self._key_to_engine(v) for v in ranked[:n])
+            row = by_key[key]
+            output.append(
+                RankedExplanation(
+                    rank=int(ranked[n + 1]),
+                    explanation=m.explanation_of(row),
+                    degree=row[mu_pos],
+                    row=row,
+                )
+            )
+        return output
 
     # -- the algorithm --------------------------------------------------
 

@@ -20,7 +20,7 @@ from typing import Dict, Optional
 from ..engine.database import Database
 from ..engine.types import Value, is_null
 from ..engine.universal import JoinTree, universal_table
-from .intervention import InterventionEngine, InterventionResult
+from .intervention import InterventionResult, make_strategy
 from .predicates import Predicate
 from .question import UserQuestion
 
@@ -50,13 +50,22 @@ class DegreeEvaluator:
     values ``q_j(D)`` are computed once and shared across explanations.
     """
 
-    def __init__(self, database: Database, question: UserQuestion) -> None:
+    def __init__(
+        self,
+        database: Database,
+        question: UserQuestion,
+        *,
+        strategy: Optional[str] = None,
+    ) -> None:
         self.database = database
         self.question = question
         self.join_tree = JoinTree(database.schema)
         self.universal = universal_table(database, self.join_tree)
-        self.engine = InterventionEngine(
-            database, universal=self.universal, join_tree=self.join_tree
+        self.engine = make_strategy(
+            database,
+            strategy=strategy,
+            universal=self.universal,
+            join_tree=self.join_tree,
         )
         self.q_original: Dict[str, Value] = (
             question.query.aggregate_values(self.universal)

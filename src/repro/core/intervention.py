@@ -18,28 +18,56 @@ program **P**:
 * Rule (iii) — *backward cascade*: for each back-and-forth foreign key
   ``R_j.fk ↔ R_i.pk``: ``Δ_i ⊇ R_i ⋉ Δ_j``.
 
-The program is monotone in the Δ's (Proposition 3.1), so naive
-simultaneous evaluation — apply all rules to Δ^t, union the results
-into Δ^{t+1}, stop when nothing changes — reaches the least fixpoint.
-The iteration counter exposed in :class:`InterventionResult` follows
-that semantics, matching the convergence statements of Propositions
-3.4, 3.5, 3.10 and 3.11 and the n−1 lower bound of Example 3.7.
+The program is monotone in the Δ's (Proposition 3.1), so *any* fair
+evaluation schedule reaches the same least fixpoint.  This module
+offers two interchangeable schedules behind the
+:class:`InterventionStrategy` protocol:
+
+* :class:`FixpointStrategy` — naive simultaneous evaluation: apply all
+  rules to Δ^t, union the results into Δ^{t+1}, stop when nothing
+  changes.  Its iteration counter matches the convergence statements
+  of Propositions 3.4, 3.5, 3.10 and 3.11 and the n−1 lower bound of
+  Example 3.7.  (:data:`InterventionEngine` remains an alias for
+  backward compatibility.)
+* :class:`ClosureStrategy` — probes the precomputed FK cascade closure
+  index (:mod:`repro.engine.closure`): Δ^φ is the union of the seeds'
+  transitive deletion closures plus a bounded semijoin repair loop.
+  The delta is byte-identical; ``iterations`` counts repair rounds,
+  which never exceed the fixpoint count (each round dominates one
+  naive iteration) and collapse the Example 3.7 zig-zag to one.
+
+Pick a schedule explicitly (``strategy="fixpoint"|"closure"``), via
+the ``REPRO_STRATEGY`` environment variable, or let the static plan
+certificate recommend one (``strategy="auto"``, which boils down to
+:func:`recommended_strategy_for_schema`).
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Protocol, Set, Tuple
 
+from ..engine.closure import ClosureIndex
 from ..engine.database import Database, Delta
 from ..engine.reduction import RowSets, is_semijoin_reduced, reduce_row_sets
-from ..engine.schema import ForeignKey
+from ..engine.schema import DatabaseSchema, ForeignKey
 from ..engine.table import Table
 from ..engine.types import Row
 from ..engine.universal import JoinTree, universal_table
-from ..errors import AnalysisInvariantError, ConvergenceError
+from ..errors import AnalysisInvariantError, ConvergenceError, ExplanationError
 from ..obs import get_registry, phase
 from .predicates import Predicate
+
+#: The interchangeable program-P evaluation schedules.
+STRATEGIES = ("fixpoint", "closure")
+
+#: Pseudo-strategy: let the plan certificate (or, data-free, the
+#: schema's back-and-forth key count) pick the schedule.
+AUTO_STRATEGY = "auto"
+
+DEFAULT_STRATEGY = "fixpoint"
 
 #: Productive iterations per fixpoint run — makes the convergence
 #: bounds of Props 3.4/3.5/3.10/3.11 observable in ``/v1/metrics``.
@@ -50,13 +78,22 @@ _P_ITERATIONS = get_registry().histogram(
 )
 
 
+def _strategy_counter(name: str) -> None:
+    get_registry().counter(
+        "repro_intervention_strategy_total",
+        labels={"strategy": name},
+        help="Δ^φ computations per intervention strategy.",
+    ).inc()
+
+
 @dataclass(frozen=True)
 class IterationTrace:
-    """What one fixpoint iteration discovered.
+    """What one fixpoint iteration (or closure repair round) discovered.
 
-    ``new_by_rule`` maps rule labels ("seed", "reduce", "backward") to
-    the number of tuples that rule contributed *new* to Δ in this
-    iteration; ``delta_size`` is |Δ| after the iteration.
+    ``new_by_rule`` maps rule labels ("seed", "reduce", "backward" for
+    the fixpoint schedule; "seed", "closure", "reduce" for the closure
+    schedule) to the number of tuples that rule contributed *new* to Δ
+    in this iteration; ``delta_size`` is |Δ| after the iteration.
     """
 
     iteration: int
@@ -75,7 +112,9 @@ class InterventionResult:
 
     ``iterations`` counts productive iterations (the final quiescent
     check is excluded), matching the counting used by the paper's
-    convergence propositions.
+    convergence propositions; under the closure strategy it counts
+    productive repair rounds instead, which the same certified bounds
+    dominate.
     """
 
     delta: Delta
@@ -89,13 +128,38 @@ class InterventionResult:
         return self.delta.size()
 
 
-class InterventionEngine:
-    """Computes Δ^φ for explanations over one fixed database.
+class InterventionStrategy(Protocol):
+    """One evaluation schedule for program P over one fixed database."""
 
-    The engine materializes the universal table once and reuses it for
-    every explanation (Rule (i) only needs ``σ_{¬φ}(U)``), which is the
+    name: str
+    database: Database
+    universal: Table
+    certified_bound: Optional[int]
+
+    def seed_delta(self, phi: Predicate) -> Delta:
+        """Δ¹: the Rule (i) seed tuples for *phi*."""
+        ...
+
+    def compute(
+        self,
+        phi: Predicate,
+        *,
+        max_iterations: Optional[int] = None,
+        seeds: Optional[Delta] = None,
+    ) -> InterventionResult:
+        """Δ^φ — the least fixpoint of program P for *phi*."""
+        ...
+
+
+class _StrategyBase:
+    """Shared plumbing: the universal table, join tree and Rule (i).
+
+    The universal table is materialized once and reused for every
+    explanation (Rule (i) only needs ``σ_{¬φ}(U)``), which is the
     dominant cost; pass ``universal`` if the caller already has it.
     """
+
+    name = "base"
 
     def __init__(
         self,
@@ -114,8 +178,8 @@ class InterventionEngine:
             else universal_table(database, self.join_tree)
         )
         self._bf_keys: Tuple[ForeignKey, ...] = self.schema.back_and_forth_keys
-        #: When set (by the static analyzer), every fixpoint run asserts
-        #: that its productive iteration count stays within this bound;
+        #: When set (by the static analyzer), every run asserts that
+        #: its productive iteration count stays within this bound;
         #: a violation raises AnalysisInvariantError (analyzer bug).
         self.certified_bound = certified_bound
 
@@ -160,6 +224,25 @@ class InterventionEngine:
             keep: Set[Row] = set(zip(*proj_cols))
             parts[name] = set(self.database.relation(name).rows()) - keep
         return Delta(self.schema, parts)
+
+    def _assert_certified(self, iterations: int) -> None:
+        if (
+            self.certified_bound is not None
+            and iterations > self.certified_bound
+        ):
+            raise AnalysisInvariantError(
+                f"program P ({self.name} strategy) converged after "
+                f"{iterations} productive iterations, exceeding the "
+                f"statically certified bound of {self.certified_bound}; "
+                f"the convergence analyzer (repro.analysis.fkgraph) "
+                f"mis-certified this schema"
+            )
+
+
+class FixpointStrategy(_StrategyBase):
+    """The baseline naive-simultaneous fixpoint schedule."""
+
+    name = "fixpoint"
 
     # -- Rules (ii) and (iii) ----------------------------------------------
 
@@ -233,6 +316,7 @@ class InterventionEngine:
             seeds = self.seed_delta(phi)
         trace: List[IterationTrace] = []
         iteration = 0
+        _strategy_counter(self.name)
 
         def residual() -> RowSets:
             return {
@@ -306,16 +390,7 @@ class InterventionEngine:
                 iterations=iteration, certified_bound=self.certified_bound
             )
 
-        if (
-            self.certified_bound is not None
-            and iteration > self.certified_bound
-        ):
-            raise AnalysisInvariantError(
-                f"program P converged after {iteration} productive "
-                f"iterations, exceeding the statically certified bound "
-                f"of {self.certified_bound}; the convergence analyzer "
-                f"(repro.analysis.fkgraph) mis-certified this schema"
-            )
+        self._assert_certified(iteration)
         return InterventionResult(
             delta=Delta(self.schema, deleted),
             seeds=seeds,
@@ -324,14 +399,174 @@ class InterventionEngine:
         )
 
 
+#: Backward-compatible name: the fixpoint schedule is the original
+#: (and default) intervention engine.
+InterventionEngine = FixpointStrategy
+
+
+class ClosureStrategy(_StrategyBase):
+    """Program P by FK cascade closure probes plus semijoin repair.
+
+    Uses the per-database :class:`~repro.engine.closure.ClosureIndex`
+    (built lazily on first use, shared across strategies and
+    explanations, invalidated on mutation).  The computed delta is the
+    same least fixpoint the :class:`FixpointStrategy` reaches — byte
+    identical — while ``iterations`` reports productive repair rounds.
+    """
+
+    name = "closure"
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        universal: Optional[Table] = None,
+        join_tree: Optional[JoinTree] = None,
+        certified_bound: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            database,
+            universal=universal,
+            join_tree=join_tree,
+            certified_bound=certified_bound,
+        )
+
+    @property
+    def index(self) -> ClosureIndex:
+        """The current (version-cached) closure index for the database."""
+        return ClosureIndex.for_database(self.database)
+
+    def compute(
+        self,
+        phi: Predicate,
+        *,
+        max_iterations: Optional[int] = None,
+        seeds: Optional[Delta] = None,
+    ) -> InterventionResult:
+        """Δ^φ via closure-index probes.
+
+        ``max_iterations`` bounds the repair rounds (default ``n + 2``,
+        matching the fixpoint budget; repair rounds can only be fewer).
+        """
+        budget = (
+            max_iterations
+            if max_iterations is not None
+            else self.database.total_rows() + 2
+        )
+        if seeds is None:
+            seeds = self.seed_delta(phi)
+        _strategy_counter(self.name)
+        with phase("program_p", strategy=self.name) as run_ph:
+            closure_delta = self.index.delta_from_seeds(
+                seeds, join_tree=self.join_tree
+            )
+            if closure_delta.rounds > budget:
+                raise ConvergenceError(
+                    f"closure repair exceeded {budget} rounds; this is a bug"
+                )
+            trace: List[IterationTrace] = []
+            delta_size = 0
+            for i, new_by_rule in enumerate(closure_delta.new_by_round, 1):
+                delta_size += sum(new_by_rule.values())
+                trace.append(IterationTrace(i, dict(new_by_rule), delta_size))
+            run_ph.annotate(
+                iterations=closure_delta.rounds,
+                probes=closure_delta.probes,
+                certified_bound=self.certified_bound,
+            )
+        self._assert_certified(closure_delta.rounds)
+        return InterventionResult(
+            delta=closure_delta.delta,
+            seeds=seeds,
+            iterations=closure_delta.rounds,
+            trace=tuple(trace),
+        )
+
+
+# -- strategy selection -----------------------------------------------------
+
+
+def recommended_strategy_for_schema(schema: DatabaseSchema) -> str:
+    """The schedule the static analyzer would pick for *schema*.
+
+    Back-and-forth keys are what make the fixpoint slow (Example 3.7's
+    Θ(n) zig-zag needs them); without any, Proposition 3.5 bounds the
+    fixpoint at 2 iterations and the closure index cannot help — its
+    repair loop *is* those 2 iterations.  This is the data-free core
+    of :attr:`repro.analysis.analyzer.PlanCertificate.recommended_strategy`.
+    """
+    return "closure" if schema.back_and_forth_keys else "fixpoint"
+
+
+def resolve_strategy_setting(name: Optional[str]) -> str:
+    """The configured strategy: explicit arg, else ``REPRO_STRATEGY``,
+    else :data:`DEFAULT_STRATEGY`.  May return :data:`AUTO_STRATEGY`
+    unresolved — config layers (service, CLI) keep "auto" symbolic and
+    resolve it per plan."""
+    if name is None:
+        raw = os.environ.get("REPRO_STRATEGY", "").strip()
+        if raw and raw not in STRATEGIES and raw != AUTO_STRATEGY:
+            warnings.warn(
+                f"ignoring unknown REPRO_STRATEGY={raw!r}; choose from "
+                f"{STRATEGIES + (AUTO_STRATEGY,)}",
+                RuntimeWarning,
+            )
+            raw = ""
+        name = raw or DEFAULT_STRATEGY
+    if name != AUTO_STRATEGY and name not in STRATEGIES:
+        raise ExplanationError(
+            f"unknown intervention strategy {name!r}; choose from "
+            f"{STRATEGIES + (AUTO_STRATEGY,)}"
+        )
+    return name
+
+
+def resolve_strategy(
+    name: Optional[str], *, schema: Optional[DatabaseSchema] = None
+) -> str:
+    """The effective strategy: :func:`resolve_strategy_setting` with
+    :data:`AUTO_STRATEGY` resolved via *schema* (required then)."""
+    name = resolve_strategy_setting(name)
+    if name == AUTO_STRATEGY:
+        if schema is None:
+            raise ExplanationError(
+                "strategy 'auto' needs a schema (or a plan certificate) "
+                "to resolve against"
+            )
+        return recommended_strategy_for_schema(schema)
+    return name
+
+
+def make_strategy(
+    database: Database,
+    *,
+    strategy: Optional[str] = None,
+    universal: Optional[Table] = None,
+    join_tree: Optional[JoinTree] = None,
+    certified_bound: Optional[int] = None,
+) -> InterventionStrategy:
+    """Construct the resolved :class:`InterventionStrategy` for *database*."""
+    resolved = resolve_strategy(strategy, schema=database.schema)
+    cls = ClosureStrategy if resolved == "closure" else FixpointStrategy
+    return cls(
+        database,
+        universal=universal,
+        join_tree=join_tree,
+        certified_bound=certified_bound,
+    )
+
+
 def compute_intervention(
     database: Database,
     phi: Predicate,
     *,
     universal: Optional[Table] = None,
+    strategy: Optional[str] = None,
 ) -> InterventionResult:
     """One-shot Δ^φ computation (convenience wrapper)."""
-    return InterventionEngine(database, universal=universal).compute(phi)
+    return make_strategy(
+        database, strategy=strategy, universal=universal
+    ).compute(phi)
 
 
 # -- validity checking (Definition 2.6) ------------------------------------

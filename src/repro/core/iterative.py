@@ -26,7 +26,7 @@ additive queries) and the per-candidate exact evaluator.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..engine.cube import grouping_sets
 from ..engine.database import Database, Delta
@@ -36,7 +36,7 @@ from ..engine.universal import JoinTree, universal_table
 from ..errors import QueryError
 from ..obs import phase
 from .cube_algorithm import MU_AGGR, MU_INTERV, ExplanationTable
-from .intervention import InterventionEngine
+from .intervention import make_strategy
 from .numquery import AggregateQuery
 from .question import UserQuestion
 
@@ -57,6 +57,7 @@ class IndexedInterventionEvaluator:
         attributes: Sequence[str],
         *,
         universal: Optional[Table] = None,
+        strategy: Optional[str] = None,
     ) -> None:
         self.database = database
         self.question = question
@@ -76,8 +77,9 @@ class IndexedInterventionEvaluator:
         self.convergence = certify_convergence(
             database.schema, total_rows=database.total_rows()
         )
-        self.engine = InterventionEngine(
+        self.engine = make_strategy(
             database,
+            strategy=strategy,
             universal=self.universal,
             join_tree=self.join_tree,
             certified_bound=self.convergence.bound,
@@ -319,7 +321,9 @@ class IndexedInterventionEvaluator:
         )
 
 
-def _cell_key(cell: Tuple[Tuple[str, Value], ...]):
+def _cell_key(
+    cell: Tuple[Tuple[str, Value], ...]
+) -> Tuple[int, Tuple[Tuple[str, Tuple[int, Any]], ...]]:
     from ..engine.types import sort_key
 
     return (len(cell), tuple((a, sort_key(v)) for a, v in cell))

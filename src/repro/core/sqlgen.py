@@ -344,6 +344,88 @@ def algorithm1_script(
     return "\n".join(parts)
 
 
+# -- Section 4.3: top-K pushed into a window function -----------------------
+
+
+def topk_select(
+    mu_column: str,
+    attributes: Sequence[str],
+    *,
+    k: int,
+    minimality: str = "general",
+    dialect: str = "sqlserver",
+    table: str = "M",
+    render_col: Optional[Callable[[str], str]] = None,
+    dummy_is_null: Optional[bool] = None,
+) -> str:
+    """Plain top-K over a materialized *M* as one window query.
+
+    Renders the Section 4.3 No-Minimal ranking — the exact order of
+    :func:`repro.core.topk.top_k_no_minimal` — as ``ROW_NUMBER() OVER``
+    so a DBMS holding *M* can answer top-K without shipping the table
+    back.  The ORDER BY replicates the in-memory ``_rank_key``:
+
+    1. degree descending (rows with an undefined degree are filtered);
+    2. the condition count — ascending under ``minimality="general"``
+       (fewer conditions win; the paper's dummy trick), descending
+       under ``"specific"`` (footnote 12);
+    3. per attribute, the don't-care marker sorts above every real
+       value, then the raw value descending — the deterministic
+       tie-break of the in-memory path.
+
+    The all-dummy row (the trivial explanation) is excluded, matching
+    the in-memory eligibility filter.  *dummy_is_null* selects the
+    don't-care encoding: the string dummy constant (SQL Server/SQLite
+    after the Section 4.2 rewrite; the default) or in-database NULL
+    (DuckDB's strictly typed columns).  Because every M row has a
+    distinct attribute tuple the order is a strict total order, so the
+    rendered ranking matches the in-memory one tie-for-tie.
+    """
+    _check_dialect(dialect)
+    if minimality not in ("general", "specific"):
+        raise QueryError(
+            f"minimality must be 'general' or 'specific', got {minimality!r}"
+        )
+    if k < 0:
+        raise QueryError(f"k must be non-negative, got {k}")
+    col = render_col if render_col is not None else (lambda name: name)
+    if dummy_is_null is None:
+        dummy_is_null = dialect == "duckdb"
+
+    def dummy_test(name: str) -> str:
+        if dummy_is_null:
+            return f"{col(name)} IS NULL"
+        return f"({col(name)} IS NULL OR {col(name)} = {DUMMY_SQL})"
+
+    conditions = " + ".join(
+        f"(CASE WHEN {dummy_test(a)} THEN 0 ELSE 1 END)" for a in attributes
+    )
+    cond_dir = "ASC" if minimality == "general" else "DESC"
+    order_terms = [f"{col(mu_column)} DESC", f"({conditions}) {cond_dir}"]
+    for a in attributes:
+        order_terms.append(
+            f"(CASE WHEN {dummy_test(a)} THEN 1 ELSE 0 END) DESC"
+        )
+        order_terms.append(f"{col(a)} DESC")
+    select_list = ", ".join(col(a) for a in attributes)
+    all_dummy = " AND ".join(dummy_test(a) for a in attributes)
+    lines = [
+        f"SELECT {select_list}, {col(mu_column)}, rn",
+        "FROM (",
+        f"  SELECT {select_list}, {col(mu_column)},",
+        "         ROW_NUMBER() OVER (",
+        "           ORDER BY " + ",\n                    ".join(order_terms),
+        "         ) AS rn",
+        f"  FROM {table}",
+        f"  WHERE {col(mu_column)} IS NOT NULL",
+        f"    AND NOT ({all_dummy})",
+        ") AS ranked",
+        f"WHERE rn <= {k}",
+        "ORDER BY rn;",
+    ]
+    return "\n".join(lines)
+
+
 # -- Proposition 3.2: program P in datalog ---------------------------------
 
 

@@ -140,7 +140,7 @@ def _rank(value: Value) -> int:
     return _TYPE_ORDER.get(type(value), 2)
 
 
-def sort_key(value: Value):
+def sort_key(value: Value) -> Tuple[int, Any]:
     """A total-order key over the heterogeneous value domain.
 
     NULL sorts first, then booleans, then numbers, then strings, then

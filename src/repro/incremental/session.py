@@ -112,6 +112,7 @@ class IncrementalSession:
         method: str = "auto",
         support_threshold: Optional[float] = None,
         shards: Optional[int] = None,
+        strategy: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
         verify: Optional[str] = None,
     ) -> None:
@@ -121,6 +122,11 @@ class IncrementalSession:
         self.method = method
         self.support_threshold = support_threshold
         self.shards = shards
+        #: Intervention strategy for full rebuilds (``None`` defers to
+        #: ``REPRO_STRATEGY``).  Patching never runs program P, so this
+        #: only matters on the fallback path — where any strategy
+        #: produces a byte-identical table.
+        self.strategy = strategy
         self._metrics = metrics if metrics is not None else get_registry()
         if verify is None:
             verify = os.environ.get("REPRO_INCREMENTAL_VERIFY", "off")
@@ -162,6 +168,7 @@ class IncrementalSession:
             self.attributes,
             support_threshold=self.support_threshold,
             shards=self.shards,
+            strategy=self.strategy,
         )
 
     def _initialize(self) -> None:

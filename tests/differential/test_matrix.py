@@ -147,6 +147,44 @@ class TestShardDifferential:
         ), f"shards={shards} diverges from serial on {dataset}"
 
 
+class TestStrategyDifferential:
+    """The intervention strategy is a pure execution knob like shards:
+    closure-index tables must be fingerprint-identical to the fixpoint
+    baseline for every program-P method, on every bundled dataset."""
+
+    @pytest.mark.parametrize("method", ("cube", "indexed"))
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_closure_table_fingerprint_identical(
+        self, tables, workloads, dataset, method
+    ):
+        db, question, attributes = workloads(dataset)
+        kwargs = (
+            {"check_additivity": False}
+            if (dataset, method) == ("dblp-small", "cube")
+            else {}
+        )
+        closure = Explainer(
+            db, question, list(attributes), strategy="closure"
+        ).explanation_table(method, **kwargs)
+        assert (
+            closure.content_fingerprint()
+            == tables(dataset, method).content_fingerprint()
+        ), f"strategy=closure diverges from fixpoint on {dataset}/{method}"
+
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_auto_strategy_matches_certificate(
+        self, workloads, dataset
+    ):
+        db, question, attributes = workloads(dataset)
+        explainer = Explainer(
+            db, question, list(attributes), strategy="auto"
+        )
+        resolved = explainer.resolve_strategy()
+        assert resolved == explainer.certificate().recommended_strategy
+        expected = "closure" if db.schema.back_and_forth_keys else "fixpoint"
+        assert resolved == expected
+
+
 class TestAutoResolution:
     @pytest.mark.parametrize("dataset", DATASETS)
     def test_auto_matches_certificate_recommendation(

@@ -216,6 +216,50 @@ class TestIncrementalServing:
         assert "-2 rows" in out or "deleted" in out
         assert "patched" in out
 
+    def test_closure_strategy_fresh_after_mutate(self):
+        # PR-8 regression: a closure-strategy service caches a cascade
+        # closure index per dataset version.  POST /v1/mutate must
+        # invalidate it — a stale index would either raise or serve
+        # pre-mutation deltas.  The served table after the mutation has
+        # to match a cold fixpoint service over the same mutated state.
+        warm_service = ExplanationService(
+            refresh="incremental", strategy="closure"
+        )
+        with BackgroundServer(warm_service) as bg:
+            client = bg.client()
+            first = client.explain(**EXPLAIN)
+            victims = _birth_rows(warm_service, 5)
+            client.mutate(
+                dataset="natality",
+                params=PARAMS,
+                mutations=[{"relation": "Birth", "delete": victims}],
+            )
+            warm = client.explain(**EXPLAIN)
+            assert warm.data["fingerprint"] != first.data["fingerprint"]
+
+        cold_service = ExplanationService(refresh="full")
+        db = cold_service.registry.resolve("natality", PARAMS).database
+        db.relation("Birth").delete_many([tuple(row) for row in victims])
+        with BackgroundServer(cold_service) as bg:
+            cold = bg.client().explain(**EXPLAIN)
+        comparable = (
+            "q_original",
+            "original_value",
+            "table_size",
+            "top_by_intervention",
+            "top_by_aggravation",
+            "fingerprint",
+        )
+        for key in comparable:
+            assert warm.data[key] == cold.data[key], key
+
+    def test_strategy_exposed_in_stats_and_health(self):
+        service = ExplanationService(strategy="closure")
+        with BackgroundServer(service) as bg:
+            client = bg.client()
+            assert client.stats()["strategy"] == "closure"
+            assert client.health()["strategy"] == "closure"
+
     def test_full_mode_has_no_sessions(self):
         service = ExplanationService(refresh="full")
         with BackgroundServer(service) as bg:

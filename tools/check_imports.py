@@ -23,7 +23,11 @@ Three rules, all checked without importing any project code:
    strictly via function-level imports.  Function-level imports
    across layers are allowed: they express deliberate,
    lazily-resolved dependencies (e.g. ``core.cube_algorithm``
-   dispatching to a backend).
+   dispatching to a backend).  The FK cascade closure index
+   (``engine/closure.py``) deliberately lives in the engine layer —
+   it depends only on the schema/relation machinery and the semijoin
+   reducer — so the ``core.intervention`` strategy layer imports it
+   *downward*; it must never grow a ``core`` import of its own.
 
 3. **Oracle quarantine** — the retained row-path oracles
    (``cube_rowwise``, ``cube_bruteforce``, ``group_by_rowwise``) exist
