@@ -27,6 +27,10 @@ back-and-forth foreign keys: Proposition 3.5 then bounds program P at
 certificate's ``recommended_strategy`` stays ``"fixpoint"`` —
 requesting ``strategy="closure"`` is sound (tables stay byte
 identical) but pays the index build for no iteration savings.
+
+The table above and its twin in ``docs/analysis.md`` are rendered from
+:data:`RS_CODES` (``render_code_table``); reprolint's RL008 fails CI if
+either drifts from the registry.
 """
 
 from __future__ import annotations
@@ -52,6 +56,44 @@ from ..errors import SchemaError
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
 
+#: The diagnostic registry — single source of truth for every RS code.
+#: The docstring table above and the table in ``docs/analysis.md`` are
+#: rendered from this tuple (``render_code_table``) and checked against
+#: it by reprolint's RL008; a pure literal so static tools can read it.
+RS_CODES: Tuple[Tuple[str, str, str], ...] = (
+    ("RS001", "error", "candidate attribute unknown in the schema"),
+    ("RS002", "error", "unqualified candidate attribute is ambiguous"),
+    ("RS003", "warning", "candidate attribute listed more than once"),
+    ("RS004", "warning", "primary-key attribute used as explanation dimension"),
+    ("RS005", "warning", "foreign-key attribute used as explanation dimension"),
+    ("RS006", "error", "predicate constant outside the column's declared type"),
+    ("RS007", "error", "aggregate argument/WHERE references an unknown column"),
+    ("RS008", "warning", "closure-index strategy cannot pay off on this schema"),
+)
+
+_SEVERITIES: Dict[str, str] = {code: severity for code, severity, _ in RS_CODES}
+
+
+def render_code_table(fmt: str = "markdown") -> str:
+    """The RS code table, rendered from :data:`RS_CODES`.
+
+    ``markdown`` is the ``docs/analysis.md`` flavour; ``rst`` is the
+    module-docstring flavour.  Paste the output verbatim — RL008
+    compares both documents against the registry row by row.
+    """
+    if fmt == "markdown":
+        lines = ["| code | severity | meaning |", "| --- | --- | --- |"]
+        lines += [f"| {c} | {s} | {m} |" for c, s, m in RS_CODES]
+        return "\n".join(lines)
+    if fmt == "rst":
+        width = max(len(m) for _, _, m in RS_CODES)
+        bar = f"=========  ========  {'=' * width}"
+        lines = [bar, "code       severity  meaning", bar]
+        lines += [f"``{c}``  {s.ljust(8)}  {m}".rstrip() for c, s, m in RS_CODES]
+        lines.append(bar)
+        return "\n".join(lines)
+    raise ValueError(f"unknown table format {fmt!r}")
+
 
 @dataclass(frozen=True)
 class Diagnostic:
@@ -74,6 +116,15 @@ class Diagnostic:
 
     def __str__(self) -> str:
         return f"{self.code} {self.severity} [{self.subject}]: {self.message}"
+
+
+def _diag(code: str, message: str, subject: str) -> Diagnostic:
+    """A :class:`Diagnostic` whose severity comes from the registry.
+
+    Keeping severity out of the construction sites means a code's
+    severity can only ever be what :data:`RS_CODES` declares.
+    """
+    return Diagnostic(code, _SEVERITIES[code], message, subject)
 
 
 def _dtype_accepts(dtype: str, value: object) -> bool:
@@ -137,17 +188,15 @@ def _lint_attribute(
     if resolved is None:
         if "." not in spec and len(schema.attribute_owner(spec)) > 1:
             owners = ", ".join(schema.attribute_owner(spec))
-            yield Diagnostic(
+            yield _diag(
                 "RS002",
-                SEVERITY_ERROR,
                 f"attribute {spec!r} is ambiguous (declared by {owners}); "
                 "qualify it as Relation.attribute",
                 spec,
             )
         else:
-            yield Diagnostic(
+            yield _diag(
                 "RS001",
-                SEVERITY_ERROR,
                 f"attribute {spec!r} does not resolve to any relation "
                 "column in the schema",
                 spec,
@@ -156,9 +205,8 @@ def _lint_attribute(
     rel_name, attr = resolved
     relation = schema.relation(rel_name)
     if attr in relation.primary_key:
-        yield Diagnostic(
+        yield _diag(
             "RS004",
-            SEVERITY_WARNING,
             f"{rel_name}.{attr} is (part of) the primary key of "
             f"{rel_name}; key columns make near-unique explanation "
             "dimensions and explode the cube",
@@ -166,9 +214,8 @@ def _lint_attribute(
         )
     for fk in schema.foreign_keys_from(rel_name):
         if attr in fk.source_attrs:
-            yield Diagnostic(
+            yield _diag(
                 "RS005",
-                SEVERITY_WARNING,
                 f"{rel_name}.{attr} is a foreign-key attribute ({fk}); "
                 "explanations over raw key values rarely generalize",
                 spec,
@@ -204,9 +251,8 @@ def _lint_query(
         if argument is not None and not _universal_column_exists(
             schema, argument
         ):
-            yield Diagnostic(
+            yield _diag(
                 "RS007",
-                SEVERITY_ERROR,
                 f"aggregate {q.name} argument {argument!r} is not a "
                 "universal-table column",
                 q.name,
@@ -215,9 +261,8 @@ def _lint_query(
             continue
         for column in q.where.columns():
             if not _universal_column_exists(schema, column):
-                yield Diagnostic(
+                yield _diag(
                     "RS007",
-                    SEVERITY_ERROR,
                     f"aggregate {q.name} WHERE references unknown column "
                     f"{column!r}",
                     q.name,
@@ -227,9 +272,8 @@ def _lint_query(
             if dtype is None:
                 continue  # unknown column already reported as RS007
             if not _dtype_accepts(dtype, constant):
-                yield Diagnostic(
+                yield _diag(
                     "RS006",
-                    SEVERITY_ERROR,
                     f"aggregate {q.name} compares {column} (declared "
                     f"{dtype!r}) against {constant!r} "
                     f"({type(constant).__name__}); the predicate can "
@@ -254,9 +298,8 @@ def lint_plan(
         seen[spec] = seen.get(spec, 0) + 1
         if seen[spec] == 2:  # report once per duplicated spec
             findings.append(
-                Diagnostic(
+                _diag(
                     "RS003",
-                    SEVERITY_WARNING,
                     f"attribute {spec!r} listed more than once; duplicate "
                     "dimensions add no explanations",
                     spec,
@@ -268,9 +311,8 @@ def lint_plan(
         findings.extend(_lint_query(schema, query))
     if not schema.back_and_forth_keys:
         findings.append(
-            Diagnostic(
+            _diag(
                 "RS008",
-                SEVERITY_WARNING,
                 "schema has no back-and-forth foreign keys, so program P "
                 "is certified to converge within 2 iterations (Prop 3.5); "
                 "the closure-index strategy cannot apply profitably here "

@@ -110,7 +110,7 @@ class DuckDBBackend(SQLBackend):
         self,
         attributes: Sequence[str],
         aliases: Sequence[str],
-        aggregate: str,
+        aggregate_sql: str,
         value_column: str,
         where_sql: Optional[str],
     ) -> str:
@@ -123,7 +123,7 @@ class DuckDBBackend(SQLBackend):
             for kept in grouping_sets(attributes)
         )
         lines = [
-            f"SELECT {cols}, {aggregate} AS {qid(value_column)}",
+            f"SELECT {cols}, {aggregate_sql} AS {qid(value_column)}",
             f"FROM {qid(UNIVERSAL_VIEW)}",
         ]
         if where_sql:
@@ -133,8 +133,8 @@ class DuckDBBackend(SQLBackend):
 
     # No _rewrite_dummies: the don't-care marker stays NULL in-database.
 
-    def _key_eq(self, left: str, right: str) -> str:
-        return f"{left} IS NOT DISTINCT FROM {right}"
+    def _key_eq(self, left_sql: str, right_sql: str) -> str:
+        return f"{left_sql} IS NOT DISTINCT FROM {right_sql}"
 
     def _key_to_engine(self, value: Any) -> Value:
         return DUMMY if value is None else value

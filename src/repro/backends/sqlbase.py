@@ -119,11 +119,16 @@ class SQLBackend(ExecutionBackend):
         self,
         attributes: Sequence[str],
         aliases: Sequence[str],
-        aggregate: str,
+        aggregate_sql: str,
         value_column: str,
         where_sql: Optional[str],
     ) -> str:
-        """The SELECT computing one aggregate's cube over ``__U``."""
+        """The SELECT computing one aggregate's cube over ``__U``.
+
+        ``aggregate_sql``/``where_sql`` are pre-rendered fragments from
+        :mod:`repro.core.sqlgen` — the ``*_sql`` names mark them as
+        already quoted (RL006).
+        """
         raise NotImplementedError
 
     def _rewrite_dummies(
@@ -131,9 +136,9 @@ class SQLBackend(ExecutionBackend):
     ) -> None:
         """Post-process a cube table (the NULL→dummy UPDATE, if any)."""
 
-    def _key_eq(self, left: str, right: str) -> str:
-        """The join condition between two cube key columns."""
-        return f"{left} = {right}"
+    def _key_eq(self, left_sql: str, right_sql: str) -> str:
+        """The join condition between two (already-quoted) key columns."""
+        return f"{left_sql} = {right_sql}"
 
     def _key_to_engine(self, value: Any) -> Value:
         """Map one SQL key value back to the engine domain."""

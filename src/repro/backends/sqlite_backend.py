@@ -21,6 +21,7 @@ import math
 import sqlite3
 from typing import Any, ClassVar, List, Optional, Sequence
 
+from ..core.sqlgen import sql_literal
 from ..engine.cube import grouping_sets
 from ..errors import QueryError
 from .sqlbase import DUMMY_TEXT, UNIVERSAL_VIEW, SQLBackend, qid
@@ -56,7 +57,7 @@ class SQLiteBackend(SQLBackend):
         self,
         attributes: Sequence[str],
         aliases: Sequence[str],
-        aggregate: str,
+        aggregate_sql: str,
         value_column: str,
         where_sql: Optional[str],
     ) -> str:
@@ -70,7 +71,7 @@ class SQLiteBackend(SQLBackend):
                 for attr, alias in zip(attributes, aliases)
             )
             lines = [
-                f"SELECT {cols}, {aggregate} AS {qid(value_column)}",
+                f"SELECT {cols}, {aggregate_sql} AS {qid(value_column)}",
                 f"FROM {qid(UNIVERSAL_VIEW)}",
             ]
             if where_sql:
@@ -90,7 +91,8 @@ class SQLiteBackend(SQLBackend):
         # join can use plain (NULL-blind) equality.
         for alias in aliases:
             con.execute(
-                f"UPDATE {qid(table)} SET {qid(alias)} = '{DUMMY_TEXT}' "
+                f"UPDATE {qid(table)} SET {qid(alias)} = "
+                f"{sql_literal(DUMMY_TEXT)} "
                 f"WHERE {qid(alias)} IS NULL"
             )
 
@@ -102,7 +104,7 @@ class SQLiteBackend(SQLBackend):
             hit = self._fetchall(
                 con,
                 f"SELECT 1 FROM {qid(UNIVERSAL_VIEW)} "
-                f"WHERE {qid(attr)} = '{DUMMY_TEXT}' LIMIT 1",
+                f"WHERE {qid(attr)} = {sql_literal(DUMMY_TEXT)} LIMIT 1",
             )
             if hit:
                 raise QueryError(

@@ -57,7 +57,7 @@ class AggregateQuery:
 
     def __str__(self) -> str:
         where = f" WHERE {self.where}" if self.where is not None else ""
-        return f"{self.name}: SELECT {self.aggregate} FROM U{where}"
+        return f"{self.name}: SELECT {self.aggregate} FROM U{where}"  # reprolint: disable=RL006 (human-readable repr, never executed as SQL)
 
 
 @dataclass(frozen=True)

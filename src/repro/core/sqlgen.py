@@ -30,6 +30,8 @@ output is tested by *executing* it against an in-memory database (see
 primitives to run Algorithm 1 inside a real DBMS.
 """
 
+# reprolint: disable=RL006 (this module IS the sqlgen layer: the remaining bare holes interpolate aggregate-query names and table aliases that the schema layer validated as identifiers, into display-oriented SQL Server/datalog text that is never executed — the executable dialects route through qid()/sql_literal())
+
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple

@@ -288,13 +288,18 @@ class Relation:
         return len(removed)
 
     def clear(self) -> None:
-        """Remove all rows."""
+        """Remove all rows.
+
+        Subscribers see the whole call as one batch.
+        """
         dropped = tuple(self._rows)
-        self._rows.clear()
-        self._pk_index.clear()
-        self._secondary.clear()
-        self._version += 1
-        self._notify((), dropped)
+        try:
+            self._rows.clear()
+            self._pk_index.clear()
+            self._secondary.clear()
+            self._version += 1
+        finally:
+            self._notify((), dropped)
 
     def _env_of(self, row: Row) -> Dict[str, Value]:
         return dict(zip(self.schema.attribute_names, row))
@@ -309,10 +314,14 @@ class Relation:
         """
         test = _as_env_predicate(predicate)
         matched = [row for row in self._rows if test(self._env_of(row))]
-        for row in matched:
-            self._delete_row(row)
-        self._notify((), matched)
-        return matched
+        deleted: List[Row] = []
+        try:
+            for row in matched:
+                if self._delete_row(row) is not None:
+                    deleted.append(row)
+        finally:
+            self._notify((), deleted)
+        return deleted
 
     def update_where(
         self,
@@ -346,20 +355,27 @@ class Relation:
             new_row = tuple(values)
             if new_row != row:
                 pairs.append((row, new_row))
-        for old_row, _ in pairs:
-            self._delete_row(old_row)
         inserted: List[Row] = []
+        deleted: List[Row] = []
         try:
-            for _, new_row in pairs:
-                if self._insert_row(new_row) is not None:
-                    inserted.append(new_row)
-        except IntegrityError:
-            for row in inserted:
-                self._delete_row(row)
             for old_row, _ in pairs:
-                self._insert_row(old_row)
-            raise
-        self._notify(inserted, [old for old, _ in pairs])
+                if self._delete_row(old_row) is not None:
+                    deleted.append(old_row)
+            try:
+                for _, new_row in pairs:
+                    if self._insert_row(new_row) is not None:
+                        inserted.append(new_row)
+            except IntegrityError:
+                # Roll back to the pre-call state, shrinking the batch
+                # lists as each mutation is undone so the finally-notify
+                # below reports exactly the net delta that survived.
+                while inserted:
+                    self._delete_row(inserted.pop())
+                while deleted:
+                    self._insert_row(deleted.pop())
+                raise
+        finally:
+            self._notify(inserted, deleted)
         return inserted
 
     # -- lookups ---------------------------------------------------------

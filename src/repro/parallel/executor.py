@@ -124,6 +124,26 @@ def _fallback_counter(reason: str) -> Counter:
     )
 
 
+def _count_total(states_seq: Sequence[Dict[Row, GroupState]]) -> int:
+    """Total row count across count-only base states.
+
+    On the count-only path every :data:`GroupState` is an ``int``; this
+    narrows the union for the type checker and turns a miswired state
+    (a list where a count belongs) into a :class:`ShardError` instead
+    of a ``TypeError`` deep inside ``sum``.
+    """
+    total = 0
+    for states in states_seq:
+        for state in states.values():
+            if not isinstance(state, int):
+                raise ShardError(
+                    "count-only merge saw a non-integer group state "
+                    f"({type(state).__name__})"
+                )
+            total += state
+    return total
+
+
 def merge_shard_states(
     partials: Sequence[Dict[Row, GroupState]],
     aggregates: Sequence[AggregateSpec],
@@ -142,9 +162,7 @@ def merge_shard_states(
     expected_keys: Set[Row] = set()
     for p in partials:
         expected_keys.update(p)
-    expected_total = (
-        sum(sum(p.values()) for p in partials) if count_only else None  # type: ignore[arg-type]
-    )
+    expected_total = _count_total(partials) if count_only else None
     level: List[Dict[Row, GroupState]] = list(partials)
     while len(level) > 1:
         merged_level: List[Dict[Row, GroupState]] = []
@@ -168,7 +186,7 @@ def merge_shard_states(
             f"{len(merged)} merged vs {len(expected_keys)} expected"
         )
     if expected_total is not None:
-        merged_total = sum(merged.values())  # type: ignore[arg-type]
+        merged_total = _count_total((merged,))
         if merged_total != expected_total:
             raise ShardError(
                 f"shard reduction lost rows: merged count {merged_total} "

@@ -35,7 +35,12 @@ from ..engine.table import Table
 from ..engine.types import Row, Value
 
 #: Worker-side slice cache.  One live scatter per worker: entries from
-#: older tokens are evicted when a new scatter arrives.
+#: older tokens are evicted when a new scatter arrives.  Staleness-safe
+#: by construction rather than by version guard: the key embeds the
+#: scatter token, which the parent derives from the database content
+#: fingerprint — a mutated database scatters under a fresh token, and
+#: the parent re-ships data on ShardCacheMiss.
+# reprolint: disable=RL004 (keyed by immutable scatter token; a new database version gets a new token, so entries can go unused but never stale)
 _SHARD_CACHE: Dict[Tuple[str, int], Table] = {}
 
 
@@ -69,9 +74,14 @@ class ShardCacheMiss:
     shard: int
 
 
-@dataclass
+@dataclass(frozen=True)
 class ShardStates:
-    """One shard's partial cube: full-granularity base states."""
+    """One shard's partial cube: full-granularity base states.
+
+    Frozen like every payload crossing the spawn boundary: the parent
+    receives a pickle-copy, so a field assigned on either side would be
+    silently invisible to the other.
+    """
 
     shard: int
     states: Dict[Row, GroupState]

@@ -117,15 +117,28 @@ def rank_table(
     )
 
 
+#: Dotted-name group -> Prometheus counter family.  A closed table, not
+#: an f-string: metric families must be statically enumerable (RL007) —
+#: a dynamically minted family never shows up in dashboards or in the
+#: cross-check that every referenced family is registered.
+_EVENT_FAMILIES: Dict[str, str] = {
+    "requests": "repro_requests_total",
+    "compute": "repro_compute_total",
+    "mutate": "repro_mutate_total",
+}
+
+
 class Counters:
     """Dotted-name counter facade over a :class:`MetricsRegistry`.
 
     The service historically counts events under dotted names
     (``"requests.topk"``, ``"compute.tables_built"``) surfaced by
-    ``/v1/stats``.  Each dotted name now maps onto a Prometheus counter
-    family — ``"<group>.<kind>"`` becomes
-    ``repro_<group>_total{kind="<kind>"}`` — so the same increments
-    feed both the legacy nested-stats payload and ``/v1/metrics``.
+    ``/v1/stats``.  Each dotted name maps onto one of the closed set of
+    counter families in ``_EVENT_FAMILIES`` — ``"<group>.<kind>"``
+    becomes ``repro_<group>_total{kind="<kind>"}`` — so the same
+    increments feed both the legacy nested-stats payload and
+    ``/v1/metrics``.  Counting under an unknown group is a programming
+    error and raises ``KeyError`` rather than minting a family.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
@@ -138,7 +151,7 @@ class Counters:
         if counter is None:
             group, _, rest = name.partition(".")
             counter = self.registry.counter(
-                f"repro_{group}_total",
+                _EVENT_FAMILIES[group],
                 labels={"kind": rest or group},
                 help=f"Service {group} events by kind.",
             )

@@ -1,0 +1,39 @@
+"""Shared fixtures for the reprolint test suite.
+
+The analyzer lives in ``tools/`` (not ``src/``), so the repo root must
+be importable; fixture projects are materialized under ``tmp_path`` and
+linted with an explicit ``root=`` so the checks see repo-relative paths
+like ``src/repro/engine/x.py``.
+"""
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Materialize {rel-path: source} under tmp_path and run reprolint."""
+
+    from tools.reprolint import run_paths
+
+    def _lint(files, select, baseline=None):
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        roots = sorted({Path(rel).parts[0] for rel in files})
+        return run_paths(
+            [Path(r) for r in roots],
+            root=tmp_path,
+            select=set(select),
+            baseline_path=baseline,
+        )
+
+    return _lint

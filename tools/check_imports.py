@@ -1,298 +1,47 @@
 #!/usr/bin/env python3
-"""AST-level import police for the repro codebase (run in CI).
+"""Compatibility shim over reprolint's RL001/RL002 checks.
 
-Three rules, all checked without importing any project code:
+Historically this script implemented the import-layering, stdlib-purity
+and oracle-quarantine rules itself; they now live in
+``tools/reprolint/checks/`` (RL001, RL002) with the repo policy in
+``tools/reprolint/conventions.py``.  The CLI contract is preserved for
+existing CI invocations and muscle memory:
 
-1. **Stdlib purity** — ``repro.obs``, ``repro.engine``,
-   ``repro.parallel``, ``repro.incremental``, ``repro.core`` and
-   ``repro.analysis`` must work on a bare Python install: no
-   third-party imports anywhere in those packages, not even inside
-   function bodies.  One exemption: ``engine/fastpath.py`` is the
-   optional numpy columnar kernel and is import-guarded by its
-   callers.
+* scans ``src`` and ``tests``;
+* prints one ``path:line: message`` per violation;
+* prints ``check_imports: OK`` and exits 0 when clean, exits 1 otherwise.
 
-2. **Layering** — module-level imports must respect the dependency
-   order ``obs < engine < parallel < incremental < core < analysis <
-   backends/datasets < service`` (the CLI may use everything).
-   ``obs`` is the bottom layer: the observability primitives import
-   nothing but the stdlib, and every other layer may instrument
-   itself with them.  ``parallel`` sits directly on the engine — its
-   spawn workers re-import only the engine's cube kernels.
-   ``incremental`` maintains engine-level cube states and reaches up
-   into ``core``/``analysis`` (table finalization, certification)
-   strictly via function-level imports.  Function-level imports
-   across layers are allowed: they express deliberate,
-   lazily-resolved dependencies (e.g. ``core.cube_algorithm``
-   dispatching to a backend).  The FK cascade closure index
-   (``engine/closure.py``) deliberately lives in the engine layer —
-   it depends only on the schema/relation machinery and the semijoin
-   reducer — so the ``core.intervention`` strategy layer imports it
-   *downward*; it must never grow a ``core`` import of its own.
-
-3. **Oracle quarantine** — the retained row-path oracles
-   (``cube_rowwise``, ``cube_bruteforce``, ``group_by_rowwise``) exist
-   for differential testing and benchmarks only.  Outside
-   ``benchmarks/``, nothing may import them except their defining
-   modules and the dedicated parity tests.
-
-Exit status 0 when clean; 1 with one ``file:line: message`` per
-violation otherwise.
+Prefer ``python -m tools.reprolint src tools`` for the full rule set.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-SRC = REPO_ROOT / "src" / "repro"
-TESTS = REPO_ROOT / "tests"
-
-#: Packages that must run on a bare Python install.
-STDLIB_ONLY_PACKAGES = (
-    "obs",
-    "engine",
-    "parallel",
-    "incremental",
-    "core",
-    "analysis",
-)
-
-#: path (relative to src/repro) -> modules it may import anyway.
-THIRD_PARTY_EXEMPTIONS = {
-    ("engine", "fastpath.py"): {"numpy"},
-}
-
-#: Layer rank; a module may *module-level* import only layers <= its
-#: own.  ``core`` reaches up into ``analysis`` (certificate consumers)
-#: strictly via function-level imports, which the rule permits.
-LAYERS = {
-    "obs": -1,
-    "engine": 0,
-    "parallel": 1,
-    "incremental": 2,
-    "core": 3,
-    "analysis": 4,
-    "backends": 5,
-    "datasets": 5,
-    "service": 6,
-}
-
-ORACLES = {"cube_rowwise", "cube_bruteforce", "group_by_rowwise"}
-
-#: Files allowed to reference the oracles (defining modules + parity
-#: tests), as paths relative to the repo root.
-ORACLE_ALLOWLIST = {
-    Path("src/repro/engine/cube.py"),
-    Path("src/repro/engine/groupby.py"),
-    Path("tests/engine/test_cube.py"),
-    Path("tests/property/test_engine_properties.py"),
-    Path("tests/property/test_columnar_properties.py"),
-    Path("tests/core/test_cube_algorithm.py"),
-}
-
-
-def iter_imports(
-    tree: ast.Module,
-) -> Iterator[Tuple[ast.stmt, bool]]:
-    """Every import statement with a flag: True iff module-level."""
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.Import, ast.ImportFrom)):
-            yield node, getattr(node, "_module_level", False)
-
-
-def mark_module_level(tree: ast.Module) -> None:
-    """Tag import nodes that execute at import time.
-
-    Module-level means directly in the module body or nested only
-    inside ``if``/``try`` blocks at module scope (conditional imports
-    still run at import time) — not inside a function or class body.
-    """
-
-    def walk(body: List[ast.stmt]) -> None:
-        for node in body:
-            if isinstance(node, (ast.Import, ast.ImportFrom)):
-                node._module_level = True  # type: ignore[attr-defined]
-            elif isinstance(node, (ast.If, ast.Try)):
-                blocks = [node.body, node.orelse]
-                if isinstance(node, ast.Try):
-                    blocks.append(node.finalbody)
-                    for handler in node.handlers:
-                        blocks.append(handler.body)
-                for block in blocks:
-                    walk(block)
-            elif isinstance(node, ast.With):
-                walk(node.body)
-
-    walk(tree.body)
-
-
-def in_type_checking_block(tree: ast.Module, node: ast.stmt) -> bool:
-    """Is *node* guarded by ``if TYPE_CHECKING:``?  Those never run."""
-    for outer in ast.walk(tree):
-        if not isinstance(outer, ast.If):
-            continue
-        test = outer.test
-        name = ""
-        if isinstance(test, ast.Name):
-            name = test.id
-        elif isinstance(test, ast.Attribute):
-            name = test.attr
-        if name != "TYPE_CHECKING":
-            continue
-        for child in ast.walk(outer):
-            if child is node:
-                return True
-    return False
-
-
-def imported_roots(
-    node: ast.stmt, module_parts: Tuple[str, ...]
-) -> Iterator[str]:
-    """Absolute top-level module names one import statement pulls in.
-
-    Relative imports are resolved against *module_parts* (the dotted
-    path of the importing module, e.g. ``("repro", "core", "x")``).
-    """
-    if isinstance(node, ast.Import):
-        for alias in node.names:
-            yield alias.name.split(".")[0]
-    elif isinstance(node, ast.ImportFrom):
-        if node.level == 0:
-            if node.module:
-                yield node.module.split(".")[0]
-        else:
-            # from ..pkg import x  ->  anchor at module_parts[:-level]
-            base = module_parts[: len(module_parts) - node.level]
-            if node.module:
-                base = base + tuple(node.module.split("."))
-            if base:
-                yield base[0]
-
-
-def resolved_repro_subpackage(
-    node: ast.stmt, module_parts: Tuple[str, ...]
-) -> Optional[str]:
-    """The repro subpackage (``"engine"``, ``"core"``, ...) an import
-    statement targets, or None for non-repro imports."""
-    if isinstance(node, ast.ImportFrom):
-        if node.level > 0:
-            base = module_parts[: len(module_parts) - node.level]
-            if node.module:
-                base = base + tuple(node.module.split("."))
-            if len(base) >= 2 and base[0] == "repro":
-                return base[1]
-            if len(base) == 1 and base[0] == "repro":
-                # "from . import x" at the repro top level, or
-                # "from .. import errors" from a subpackage: top-level
-                # modules (errors, _version) sit below every layer.
-                return None
-            return None
-        if node.module and node.module.split(".")[0] == "repro":
-            parts = node.module.split(".")
-            return parts[1] if len(parts) > 1 else None
-    elif isinstance(node, ast.Import):
-        for alias in node.names:
-            parts = alias.name.split(".")
-            if parts[0] == "repro" and len(parts) > 1:
-                return parts[1]
-    return None
-
-
-def stdlib_names() -> frozenset:
-    if sys.version_info < (3, 10):  # pragma: no cover
-        raise SystemExit(
-            "check_imports.py needs Python >= 3.10 "
-            "(sys.stdlib_module_names); skipping is fine on older CI legs"
-        )
-    return frozenset(sys.stdlib_module_names)
-
-
-def check_file(path: Path, stdlib: frozenset) -> List[str]:
-    rel = path.relative_to(REPO_ROOT)
-    text = path.read_text(encoding="utf-8")
-    tree = ast.parse(text, filename=str(rel))
-    mark_module_level(tree)
-
-    # Dotted module path, e.g. src/repro/core/x.py -> (repro, core, x).
-    parts = rel.parts
-    if parts[0] == "src":
-        module_parts: Tuple[str, ...] = parts[1:-1] + (path.stem,)
-        if path.stem == "__init__":
-            module_parts = parts[1:-1]
-    else:
-        module_parts = parts[:-1] + (path.stem,)
-
-    subpackage = (
-        module_parts[1]
-        if len(module_parts) > 1 and module_parts[0] == "repro"
-        else None
-    )
-    problems: List[str] = []
-
-    for node, module_level in iter_imports(tree):
-        line = f"{rel}:{node.lineno}"
-        type_checking = in_type_checking_block(tree, node)
-
-        # Rule 3: oracle quarantine (checked first: applies everywhere).
-        if isinstance(node, ast.ImportFrom) and rel not in ORACLE_ALLOWLIST:
-            for alias in node.names:
-                if alias.name in ORACLES:
-                    problems.append(
-                        f"{line}: imports row-path oracle {alias.name!r}; "
-                        f"only benchmarks/ and the parity tests may"
-                    )
-
-        if not parts[0] == "src":
-            continue
-
-        # Rule 1: stdlib purity for engine/core/analysis.
-        if subpackage in STDLIB_ONLY_PACKAGES and not type_checking:
-            exempt = THIRD_PARTY_EXEMPTIONS.get(
-                (subpackage, rel.name), frozenset()
-            )
-            for root in imported_roots(node, module_parts):
-                if root in stdlib or root == "repro" or root in exempt:
-                    continue
-                problems.append(
-                    f"{line}: third-party import {root!r} in stdlib-only "
-                    f"package repro.{subpackage}"
-                )
-
-        # Rule 2: module-level layering.
-        if (
-            module_level
-            and not type_checking
-            and subpackage in LAYERS
-        ):
-            target = resolved_repro_subpackage(node, module_parts)
-            if target in LAYERS and LAYERS[target] > LAYERS[subpackage]:
-                problems.append(
-                    f"{line}: repro.{subpackage} (layer {LAYERS[subpackage]}) "
-                    f"imports repro.{target} (layer {LAYERS[target]}) at "
-                    f"module level; use a function-level import"
-                )
-    return problems
 
 
 def main() -> int:
-    stdlib = stdlib_names()
-    problems: List[str] = []
-    roots = [SRC, TESTS]
-    for root in roots:
-        for path in sorted(root.rglob("*.py")):
-            if "__pycache__" in path.parts:
-                continue
-            problems.extend(check_file(path, stdlib))
-    if problems:
-        print("\n".join(problems))
-        print(f"\ncheck_imports: {len(problems)} violation(s)")
+    sys.path.insert(0, str(REPO_ROOT))
+    from tools.reprolint import run_paths
+
+    result = run_paths(
+        [Path("src"), Path("tests")],
+        root=REPO_ROOT,
+        select={"RL001", "RL002"},
+        baseline_path=None,
+    )
+    failed = False
+    for finding in result.active:
+        if finding.severity == "error":
+            failed = True
+        print(f"{finding.path}:{finding.line}: {finding.message}")
+    if failed:
         return 1
     print("check_imports: OK")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""reprolint — repo-wide static invariant analyzer.
+
+Usage::
+
+    python -m tools.reprolint src tools            # lint, text report
+    python -m tools.reprolint --format json src    # machine-readable
+    python -m tools.reprolint --list-checks        # what runs
+    python -m tools.reprolint --render-code-tables # canonical RL/RS tables
+
+See ``docs/static_analysis.md`` for the check catalogue, the
+suppression-pragma grammar, and the baseline policy.
+"""
+
+from __future__ import annotations
+
+from .framework import (  # noqa: F401
+    Check,
+    Finding,
+    Project,
+    RunResult,
+    SourceFile,
+    code_table_rows,
+    load_checks,
+    render_code_table,
+    repo_root,
+    run_paths,
+)

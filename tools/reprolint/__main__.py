@@ -1,0 +1,130 @@
+"""Command-line entry point: ``python -m tools.reprolint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .framework import (
+    DEFAULT_BASELINE,
+    load_checks,
+    render_code_table,
+    repo_root,
+    run_paths,
+)
+from .reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Repo-wide static invariant analyzer (see docs/static_analysis.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src tools)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="also write the report to a file"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline file (default: tools/reprolint/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as active",
+    )
+    parser.add_argument(
+        "--select", default=None, help="comma-separated RL codes to run exclusively"
+    )
+    parser.add_argument(
+        "--ignore", default=None, help="comma-separated RL codes to skip"
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="warnings also fail the run"
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="include baselined and pragma-suppressed findings in text output",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="list registered checks and exit"
+    )
+    parser.add_argument(
+        "--render-code-tables",
+        action="store_true",
+        help="print the canonical RS/RL code tables and exit",
+    )
+    return parser
+
+
+def _split(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_checks:
+        for code in sorted(load_checks()):
+            check = load_checks()[code]
+            print(f"{code}  {check.severity:<7}  {check.name}: {check.summary}")
+        return 0
+
+    if args.render_code_tables:
+        sys.path.insert(0, str(repo_root() / "src"))
+        from repro.analysis.linter import render_code_table as render_rs_table
+
+        print("# RS codes (plan linter) — markdown")
+        print(render_rs_table("markdown"))
+        print()
+        print("# RS codes (plan linter) — reST (linter.py docstring)")
+        print(render_rs_table("rst"))
+        print()
+        print("# RL codes (reprolint) — markdown (docs/static_analysis.md)")
+        print(render_code_table("markdown"))
+        return 0
+
+    paths = [Path(p) for p in (args.paths or ["src", "tools"])]
+    try:
+        result = run_paths(
+            paths,
+            select=_split(args.select),
+            ignore=_split(args.ignore),
+            baseline_path=None if args.no_baseline else args.baseline,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    report = (
+        render_json(result)
+        if args.fmt == "json"
+        else render_text(result, verbose=args.verbose)
+    )
+    print(report)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(
+            (report if args.fmt == "json" else render_json(result)) + "\n",
+            encoding="utf-8",
+        )
+    return result.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

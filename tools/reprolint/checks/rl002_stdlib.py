@@ -1,0 +1,60 @@
+"""RL002 — stdlib purity outside ``backends/``.
+
+The engine must run on a bare CPython: every ``repro`` subpackage other
+than ``backends`` may import only the stdlib (and ``repro`` itself) at
+module level.  Optional accelerators (numpy in ``engine/fastpath.py``)
+are exempted per file in ``conventions.THIRD_PARTY_EXEMPTIONS`` and are
+expected to guard the import.  Function-level third-party imports are
+allowed — that is the graceful-degradation idiom.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from .. import astutil
+from ..conventions import (
+    STDLIB_ONLY_EXEMPT_SUBPACKAGES,
+    THIRD_PARTY_EXEMPTIONS,
+    stdlib_names,
+)
+from ..framework import Check, Finding, Project, register
+
+
+@register
+class StdlibPurityCheck(Check):
+    code = "RL002"
+    name = "stdlib-purity"
+    severity = "error"
+    summary = "third-party import at module level outside backends/"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        stdlib = stdlib_names()
+        for file in project.files:
+            if not file.rel.startswith("src/repro/"):
+                continue
+            sub = file.subpackage
+            if sub in STDLIB_ONLY_EXEMPT_SUBPACKAGES:
+                continue
+            tree = file.tree
+            if tree is None:
+                continue
+            allowed = THIRD_PARTY_EXEMPTIONS.get(
+                (sub or "", Path(file.rel).name), set()
+            )
+            for node, module_level in astutil.module_level_imports(tree):
+                if not module_level:
+                    continue
+                for root, line in astutil.imported_roots(node):
+                    if root in stdlib or root == "repro" or root in allowed:
+                        continue
+                    yield self.finding(
+                        file,
+                        line,
+                        f"third-party import {root!r} at module level in "
+                        f"stdlib-only subpackage "
+                        f"{'repro' if sub is None else 'repro.' + sub}; "
+                        "import it inside the function that needs it or add "
+                        "a conventions.py exemption",
+                    )

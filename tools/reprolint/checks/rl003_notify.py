@@ -1,0 +1,195 @@
+"""RL003 — subscriber notification must survive partial failure.
+
+The incremental-maintenance layer (``repro.incremental``) is only sound
+if every observable mutation of a subscriber-bearing class reaches its
+subscribers, *including* mutations that abort halfway (integrity error
+mid-batch).  The idiom the repo settled on after PR 7 is: wrap the
+row-store loop in ``try:`` and call ``self._notify(...)`` from the
+``finally:`` block with the rows that actually landed.
+
+Detection: for any class that defines both ``subscribe`` and ``_notify``
+plus row-level mutation primitives (``_insert_row``/``_delete_row``),
+every *batch* mutator — one that calls a primitive inside a loop, or
+performs two or more store mutations — must invoke ``self._notify``
+from inside a ``finally:`` block.  Public batch mutators that never
+notify at all are also flagged; private helpers are assumed to be
+notified for by their caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .. import astutil
+from ..conventions import MUTATION_PRIMITIVE_PREFIXES
+from ..framework import Check, Finding, Project, register
+
+_EXEMPT = {"__init__", "subscribe", "unsubscribe", "_notify"}
+
+#: Container methods that mutate their receiver; ``self._store.get(...)``
+#: is a read, not a mutation event.
+_MUTATOR_METHODS = {
+    "append",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+
+def _self_attr(node: ast.expr) -> str:
+    """'attr' if node is ``self.attr`` (or a subscript of it), else ''."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _methods(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _store_attrs(primitives: List[ast.FunctionDef]) -> Set[str]:
+    """Attributes of ``self`` mutated inside the row-level primitives."""
+    attrs: Set[str] = set()
+    for fn in primitives:
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    name = _self_attr(target)
+                    if name:
+                        attrs.add(name)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATOR_METHODS:
+                    name = _self_attr(node.func.value)
+                    if name:
+                        attrs.add(name)
+    return attrs
+
+
+@register
+class NotifyInFinallyCheck(Check):
+    code = "RL003"
+    name = "notify-in-finally"
+    severity = "error"
+    summary = "batch Relation mutator does not notify subscribers from a finally block"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for file in project.src_files():
+            tree = file.tree
+            if tree is None:
+                continue
+            for cls in ast.walk(tree):
+                if isinstance(cls, ast.ClassDef):
+                    yield from self._check_class(file, cls)
+
+    def _check_class(self, file: object, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = _methods(cls)
+        if "subscribe" not in methods or "_notify" not in methods:
+            return
+        primitive_names = [
+            name
+            for name in methods
+            if name.startswith(MUTATION_PRIMITIVE_PREFIXES)
+        ]
+        if not primitive_names:
+            return
+        store_attrs = _store_attrs([methods[n] for n in primitive_names])
+        for name, fn in methods.items():
+            if name in _EXEMPT or name in primitive_names:
+                continue
+            yield from self._check_method(
+                file, cls.name, fn, set(primitive_names), store_attrs
+            )
+
+    def _check_method(
+        self,
+        file: object,
+        cls_name: str,
+        fn: ast.FunctionDef,
+        primitives: Set[str],
+        store_attrs: Set[str],
+    ) -> Iterator[Finding]:
+        parents = astutil.parent_map(fn)
+        events: List[Tuple[int, bool]] = []  # (line, under-loop)
+        notify_calls: List[ast.Call] = []
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = node.func.value
+                if isinstance(receiver, ast.Name) and receiver.id == "self":
+                    if node.func.attr in primitives:
+                        events.append((node.lineno, _under_loop(node, parents)))
+                        continue
+                    if node.func.attr == "_notify":
+                        notify_calls.append(node)
+                        continue
+                if node.func.attr in _MUTATOR_METHODS:
+                    attr = _self_attr(receiver)
+                    if attr in store_attrs:
+                        events.append((node.lineno, _under_loop(node, parents)))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if _self_attr(target) in store_attrs:
+                        events.append((node.lineno, _under_loop(node, parents)))
+        if not events:
+            return
+        batch = any(loop for _, loop in events) or len(events) >= 2
+        if not batch:
+            return
+        if not notify_calls:
+            if not fn.name.startswith("_"):
+                yield self.finding(
+                    file,  # type: ignore[arg-type]
+                    fn.lineno,
+                    f"{cls_name}.{fn.name} mutates the row store "
+                    f"({len(events)} mutation sites) but never calls "
+                    "self._notify; subscribers (incremental sessions) "
+                    "will silently desynchronize",
+                )
+            return
+        if not any(astutil.in_finally_block(call, parents) for call in notify_calls):
+            yield self.finding(
+                file,  # type: ignore[arg-type]
+                notify_calls[0].lineno,
+                f"{cls_name}.{fn.name} is a batch mutator but calls "
+                "self._notify outside a finally block; an exception "
+                "mid-batch (e.g. IntegrityError) would leave subscribers "
+                "unaware of rows already applied — wrap the mutation loop "
+                "in try/finally and notify from the finally block",
+            )
+
+
+def _under_loop(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> bool:
+    cur = node
+    while True:
+        parent = parents.get(cur)
+        if parent is None:
+            return False
+        if isinstance(
+            parent,
+            (ast.For, ast.While, ast.AsyncFor, ast.ListComp, ast.SetComp, ast.GeneratorExp),
+        ):
+            return True
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        cur = parent

@@ -1,0 +1,219 @@
+"""RL005 — spawn-safety at the process-pool boundary.
+
+Objects crossing into ``ProcessPoolExecutor`` workers are pickled and
+rebuilt in a fresh interpreter; lambdas, closures, and shared mutable
+module state silently break (unpicklable, or worse: fork-inherited
+state that diverges).  Rules:
+
+* in a *driver* module (one that constructs a pool):
+  ``ProcessPoolExecutor(...)`` must pass an explicit ``mp_context=``
+  (the repo pins spawn); ``.submit`` must target a module-level
+  function — never a lambda or a nested def — and no submit argument
+  may contain a lambda;
+* in a *worker* module (one defining a submitted function): no lambdas
+  anywhere, and every dataclass (they are the task/result payloads)
+  must be ``frozen=True`` so instances cannot be mutated on one side of
+  the boundary and read on the other.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..conventions import SPAWN_POOL_NAMES
+from ..framework import Check, Finding, Project, SourceFile, register
+
+
+def _nested_def_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside other functions (closures)."""
+    nested: Set[str] = set()
+
+    def walk(node: ast.AST, inside_fn: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_fn:
+                    nested.add(child.name)
+                walk(child, True)
+            else:
+                walk(child, inside_fn)
+
+    walk(tree, False)
+    return nested
+
+
+def _resolve_import(
+    file: SourceFile, name: str, tree: ast.Module
+) -> Optional[str]:
+    """Repo-relative path of the module that defines imported *name*."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        if not any((alias.asname or alias.name) == name for alias in node.names):
+            continue
+        if node.level and node.level > 0:
+            package = list(file.module_parts[:-1])
+            package = package[: len(package) - (node.level - 1)]
+            parts = package + (node.module.split(".") if node.module else [])
+        elif node.module:
+            parts = node.module.split(".")
+        else:
+            continue
+        if parts and parts[0] == "repro":
+            return "src/" + "/".join(parts) + ".py"
+    return None
+
+
+@register
+class SpawnSafetyCheck(Check):
+    code = "RL005"
+    name = "spawn-safety"
+    severity = "error"
+    summary = "unpicklable or mutable state crosses the ProcessPoolExecutor boundary"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        worker_rels: Set[str] = set()
+        for file in project.files:
+            if "ProcessPoolExecutor" not in file.text:
+                continue
+            tree = file.tree
+            if tree is None:
+                continue
+            for finding, worker in self._check_driver(file, tree):
+                if finding is not None:
+                    yield finding
+                if worker is not None:
+                    worker_rels.add(worker)
+        for rel in sorted(worker_rels):
+            worker = project.get(rel)
+            if worker is None or worker.tree is None:
+                continue
+            yield from self._check_worker(worker)
+
+    def _check_driver(
+        self, file: SourceFile, tree: ast.Module
+    ) -> Iterator[Tuple[Optional[Finding], Optional[str]]]:
+        nested = _nested_def_names(tree)
+        module_defs = {
+            stmt.name
+            for stmt in tree.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if callee in SPAWN_POOL_NAMES:
+                if not any(kw.arg == "mp_context" for kw in node.keywords):
+                    yield (
+                        self.finding(
+                            file,
+                            node.lineno,
+                            f"{callee}(...) without an explicit mp_context=; "
+                            "the default start method varies by platform and "
+                            "fork inherits locks and module caches — pass "
+                            'multiprocessing.get_context("spawn")',
+                        ),
+                        None,
+                    )
+                continue
+            if callee != "submit" or not node.args:
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Lambda):
+                yield (
+                    self.finding(
+                        file,
+                        node.lineno,
+                        "lambda submitted to a process pool; lambdas are "
+                        "unpicklable — submit a module-level function",
+                    ),
+                    None,
+                )
+            elif isinstance(target, ast.Name):
+                if target.id in nested:
+                    yield (
+                        self.finding(
+                            file,
+                            node.lineno,
+                            f"nested function {target.id!r} submitted to a "
+                            "process pool; closures are unpicklable — hoist "
+                            "it to module level",
+                        ),
+                        None,
+                    )
+                elif target.id in module_defs:
+                    yield (None, file.rel)
+                else:
+                    worker = _resolve_import(file, target.id, tree)
+                    if worker is not None:
+                        yield (None, worker)
+            for arg in list(node.args[1:]) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Lambda):
+                        yield (
+                            self.finding(
+                                file,
+                                sub.lineno,
+                                "lambda inside a process-pool submit payload; "
+                                "it cannot be pickled across the spawn "
+                                "boundary",
+                            ),
+                            None,
+                        )
+
+    def _check_worker(self, file: SourceFile) -> Iterator[Finding]:
+        tree = file.tree
+        assert tree is not None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Lambda):
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    f"lambda in spawn-worker module {Path(file.rel).name}; "
+                    "worker modules are imported in a fresh interpreter and "
+                    "their objects travel by pickle — use a def",
+                )
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_dataclass(file, node)
+
+    def _check_dataclass(self, file: SourceFile, node: ast.ClassDef) -> Iterator[Finding]:
+        for deco in node.decorator_list:
+            name: Optional[str] = None
+            keywords: List[ast.keyword] = []
+            if isinstance(deco, ast.Name):
+                name = deco.id
+            elif isinstance(deco, ast.Attribute):
+                name = deco.attr
+            elif isinstance(deco, ast.Call):
+                inner = deco.func
+                if isinstance(inner, ast.Name):
+                    name = inner.id
+                elif isinstance(inner, ast.Attribute):
+                    name = inner.attr
+                keywords = deco.keywords
+            if name != "dataclass":
+                continue
+            frozen = any(
+                kw.arg == "frozen"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in keywords
+            )
+            if not frozen:
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    f"dataclass {node.name} in a spawn-worker module is not "
+                    "frozen=True; payloads crossing the process boundary are "
+                    "copies — a field assigned on one side is silently lost "
+                    "on the other",
+                )

@@ -1,0 +1,229 @@
+"""RL006 — SQL text is only assembled inside the sqlgen layer.
+
+PR 1's backends taught the repo the hard way that raw f-string SQL is
+how identifier-quoting and dialect bugs are born.  The sanctioned
+route: ``repro.core.sqlgen`` + ``backends/sqlbase.py`` build SQL from
+``qid()``-quoted identifiers, ``sql_literal()`` values, and pre-rendered
+``*_sql`` fragments; everything else calls them.
+
+Two tiers:
+
+* outside the authoring modules (``conventions.SQL_AUTHORING_MODULES``)
+  any *interpolated* string that looks like SQL is an error — pure
+  literals are fine;
+* inside the authoring modules every interpolated ``{…}`` hole must be
+  visibly sanctioned: a call (``qid(...)``, ``sql_literal(...)``,
+  ``", ".join(...)``), a numeric/flag parameter, a name marked as a
+  pre-rendered fragment (``sql`` / ``*_sql``), or a local variable whose
+  every assignment is itself sanctioned.  Interpolating a bare imported
+  constant or an unmarked string parameter is an error — rename it
+  ``*_sql`` if it is a rendered fragment, or quote it properly.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set
+
+from .. import astutil
+from ..conventions import SQL_AUTHORING_MODULES, SQL_FRAGMENT_SUFFIXES
+from ..framework import Check, Finding, Project, SourceFile, register
+
+_SQL_RE = re.compile(
+    r"(\bSELECT\s|\bINSERT\s+INTO\s|\bCREATE\s+(TABLE|VIEW)\s|\bDELETE\s+FROM\s"
+    r"|\bUPDATE\s+\S+\s+SET\s|\bFULL\s+OUTER\s+JOIN\s|\bLEFT\s+JOIN\s|\bGROUP\s+BY\s)"
+)
+
+_NUMERIC_ANNOTATIONS = {"int", "float", "bool"}
+
+
+def _is_fragment_name(name: str) -> bool:
+    lowered = name.lower()
+    return lowered in SQL_FRAGMENT_SUFFIXES or any(
+        lowered.endswith(suffix) for suffix in SQL_FRAGMENT_SUFFIXES if suffix.startswith("_")
+    )
+
+
+def _joinedstr_literal_text(node: ast.JoinedStr) -> str:
+    return "".join(
+        part.value
+        for part in node.values
+        if isinstance(part, ast.Constant) and isinstance(part.value, str)
+    )
+
+
+def _looks_like_sql(text: str) -> bool:
+    return bool(_SQL_RE.search(text))
+
+
+class _Sanctioner:
+    """Decides whether an interpolated expression is visibly safe."""
+
+    def __init__(self, fn: Optional[ast.AST]) -> None:
+        self.numeric_params: Set[str] = set()
+        self.fragment_params: Set[str] = set()
+        self.local_assignments: Dict[str, List[ast.expr]] = {}
+        self._in_progress: Set[str] = set()
+        if fn is None or not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        args = fn.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            if (
+                arg.annotation is not None
+                and isinstance(arg.annotation, ast.Name)
+                and arg.annotation.id in _NUMERIC_ANNOTATIONS
+            ):
+                self.numeric_params.add(arg.arg)
+            if _is_fragment_name(arg.arg):
+                self.fragment_params.add(arg.arg)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.local_assignments.setdefault(target.id, []).append(
+                            node.value
+                        )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                self.local_assignments.setdefault(node.target.id, []).append(
+                    node.value
+                )
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
+                node.target, ast.Name
+            ):
+                self.local_assignments.setdefault(node.target.id, []).append(
+                    node.iter
+                )
+
+    def sanctioned(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return True
+        if isinstance(node, ast.Call):
+            return True
+        if isinstance(node, ast.JoinedStr):
+            return all(
+                self.sanctioned(part.value)
+                for part in node.values
+                if isinstance(part, ast.FormattedValue)
+            )
+        if isinstance(node, ast.IfExp):
+            return self.sanctioned(node.body) and self.sanctioned(node.orelse)
+        if isinstance(node, ast.BinOp):
+            return self.sanctioned(node.left) and self.sanctioned(node.right)
+        if isinstance(node, ast.Attribute):
+            return _is_fragment_name(node.attr) or node.attr.isupper()
+        if isinstance(node, ast.Name):
+            name = node.id
+            if _is_fragment_name(name) or name in self.numeric_params:
+                return True
+            if name in self._in_progress:
+                return False
+            assignments = self.local_assignments.get(name)
+            if not assignments:
+                return False
+            self._in_progress.add(name)
+            try:
+                return all(self.sanctioned(value) for value in assignments)
+            finally:
+                self._in_progress.discard(name)
+        return False
+
+
+@register
+class SqlHygieneCheck(Check):
+    code = "RL006"
+    name = "sql-hygiene"
+    severity = "error"
+    summary = "SQL text interpolated outside sqlgen, or an unsanctioned hole inside it"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for file in project.src_files():
+            tree = file.tree
+            if tree is None:
+                continue
+            authoring = file.rel in SQL_AUTHORING_MODULES
+            parents = astutil.parent_map(tree)
+            for node in ast.walk(tree):
+                if isinstance(node, ast.JoinedStr):
+                    yield from self._check_fstring(
+                        file, node, parents, authoring
+                    )
+                elif not authoring:
+                    yield from self._check_other_interp(file, node)
+
+    def _check_fstring(
+        self,
+        file: SourceFile,
+        node: ast.JoinedStr,
+        parents: Dict[ast.AST, ast.AST],
+        authoring: bool,
+    ) -> Iterator[Finding]:
+        if not _looks_like_sql(_joinedstr_literal_text(node)):
+            return
+        holes = [p for p in node.values if isinstance(p, ast.FormattedValue)]
+        if not holes:
+            return
+        # Nested f-strings are checked once, at the outermost SQL template.
+        if isinstance(parents.get(node), (ast.FormattedValue, ast.JoinedStr)):
+            return
+        if not authoring:
+            yield self.finding(
+                file,
+                node.lineno,
+                "SQL assembled with an f-string outside the sqlgen layer; "
+                "route identifiers through repro.core.sqlgen / backends "
+                "qid()/sql_literal() helpers",
+            )
+            return
+        sanctioner = _Sanctioner(astutil.enclosing_function(node, parents))
+        for hole in holes:
+            if not sanctioner.sanctioned(hole.value):
+                yield self.finding(
+                    file,
+                    hole.value.lineno,
+                    f"unsanctioned interpolation "
+                    f"{{{ast.unparse(hole.value)}}} in SQL template; quote "
+                    "it (qid/sql_literal) or mark it as a pre-rendered "
+                    "fragment with an *_sql name",
+                )
+
+    def _check_other_interp(
+        self, file: SourceFile, node: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mod)):
+            for side, other in ((node.left, node.right), (node.right, node.left)):
+                if (
+                    isinstance(side, ast.Constant)
+                    and isinstance(side.value, str)
+                    and _looks_like_sql(side.value)
+                    and not (
+                        isinstance(other, ast.Constant)
+                        and isinstance(other.value, str)
+                    )
+                ):
+                    yield self.finding(
+                        file,
+                        node.lineno,
+                        "SQL assembled by string concatenation/formatting "
+                        "outside the sqlgen layer; route it through "
+                        "repro.core.sqlgen",
+                    )
+                    return
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "format"
+            and isinstance(node.func.value, ast.Constant)
+            and isinstance(node.func.value.value, str)
+            and _looks_like_sql(node.func.value.value)
+        ):
+            yield self.finding(
+                file,
+                node.lineno,
+                "SQL assembled with str.format outside the sqlgen layer; "
+                "route it through repro.core.sqlgen",
+            )

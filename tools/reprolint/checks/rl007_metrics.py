@@ -1,0 +1,227 @@
+"""RL007 — metric families: one registration, static names, naming rules.
+
+The Prometheus surface (``repro.obs.metrics``) is append-only public
+API: dashboards and the bench gates key on exact family names.  Rules:
+
+* every ``.counter/.gauge/.histogram(name, …)`` registration must use a
+  *statically resolvable* name — a string literal, a module-level
+  constant, or a subscript into a module-level dict of literals.  A
+  name computed with an f-string can mint unbounded families at runtime
+  and can never be cross-checked;
+* family names match ``repro_[a-z][a-z0-9_]*``; counters end
+  ``_total``; histograms end in a unit suffix (``_seconds``,
+  ``_rows``, …); gauges end in neither;
+* a family is registered by exactly one module and with exactly one
+  kind; a registration should carry ``help=`` at least once (warning);
+* every ``"repro_…"`` string elsewhere in the scanned code must refer
+  to a registered family (or a histogram series like ``…_count``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .. import astutil
+from ..conventions import (
+    HISTOGRAM_SERIES_SUFFIXES,
+    HISTOGRAM_SUFFIXES,
+    METRIC_NAME_PREFIX,
+)
+from ..framework import Check, Finding, Project, SourceFile, register
+
+_KINDS = {"counter", "gauge", "histogram"}
+_NAME_RE = re.compile(r"^repro_[a-z][a-z0-9_]*$")
+_REFERENCE_RE = re.compile(r"^repro_[a-z][a-z0-9_]*$")
+
+
+@dataclass
+class _Registration:
+    kind: str
+    rel: str
+    line: int
+    has_help: bool
+
+
+@dataclass
+class _Family:
+    registrations: List[_Registration] = field(default_factory=list)
+
+    @property
+    def kinds(self) -> Set[str]:
+        return {r.kind for r in self.registrations}
+
+    @property
+    def modules(self) -> Set[str]:
+        return {r.rel for r in self.registrations}
+
+
+def _static_names(
+    call: ast.Call,
+    constants: Dict[str, str],
+    dicts: Dict[str, Dict[str, str]],
+) -> Optional[List[str]]:
+    """Family name(s) the registration can produce, or None if dynamic."""
+    name_arg: Optional[ast.expr] = None
+    if call.args:
+        name_arg = call.args[0]
+    else:
+        for kw in call.keywords:
+            if kw.arg == "name":
+                name_arg = kw.value
+                break
+    if name_arg is None:
+        return None
+    if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+        return [name_arg.value]
+    if isinstance(name_arg, ast.Name) and name_arg.id in constants:
+        return [constants[name_arg.id]]
+    if (
+        isinstance(name_arg, ast.Subscript)
+        and isinstance(name_arg.value, ast.Name)
+        and name_arg.value.id in dicts
+    ):
+        return sorted(set(dicts[name_arg.value.id].values()))
+    return None
+
+
+@register
+class MetricFamilyCheck(Check):
+    code = "RL007"
+    name = "metric-families"
+    severity = "error"
+    summary = "dynamic/duplicate/unregistered or badly named repro_* metric family"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        families: Dict[str, _Family] = {}
+        findings: List[Finding] = []
+        references: List[Tuple[SourceFile, str, int]] = []
+
+        for file in project.files:
+            if METRIC_NAME_PREFIX not in file.text:
+                continue
+            tree = file.tree
+            if tree is None:
+                continue
+            constants = astutil.module_constant_strings(tree)
+            dicts = astutil.module_constant_str_dicts(tree)
+            registration_lines: Set[Tuple[int, str]] = set()
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _KINDS
+                ):
+                    kind = node.func.attr
+                    names = _static_names(node, constants, dicts)
+                    if names is None:
+                        findings.append(
+                            self.finding(
+                                file,
+                                node.lineno,
+                                f".{kind}(...) with a dynamically computed "
+                                "family name; metric families must be "
+                                "statically enumerable (literal, module "
+                                "constant, or dict-of-literals lookup)",
+                            )
+                        )
+                        continue
+                    has_help = any(kw.arg == "help" for kw in node.keywords)
+                    for name in names:
+                        registration_lines.add((node.lineno, name))
+                        families.setdefault(name, _Family()).registrations.append(
+                            _Registration(kind, file.rel, node.lineno, has_help)
+                        )
+            for value, line in astutil.str_constants(tree):
+                if value.startswith(METRIC_NAME_PREFIX) and _REFERENCE_RE.match(
+                    value
+                ):
+                    if (line, value) not in registration_lines:
+                        references.append((file, value, line))
+
+        yield from findings
+        yield from self._check_families(project, families)
+        if families:
+            yield from self._check_references(families, references)
+
+    def _check_families(
+        self, project: Project, families: Dict[str, _Family]
+    ) -> Iterator[Finding]:
+        for name in sorted(families):
+            fam = families[name]
+            reg = fam.registrations[0]
+            if not _NAME_RE.match(name):
+                yield self.finding(
+                    reg.rel,
+                    reg.line,
+                    f"metric family {name!r} violates the naming convention "
+                    "repro_[a-z][a-z0-9_]*",
+                )
+                continue
+            if len(fam.kinds) > 1:
+                yield self.finding(
+                    reg.rel,
+                    reg.line,
+                    f"metric family {name!r} registered with conflicting "
+                    f"kinds {sorted(fam.kinds)}",
+                )
+            if len(fam.modules) > 1:
+                yield self.finding(
+                    reg.rel,
+                    reg.line,
+                    f"metric family {name!r} registered from multiple "
+                    f"modules {sorted(fam.modules)}; one family, one owner",
+                )
+            kind = reg.kind
+            if kind == "counter" and not name.endswith("_total"):
+                yield self.finding(
+                    reg.rel, reg.line, f"counter {name!r} must end with _total"
+                )
+            elif kind == "histogram" and not name.endswith(HISTOGRAM_SUFFIXES):
+                yield self.finding(
+                    reg.rel,
+                    reg.line,
+                    f"histogram {name!r} must end with a unit suffix "
+                    f"({', '.join(HISTOGRAM_SUFFIXES)})",
+                )
+            elif kind == "gauge" and name.endswith(("_total", "_seconds")):
+                yield self.finding(
+                    reg.rel,
+                    reg.line,
+                    f"gauge {name!r} must not use a counter/histogram suffix",
+                )
+            if not any(r.has_help for r in fam.registrations):
+                yield self.finding(
+                    reg.rel,
+                    reg.line,
+                    f"metric family {name!r} registered without help= text",
+                    severity="warning",
+                )
+
+    def _check_references(
+        self,
+        families: Dict[str, _Family],
+        references: List[Tuple[SourceFile, str, int]],
+    ) -> Iterator[Finding]:
+        known = set(families)
+        for file, value, line in references:
+            if value in known:
+                continue
+            base = next(
+                (
+                    value[: -len(suffix)]
+                    for suffix in HISTOGRAM_SERIES_SUFFIXES
+                    if value.endswith(suffix)
+                ),
+                None,
+            )
+            if base is not None and base in known:
+                continue
+            yield self.finding(
+                file,
+                line,
+                f"string {value!r} references a repro_* metric family that "
+                "is never registered; register it or fix the name",
+            )

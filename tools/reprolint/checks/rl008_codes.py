@@ -1,0 +1,205 @@
+"""RL008 — diagnostic code tables cannot drift from the code.
+
+Two registries, three rendered tables:
+
+* ``RS_CODES`` in ``src/repro/analysis/linter.py`` is the source of
+  truth for the plan-linter codes; the linter module docstring (reST)
+  and ``docs/analysis.md`` (markdown) must carry exactly the generated
+  rows, and every RS code constructed in the linter must be declared
+  (and vice versa);
+* reprolint's own check registry must match the RL table in
+  ``docs/static_analysis.md``.
+
+Both tables are regenerable: ``python -m tools.reprolint
+--render-code-tables`` prints the canonical text to paste.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..conventions import RL_DOC, RS_DOC, RS_LINTER_MODULE
+from ..framework import Check, Finding, Project, code_table_rows, register
+
+Row = Tuple[str, str, str]
+
+_RST_ROW_RE = re.compile(r"^``(R[SL]\d{3})``\s+(error|warning)\s+(.+?)\s*$")
+_MD_ROW_RE = re.compile(r"^\|\s*(R[SL]\d{3})\s*\|\s*(error|warning)\s*\|\s*(.+?)\s*\|\s*$")
+_CODE_RE = re.compile(r"^RS\d{3}$")
+
+
+def _markdown_rows(text: str, prefix: str) -> List[Tuple[int, Row]]:
+    rows: List[Tuple[int, Row]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _MD_ROW_RE.match(line.strip())
+        if match and match.group(1).startswith(prefix):
+            rows.append((lineno, (match.group(1), match.group(2), match.group(3))))
+    return rows
+
+
+def _rst_rows(text: str, prefix: str) -> List[Row]:
+    rows: List[Row] = []
+    for line in text.splitlines():
+        match = _RST_ROW_RE.match(line.strip())
+        if match and match.group(1).startswith(prefix):
+            rows.append((match.group(1), match.group(2), match.group(3)))
+    return rows
+
+
+def _parse_rs_codes(tree: ast.Module) -> Optional[Tuple[ast.stmt, List[Row]]]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "RS_CODES" for t in targets
+        ):
+            continue
+        rows: List[Row] = []
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return node, rows
+        for element in value.elts:
+            if (
+                isinstance(element, (ast.Tuple, ast.List))
+                and len(element.elts) == 3
+                and all(
+                    isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    for e in element.elts
+                )
+            ):
+                rows.append(tuple(e.value for e in element.elts))  # type: ignore[misc]
+        return node, rows
+    return None
+
+
+def _diff_rows(declared: List[Row], found: List[Row]) -> List[str]:
+    """Human-readable mismatches between the registry and a rendered table."""
+    problems: List[str] = []
+    found_by_code = {code: (sev, summary) for code, sev, summary in found}
+    declared_by_code = {code: (sev, summary) for code, sev, summary in declared}
+    for code, (sev, summary) in declared_by_code.items():
+        got = found_by_code.get(code)
+        if got is None:
+            problems.append(f"{code} missing from the table")
+        elif got != (sev, summary):
+            problems.append(
+                f"{code} drifted: table says {got[0]!r}/{got[1]!r}, "
+                f"registry says {sev!r}/{summary!r}"
+            )
+    for code in found_by_code:
+        if code not in declared_by_code:
+            problems.append(f"{code} present in the table but not in the registry")
+    return problems
+
+
+@register
+class CodeTableSyncCheck(Check):
+    code = "RL008"
+    name = "code-table-sync"
+    severity = "error"
+    summary = "RS/RL code table drifted from its registry"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        yield from self._check_rs(project)
+        yield from self._check_rl(project)
+
+    def _check_rs(self, project: Project) -> Iterator[Finding]:
+        text = project.read_text(RS_LINTER_MODULE)
+        if text is None:
+            return  # fixture run without the analysis package
+        try:
+            tree = ast.parse(text)
+        except SyntaxError:  # pragma: no cover
+            return
+        parsed = _parse_rs_codes(tree)
+        if parsed is None:
+            yield self.finding(
+                RS_LINTER_MODULE,
+                1,
+                "no RS_CODES registry found; the plan-linter codes must be "
+                "declared in one literal table",
+            )
+            return
+        assign, declared = parsed
+        if not declared:
+            yield self.finding(
+                RS_LINTER_MODULE,
+                assign.lineno,
+                "RS_CODES must be a literal tuple of (code, severity, summary) "
+                "triples",
+            )
+            return
+
+        docstring = ast.get_docstring(tree) or ""
+        for problem in _diff_rows(declared, _rst_rows(docstring, "RS")):
+            yield self.finding(
+                RS_LINTER_MODULE, 1, f"linter docstring table: {problem}"
+            )
+
+        doc_text = project.read_text(RS_DOC)
+        if doc_text is None:
+            yield self.finding(RS_DOC, 1, f"{RS_DOC} not found")
+        else:
+            anchor = _markdown_rows(doc_text, "RS")
+            rows = [row for _, row in anchor]
+            line = anchor[0][0] if anchor else 1
+            for problem in _diff_rows(declared, rows):
+                yield self.finding(RS_DOC, line, f"{RS_DOC} table: {problem}")
+
+        yield from self._check_rs_usage(tree, assign, declared)
+
+    def _check_rs_usage(
+        self, tree: ast.Module, assign: ast.stmt, declared: List[Row]
+    ) -> Iterator[Finding]:
+        declared_codes = {code for code, _, _ in declared}
+        registry_literals = {
+            id(node) for node in ast.walk(assign)
+        }
+        used: Dict[str, int] = {}
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and _CODE_RE.match(node.value)
+                and id(node) not in registry_literals
+            ):
+                used.setdefault(node.value, node.lineno)
+        for code, line in sorted(used.items()):
+            if code not in declared_codes:
+                yield self.finding(
+                    RS_LINTER_MODULE,
+                    line,
+                    f"diagnostic code {code} constructed but not declared in "
+                    "RS_CODES",
+                )
+        for code in sorted(declared_codes - set(used)):
+            yield self.finding(
+                RS_LINTER_MODULE,
+                assign.lineno,
+                f"diagnostic code {code} declared in RS_CODES but never "
+                "constructed by the linter",
+            )
+
+    def _check_rl(self, project: Project) -> Iterator[Finding]:
+        declared = [
+            (code, severity, summary) for code, severity, summary in code_table_rows()
+        ]
+        doc_text = project.read_text(RL_DOC)
+        if doc_text is None:
+            yield self.finding(
+                RL_DOC,
+                1,
+                f"{RL_DOC} not found; every RL check must be documented "
+                "(run python -m tools.reprolint --render-code-tables)",
+            )
+            return
+        anchor = _markdown_rows(doc_text, "RL")
+        rows = [row for _, row in anchor]
+        line = anchor[0][0] if anchor else 1
+        for problem in _diff_rows(declared, rows):
+            yield self.finding(RL_DOC, line, f"{RL_DOC} table: {problem}")

@@ -1,0 +1,50 @@
+"""Text and JSON reporters for reprolint runs."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .framework import Finding, RunResult
+
+
+def _section(title: str, findings: List[Finding]) -> List[str]:
+    if not findings:
+        return []
+    lines = [f"{title} ({len(findings)}):"]
+    lines.extend(f"  {f.render()}" for f in findings)
+    return lines
+
+
+def render_text(result: RunResult, *, verbose: bool = False) -> str:
+    """Human-readable report; suppressed/baselined shown only when verbose."""
+    lines: List[str] = []
+    lines += _section("errors", result.errors)
+    lines += _section("warnings", result.warnings)
+    if verbose:
+        lines += _section("baselined (not counted)", result.baselined)
+        lines += _section("suppressed by pragma (not counted)", result.suppressed)
+    status = "FAILED" if result.errors else "ok"
+    lines.append(
+        f"reprolint: {status} — {result.files} files, {result.checks} checks, "
+        f"{len(result.errors)} errors, {len(result.warnings)} warnings, "
+        f"{len(result.baselined)} baselined, {len(result.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: RunResult) -> str:
+    payload = {
+        "summary": {
+            "files": result.files,
+            "checks": result.checks,
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+        },
+        "findings": [f.to_dict() for f in result.active],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
