@@ -1,0 +1,48 @@
+"""The repro bench matrix as a pytest benchmark.
+
+Thin wrapper over :func:`repro.bench.run_matrix`: sweeps dataset ×
+question × method × strategy × backend × shards (the ``--preset``
+option picks the axis sizes), cross-checks that every cell of the same
+``(dataset, question, resolved method)`` group agrees on table and
+ranking fingerprints, and attaches the full per-cell report to
+``benchmark.extra_info`` / the ``--json`` report.  The standalone
+``repro bench matrix`` CLI produces the same BENCH_matrix.json without
+pytest in the loop.
+"""
+
+from conftest import print_series
+
+from repro.bench import run_matrix
+
+
+class TestBenchMatrix:
+    def test_matrix(self, benchmark, preset, json_record):
+        report = benchmark.pedantic(
+            lambda: run_matrix(preset), rounds=1, iterations=1
+        )
+
+        cells = report["cells"]
+        assert cells, "matrix produced no cells"
+        # The cross-check already ran inside run_matrix; re-assert the
+        # group invariant here so a regression fails the *benchmark*
+        # with a readable message, not just the CLI.
+        for group in report["groups"]:
+            assert group["cells"] >= 1
+
+        print_series(
+            f"bench matrix ({preset} preset): cell wall times",
+            [
+                (
+                    "{dataset}/{question} {method}/{strategy}/"
+                    "{backend}/x{shards}".format(**c),
+                    c["wall_s"],
+                )
+                for c in cells
+            ],
+            unit="s",
+        )
+        benchmark.extra_info["preset"] = preset
+        benchmark.extra_info["cells"] = len(cells)
+        benchmark.extra_info["skipped"] = len(report["skipped"])
+        benchmark.extra_info["groups"] = len(report["groups"])
+        json_record("matrix", report=report)

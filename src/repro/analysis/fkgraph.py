@@ -15,6 +15,15 @@ rule           precondition                           bound
 ``prop-3.4``   always (n = rows in the database)      ``n − 1``
 =============  =====================================  ==============
 
+The three sharp rules additionally assume the paper's standing setting:
+the foreign-key join graph is a *tree*, so rule (ii) is the two-pass
+Yannakakis reduction.  On a cyclic join graph
+(``require_acyclic=False`` schemas such as TPC-H's partsupp diamond)
+the reduction iterates to a pairwise-consistency fixpoint whose round
+count is not covered by those proofs, so only the unconditional
+Proposition 3.4 fallback is certified — an honest n − 1, not a
+special-cased 2.
+
 ``prop-3.10`` as stated in the paper is a *data-level* bound (q is the
 maximum causal length over simple paths in the data causal graph from
 the seed tuples).  Statically we can only certify it in the special
@@ -108,6 +117,9 @@ class ConvergenceCertificate:
     #: True when b&f keys target ≥ 2 distinct relations, letting their
     #: dotted edges interact along a simple path (no static q exists).
     interaction_cycle: bool
+    #: Is the undirected FK join graph a tree?  The sharp rules
+    #: (3.5/3.10/3.11) are only certified when it is.
+    join_graph_is_tree: bool
     #: Schema-level causal length per seed relation: the max number of
     #: dotted edges on a simple relation path starting there; None
     #: means unbounded statically (interaction cycle reachable).
@@ -138,6 +150,7 @@ class ConvergenceCertificate:
             "edges": [e.to_dict() for e in self.edges],
             "back_and_forth_count": self.back_and_forth_count,
             "interaction_cycle": self.interaction_cycle,
+            "join_graph_is_tree": self.join_graph_is_tree,
             "causal_length": dict(self.causal_length),
             "rules": [r.to_dict() for r in self.rules],
             "selected_rule": self.selected_rule,
@@ -227,15 +240,21 @@ def certify_convergence(
     s = len(bf_keys)
     bf_targets = sorted({fk.target for fk in bf_keys})
     interaction_cycle = len(bf_targets) >= 2
+    is_tree = schema.join_graph_is_tree
     edges = _classify_edges(schema)
     causal_length = _causal_lengths(schema, interaction_cycle=interaction_cycle)
+    not_a_tree = (
+        "the foreign-key join graph is cyclic, so rule (ii) is an "
+        "iterated pairwise-consistency reduction the proposition's "
+        "proof does not cover"
+    )
 
     rules: List[BoundRule] = []
 
     # Proposition 3.5: without back-and-forth keys, rule (ii) performs a
     # full Yannakakis reduction per round, so one seeding round plus one
-    # cascade round suffice.
-    if s == 0:
+    # cascade round suffice.  The proof assumes a join tree.
+    if s == 0 and is_tree:
         rules.append(
             BoundRule(
                 rule=RULE_PROP_35,
@@ -259,15 +278,17 @@ def certify_convergence(
                 bound=None,
                 bound_expression="2",
                 reason=(
-                    f"schema has {s} back-and-forth key(s): "
+                    not_a_tree
+                    if not is_tree
+                    else f"schema has {s} back-and-forth key(s): "
                     + "; ".join(str(fk) for fk in bf_keys)
                 ),
             )
         )
 
     # Proposition 3.11: simple causal graph with at most one b&f key
-    # per source relation gives 2s + 2.
-    if s > 0 and graph.prop_311_applies():
+    # per source relation gives 2s + 2.  Assumes a join tree.
+    if s > 0 and is_tree and graph.prop_311_applies():
         bound_311 = graph.prop_311_bound()
         rules.append(
             BoundRule(
@@ -285,7 +306,9 @@ def certify_convergence(
         )
     else:
         reason = (
-            "no back-and-forth keys (Proposition 3.5 is tighter)"
+            not_a_tree
+            if not is_tree
+            else "no back-and-forth keys (Proposition 3.5 is tighter)"
             if s == 0
             else (
                 "some relation carries more than one back-and-forth "
@@ -307,8 +330,8 @@ def certify_convergence(
 
     # Proposition 3.10, static special case: all b&f keys share one
     # target relation ⇒ q ≤ 1 on every instance (see module docstring),
-    # hence 2q + 2 = 4.
-    if s > 0 and not interaction_cycle:
+    # hence 2q + 2 = 4.  Assumes a join tree.
+    if s > 0 and is_tree and not interaction_cycle:
         rules.append(
             BoundRule(
                 rule=RULE_PROP_310,
@@ -326,7 +349,9 @@ def certify_convergence(
         )
     else:
         reason = (
-            "no back-and-forth keys (Proposition 3.5 is tighter)"
+            not_a_tree
+            if not is_tree
+            else "no back-and-forth keys (Proposition 3.5 is tighter)"
             if s == 0
             else (
                 f"back-and-forth keys target {len(bf_targets)} distinct "
@@ -400,6 +425,7 @@ def certify_convergence(
         edges=edges,
         back_and_forth_count=s,
         interaction_cycle=interaction_cycle,
+        join_graph_is_tree=is_tree,
         causal_length=causal_length,
         rules=tuple(rules),
         selected_rule=selected.rule,

@@ -4,9 +4,9 @@ Static well-formedness checks over the candidate attributes and the
 numerical query, against the schema only (no data).  Every finding is
 a :class:`Diagnostic` with a stable code:
 
-=========  ========  =====================================================
+=========  ========  ================================================================
 code       severity  meaning
-=========  ========  =====================================================
+=========  ========  ================================================================
 ``RS001``  error     candidate attribute unknown in the schema
 ``RS002``  error     unqualified candidate attribute is ambiguous
 ``RS003``  warning   candidate attribute listed more than once
@@ -15,18 +15,23 @@ code       severity  meaning
 ``RS006``  error     predicate constant outside the column's declared type
 ``RS007``  error     aggregate argument/WHERE references an unknown column
 ``RS008``  warning   closure-index strategy cannot pay off on this schema
-=========  ========  =====================================================
+``RS009``  warning   cyclic FK join graph: only the n - 1 fallback bound is certified
+=========  ========  ================================================================
 
 RS004/RS005 are warnings, not errors: key columns *can* be explanation
 dimensions (the paper's count-distinct examples group by keys), but
 near-unique dimensions explode the cube and usually indicate a
 mis-specified attribute list.  RS008 fires when the schema has no
-back-and-forth foreign keys: Proposition 3.5 then bounds program P at
-2 iterations, so the FK cascade closure index
-(:mod:`repro.engine.closure`) has nothing to accelerate and the
-certificate's ``recommended_strategy`` stays ``"fixpoint"`` —
-requesting ``strategy="closure"`` is sound (tables stay byte
-identical) but pays the index build for no iteration savings.
+back-and-forth foreign keys *and* a tree-shaped join graph:
+Proposition 3.5 then bounds program P at 2 iterations, so the FK
+cascade closure index (:mod:`repro.engine.closure`) has nothing to
+accelerate and the certificate's ``recommended_strategy`` stays
+``"fixpoint"`` — requesting ``strategy="closure"`` is sound (tables
+stay byte identical) but pays the index build for no iteration
+savings.  RS009 fires for cyclic join graphs
+(``require_acyclic=False`` schemas such as TPC-H): the sharp
+convergence propositions assume a join tree, so the certificate
+honestly falls back to Proposition 3.4's n − 1 bound.
 
 The table above and its twin in ``docs/analysis.md`` are rendered from
 :data:`RS_CODES` (``render_code_table``); reprolint's RL008 fails CI if
@@ -69,6 +74,7 @@ RS_CODES: Tuple[Tuple[str, str, str], ...] = (
     ("RS006", "error", "predicate constant outside the column's declared type"),
     ("RS007", "error", "aggregate argument/WHERE references an unknown column"),
     ("RS008", "warning", "closure-index strategy cannot pay off on this schema"),
+    ("RS009", "warning", "cyclic FK join graph: only the n - 1 fallback bound is certified"),
 )
 
 _SEVERITIES: Dict[str, str] = {code: severity for code, severity, _ in RS_CODES}
@@ -309,7 +315,7 @@ def lint_plan(
         findings.extend(_lint_attribute(schema, spec))
     if query is not None:
         findings.extend(_lint_query(schema, query))
-    if not schema.back_and_forth_keys:
+    if not schema.back_and_forth_keys and schema.join_graph_is_tree:
         findings.append(
             _diag(
                 "RS008",
@@ -317,6 +323,19 @@ def lint_plan(
                 "is certified to converge within 2 iterations (Prop 3.5); "
                 "the closure-index strategy cannot apply profitably here "
                 "— recommended strategy is 'fixpoint'",
+                "schema",
+            )
+        )
+    if not schema.join_graph_is_tree:
+        findings.append(
+            _diag(
+                "RS009",
+                "the foreign-key join graph is cyclic "
+                "(require_acyclic=False schema), so the sharp convergence "
+                "propositions (3.5/3.10/3.11) do not apply and only the "
+                "Proposition 3.4 n - 1 fallback bound is certified; "
+                "expect the fixpoint to stop far earlier, but no tighter "
+                "promise is proven",
                 "schema",
             )
         )

@@ -220,6 +220,19 @@ class SQLBackend(ExecutionBackend):
                 f"{qid(a)}.{qid(b)} = {qid(c)}.{qid(d)}" for a, b, c, d in pairs
             )
             from_lines.append(f"JOIN {qid(name)} ON {conditions}")
+        # Cycle-closing keys (residual edges of a require_acyclic=False
+        # schema): both sides are joined by the time the later one
+        # appears, so the equality rides on that JOIN's ON clause.
+        position = {
+            name: i for i, (name, _) in enumerate(tree.traversal_order)
+        }
+        for fk in tree.residual_edges:
+            later = max(position[fk.source], position[fk.target])
+            extra = " AND ".join(
+                f"{qid(fk.source)}.{qid(s)} = {qid(fk.target)}.{qid(t)}"
+                for s, t in zip(fk.source_attrs, fk.target_attrs)
+            )
+            from_lines[later] += f" AND {extra}"
         self._execute(
             con,
             f"CREATE VIEW {qid(UNIVERSAL_VIEW)} AS\n"

@@ -1,0 +1,27 @@
+"""``repro.bench`` — the reproducibility bench matrix.
+
+:mod:`repro.bench.matrix` sweeps dataset × question × method ×
+strategy × backend × shards, records per-cell wall time, table and
+ranking fingerprints, certificate verdicts, and phase breakdowns, and
+cross-checks that every cell of the same ``(dataset, question,
+resolved method)`` group is content-identical.  ``repro bench matrix``
+and ``benchmarks/bench_matrix.py`` are thin wrappers over it.
+"""
+
+from .matrix import (
+    PRESETS,
+    BenchMatrixError,
+    MatrixCell,
+    MatrixSpec,
+    run_matrix,
+    write_matrix,
+)
+
+__all__ = [
+    "PRESETS",
+    "BenchMatrixError",
+    "MatrixCell",
+    "MatrixSpec",
+    "run_matrix",
+    "write_matrix",
+]

@@ -1,0 +1,400 @@
+"""The repro bench matrix: one measured cell per configuration.
+
+A *cell* is one end-to-end explanation-table build for a fixed
+``(dataset, question, method, strategy, backend, shards)``.  Each cell
+records
+
+* wall time and the :mod:`repro.obs` per-phase breakdown,
+* the table's :meth:`content_fingerprint` and a fingerprint of the
+  top-K ranking,
+* the plan certificate's verdicts (convergence rule, additivity,
+  recommended method/strategy, tree-ness of the join graph).
+
+After the sweep the matrix *cross-checks itself*: every cell of the
+same ``(dataset, question, resolved method)`` group must agree on both
+fingerprints — backend, strategy, and shard count are pure execution
+knobs, so a disagreement means an engine bug, and :func:`run_matrix`
+raises instead of writing a report that quietly buries it.  (Grouping
+includes the resolved method because the exact/indexed evaluators
+legitimately materialize zero-support candidate cells the cube never
+builds; in the ``small`` preset every cell uses ``method="auto"``, so
+the groups coincide with ``(dataset, question)`` exactly.)
+
+Sharded cells run the partition/merge pipeline in-process
+(``REPRO_SHARD_MODE=inline``): the point of the shard axis here is the
+determinism claim — identical fingerprints at every shard count — not
+parallel speedup, which ``benchmarks/bench_fig13_scaling.py`` measures
+with real worker pools.
+
+Combinations the engine does not support are recorded under
+``skipped`` with a reason, never silently dropped: non-cube methods on
+SQL backends, shards on SQL backends, the indexed evaluator on
+non-count aggregates, and backends whose driver is not installed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..backends import available_backends
+from ..core.cube_algorithm import ExplanationTable, _canonical_cell
+from ..core.explainer import Explainer
+from ..core.question import UserQuestion
+from ..core.topk import RankedExplanation, top_k_explanations
+from ..datasets import natality, tpch
+from ..engine.database import Database
+from ..errors import ReproError
+from ..obs import TraceRecorder
+
+__all__ = [
+    "PRESETS",
+    "BenchMatrixError",
+    "MatrixCell",
+    "MatrixSpec",
+    "ranking_fingerprint",
+    "run_matrix",
+    "write_matrix",
+]
+
+#: One (database, question, attributes) workload.
+Workload = Tuple[Database, UserQuestion, Tuple[str, ...]]
+
+#: Canonical seeds — shared with the differential/golden suites so a
+#: matrix disagreement reproduces directly under pytest.
+TPCH_SF = 0.01
+TPCH_SEED = 2014
+NATALITY_ROWS = 400
+NATALITY_SEED = 7
+
+
+class BenchMatrixError(ReproError):
+    """A cross-check over the finished matrix failed."""
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """The axes one preset sweeps."""
+
+    name: str
+    datasets: Tuple[str, ...]
+    methods: Tuple[str, ...]
+    strategies: Tuple[str, ...]
+    backends: Tuple[str, ...]
+    shard_counts: Tuple[int, ...]
+    top_k: int = 5
+
+
+#: ``small`` is the CI smoke preset: deterministic drivers only
+#: (memory + sqlite ship with CPython) and the certificate-resolved
+#: method.  ``full`` adds duckdb and the explicit exact/indexed
+#: evaluators (memory-only; fixpoint) for method differentials.
+PRESETS: Dict[str, MatrixSpec] = {
+    "small": MatrixSpec(
+        name="small",
+        datasets=("tpch", "natality"),
+        methods=("auto",),
+        strategies=("fixpoint", "closure"),
+        backends=("memory", "sqlite"),
+        shard_counts=(1, 2),
+    ),
+    "full": MatrixSpec(
+        name="full",
+        datasets=("tpch", "natality"),
+        methods=("auto", "exact", "indexed"),
+        strategies=("fixpoint", "closure"),
+        backends=("memory", "sqlite", "duckdb"),
+        shard_counts=(1, 2),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One configuration of the sweep."""
+
+    dataset: str
+    question: str
+    method: str
+    strategy: str
+    backend: str
+    shards: int
+
+    def key(self) -> Dict[str, object]:
+        return {
+            "dataset": self.dataset,
+            "question": self.question,
+            "method": self.method,
+            "strategy": self.strategy,
+            "backend": self.backend,
+            "shards": self.shards,
+        }
+
+
+def _tpch_workloads() -> Dict[str, Workload]:
+    db = tpch.generate(sf=TPCH_SF, seed=TPCH_SEED)
+    return {
+        name: (
+            db,
+            tpch.question(name),
+            tuple(tpch.question_attributes(name)),
+        )
+        for name in tpch.question_names()
+    }
+
+
+def _natality_workloads() -> Dict[str, Workload]:
+    db = natality.generate(rows=NATALITY_ROWS, seed=NATALITY_SEED)
+    return {
+        "race": (
+            db,
+            natality.q_race_question(),
+            tuple(natality.default_attributes("race")),
+        ),
+        "marital": (
+            db,
+            natality.q_marital_question(),
+            tuple(natality.default_attributes("marital")),
+        ),
+    }
+
+
+_DATASET_BUILDERS: Dict[str, Callable[[], Dict[str, Workload]]] = {
+    "tpch": _tpch_workloads,
+    "natality": _natality_workloads,
+}
+
+
+def ranking_fingerprint(ranking: Sequence[RankedExplanation]) -> str:
+    """A sha256 over the canonical top-K ranking.
+
+    Degrees go through the same cell canonicalization as
+    :meth:`ExplanationTable.content_fingerprint`, so SQL float drift
+    (``2.0`` vs ``2``) cannot split fingerprints.
+    """
+    lines = [
+        f"{r.rank}\x1f{r.explanation}\x1f{_canonical_cell(r.degree)}"
+        for r in ranking
+    ]
+    return hashlib.sha256("\x1e".join(lines).encode("utf-8")).hexdigest()
+
+
+def _build_cells(spec: MatrixSpec, questions: Dict[str, Tuple[str, ...]]) -> List[MatrixCell]:
+    cells = []
+    for dataset in spec.datasets:
+        for question in questions[dataset]:
+            for method in spec.methods:
+                for strategy in spec.strategies:
+                    if method in ("exact", "indexed") and strategy != "fixpoint":
+                        # Explicit-method cells pin the baseline
+                        # evaluators; their strategy axis is covered
+                        # by tests/differential/.
+                        continue
+                    for backend in spec.backends:
+                        for shards in spec.shard_counts:
+                            cells.append(
+                                MatrixCell(
+                                    dataset=dataset,
+                                    question=question,
+                                    method=method,
+                                    strategy=strategy,
+                                    backend=backend,
+                                    shards=shards,
+                                )
+                            )
+    return cells
+
+
+def _unsupported(cell: MatrixCell, resolved: str, available: Sequence[str]) -> Optional[str]:
+    """Why this cell cannot run, or None if it can."""
+    if cell.backend not in available:
+        return f"backend {cell.backend!r} is not installed"
+    if cell.backend != "memory" and resolved != "cube":
+        return (
+            f"method {resolved!r} runs only on the in-memory engine; "
+            "SQL backends implement Algorithm 1 (cube)"
+        )
+    if cell.backend != "memory" and cell.shards > 1:
+        return "partition-parallel shards are a memory-engine knob"
+    return None
+
+
+def _run_cell(
+    cell: MatrixCell, workload: Workload, top_k: int
+) -> Tuple[Dict[str, object], ExplanationTable]:
+    database, question, attributes = workload
+    explainer = Explainer(
+        database,
+        question,
+        list(attributes),
+        backend=cell.backend,
+        shards=cell.shards if cell.shards > 1 else None,
+        strategy=cell.strategy,
+    )
+    certificate = explainer.certificate()
+    with TraceRecorder() as recorder:
+        start = time.perf_counter()
+        table = explainer.explanation_table(cell.method)
+        ranking = top_k_explanations(table, top_k)
+        wall_s = time.perf_counter() - start
+    record: Dict[str, object] = dict(cell.key())
+    record.update(
+        {
+            "resolved_method": explainer.resolve_method(cell.method),
+            "wall_s": wall_s,
+            "rows": len(table),
+            "table_fingerprint": table.content_fingerprint(),
+            "ranking_fingerprint": ranking_fingerprint(ranking),
+            "top": [str(r.explanation) for r in ranking],
+            "certificate": {
+                "selected_rule": certificate.convergence.selected_rule,
+                "bound_expression": certificate.convergence.bound_expression,
+                "join_graph_is_tree": certificate.convergence.join_graph_is_tree,
+                "all_exact_cube": (
+                    certificate.additivity.all_exact_cube
+                    if certificate.additivity is not None
+                    else None
+                ),
+                "recommended_method": certificate.recommended_method,
+                "recommended_strategy": certificate.recommended_strategy,
+            },
+            "phases": recorder.aggregate(),
+        }
+    )
+    return record, table
+
+
+def _cross_check(cells: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Group cells and demand fingerprint agreement within each group."""
+    groups: Dict[Tuple[object, object, object], List[Dict[str, object]]] = {}
+    for record in cells:
+        key = (
+            record["dataset"],
+            record["question"],
+            record["resolved_method"],
+        )
+        groups.setdefault(key, []).append(record)
+    summaries: List[Dict[str, object]] = []
+    mismatches: List[str] = []
+    for key, members in sorted(groups.items(), key=lambda kv: str(kv[0])):
+        for field in ("table_fingerprint", "ranking_fingerprint"):
+            values = {str(m[field]) for m in members}
+            if len(values) > 1:
+                mismatches.append(
+                    f"{key}: {field} disagrees across "
+                    f"{len(members)} cells: {sorted(values)}"
+                )
+        summaries.append(
+            {
+                "dataset": key[0],
+                "question": key[1],
+                "resolved_method": key[2],
+                "cells": len(members),
+                "table_fingerprint": members[0]["table_fingerprint"],
+                "ranking_fingerprint": members[0]["ranking_fingerprint"],
+            }
+        )
+    if mismatches:
+        raise BenchMatrixError(
+            "bench matrix cross-check failed — execution knobs changed "
+            "the table contents:\n  " + "\n  ".join(mismatches)
+        )
+    return summaries
+
+
+def run_matrix(
+    preset: str = "small",
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Sweep one preset and return the cross-checked report payload."""
+    if preset not in PRESETS:
+        raise BenchMatrixError(
+            f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
+        )
+    spec = PRESETS[preset]
+    workloads: Dict[str, Dict[str, Workload]] = {}
+    datasets_meta: Dict[str, object] = {}
+    for dataset in spec.datasets:
+        workloads[dataset] = _DATASET_BUILDERS[dataset]()
+        database = next(iter(workloads[dataset].values()))[0]
+        datasets_meta[dataset] = {
+            "fingerprint": database.content_fingerprint(),
+            "relations": {
+                r.name: len(database.relation(r.name))
+                for r in database.schema.relations
+            },
+        }
+    question_names = {
+        dataset: tuple(workloads[dataset]) for dataset in spec.datasets
+    }
+    cells = _build_cells(spec, question_names)
+    available = available_backends()
+
+    ran: List[Dict[str, object]] = []
+    skipped: List[Dict[str, object]] = []
+    previous_mode = os.environ.get("REPRO_SHARD_MODE")
+    os.environ["REPRO_SHARD_MODE"] = "inline"
+    try:
+        for cell in cells:
+            workload = workloads[cell.dataset][cell.question]
+            probe = Explainer(
+                workload[0], workload[1], list(workload[2])
+            )
+            resolved = probe.resolve_method(cell.method)
+            reason = _unsupported(cell, resolved, available)
+            if reason is None and cell.method == "indexed":
+                kinds = {
+                    q.aggregate.kind for q in workload[1].query.aggregates
+                }
+                if not kinds <= {"count", "count_star", "count_distinct"}:
+                    reason = (
+                        "indexed evaluator supports the posting-list "
+                        f"count family only, not {sorted(kinds)}"
+                    )
+            if reason is not None:
+                skipped.append({**cell.key(), "reason": reason})
+                if progress is not None:
+                    progress(f"skip {cell.key()}: {reason}")
+                continue
+            record, _ = _run_cell(cell, workload, spec.top_k)
+            ran.append(record)
+            if progress is not None:
+                progress(
+                    f"{cell.dataset}/{cell.question} {cell.method}"
+                    f"/{cell.strategy}/{cell.backend}/x{cell.shards}"
+                    f": {record['wall_s']:.3f}s"
+                )
+    finally:
+        if previous_mode is None:
+            os.environ.pop("REPRO_SHARD_MODE", None)
+        else:
+            os.environ["REPRO_SHARD_MODE"] = previous_mode
+
+    groups = _cross_check(ran)
+    return {
+        "preset": spec.name,
+        "axes": {
+            "datasets": list(spec.datasets),
+            "questions": {k: list(v) for k, v in question_names.items()},
+            "methods": list(spec.methods),
+            "strategies": list(spec.strategies),
+            "backends": list(spec.backends),
+            "shards": list(spec.shard_counts),
+        },
+        "datasets": datasets_meta,
+        "cells": ran,
+        "skipped": skipped,
+        "groups": groups,
+    }
+
+
+def write_matrix(report: Dict[str, object], path: str) -> None:
+    """Write one :func:`run_matrix` payload as pretty JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

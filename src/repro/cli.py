@@ -35,6 +35,15 @@ Commands
         python -m repro analyze chain --chain-p 4
         python -m repro analyze --all --strict --json
 
+``bench matrix``
+    Sweep dataset × question × method × strategy × backend × shards,
+    cross-check that every cell of the same (dataset, question,
+    resolved method) group agrees on table and ranking fingerprints,
+    and write the per-cell report (wall time, fingerprints,
+    certificate verdicts, phase breakdown) to BENCH_matrix.json::
+
+        python -m repro bench matrix --preset small
+
 ``sql``
     Print the SQL script of Algorithm 1, or program P as datalog, for
     one of the built-in schemas::
@@ -78,14 +87,14 @@ from .core import (
 )
 from .backends import backend_names
 from .core.sqlgen import DIALECTS, algorithm1_script, program_p_datalog
-from .datasets import dblp, geodblp, natality, running_example
+from .datasets import dblp, geodblp, natality, running_example, tpch
 from .engine import Col, Comparison, Const, conj, count_star
 from .engine.csvio import load_table
 from .engine.database import Database
 from .engine.schema import single_table_schema
 from .errors import ReproError
 
-DEMOS = ("running-example", "natality", "dblp", "geodblp")
+DEMOS = ("running-example", "natality", "dblp", "geodblp", "tpch")
 
 #: Commands that accept ``--profile`` (set in ``build_parser``).
 PROFILED_COMMANDS = ("demo", "intervene", "explain", "ask", "report")
@@ -150,6 +159,11 @@ def _demo_setup(name: str, rows: int, scale: float, seed: int):
     if name == "geodblp":
         db = geodblp.generate(scale=scale, seed=seed)
         return db, geodblp.uk_question(), geodblp.default_attributes()
+    if name == "tpch":
+        # --scale multiplies the canonical miniature sf 0.01, so the
+        # default invocation matches the bench/test workload exactly.
+        db = tpch.generate(sf=0.01 * scale, seed=seed)
+        return db, tpch.default_question(), tpch.default_attributes()
     if name == "running-example":
         from .engine import count_distinct
         from .core import single_query
@@ -470,6 +484,21 @@ def cmd_mutate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_matrix(args: argparse.Namespace) -> int:
+    from .bench import run_matrix, write_matrix
+
+    progress = None if args.quiet else lambda msg: print(msg, flush=True)
+    report = run_matrix(args.preset, progress=progress)
+    write_matrix(report, args.out)
+    cells = report["cells"]
+    print(
+        f"bench matrix ({args.preset}): {len(cells)} cells, "
+        f"{len(report['skipped'])} skipped, "
+        f"{len(report['groups'])} fingerprint groups -> {args.out}"
+    )
+    return 0
+
+
 def cmd_sql(args: argparse.Namespace) -> int:
     db, question, attributes = _demo_setup(
         args.dataset, rows=10, scale=0.1, seed=0
@@ -689,6 +718,33 @@ def build_parser() -> argparse.ArgumentParser:
     mutate.add_argument("--json", action="store_true",
                         help="print the raw response payload")
     mutate.set_defaults(func=cmd_mutate)
+
+    bench = sub.add_parser(
+        "bench", help="reproducibility benchmarks (see benchmarks/)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    matrix = bench_sub.add_parser(
+        "matrix",
+        help="sweep dataset x question x method x strategy x backend x "
+        "shards and cross-check fingerprint agreement",
+    )
+    matrix.add_argument(
+        "--preset",
+        choices=("small", "full"),
+        default="small",
+        help="axis sizes: 'small' is the CI smoke matrix (memory+sqlite, "
+        "auto method); 'full' adds duckdb and the exact/indexed methods",
+    )
+    matrix.add_argument(
+        "--out",
+        default="BENCH_matrix.json",
+        metavar="PATH",
+        help="report path (default: BENCH_matrix.json)",
+    )
+    matrix.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress"
+    )
+    matrix.set_defaults(func=cmd_bench_matrix)
 
     sql = sub.add_parser("sql", help="print SQL / datalog renderings")
     sql.add_argument("dataset", choices=DEMOS)

@@ -155,8 +155,18 @@ def _column_alias(qualified: str) -> str:
 
 
 def universal_from_clause(schema: DatabaseSchema) -> str:
-    """The FROM clause joining all relations along the FK tree."""
+    """The FROM clause joining all relations along the FK tree.
+
+    Cycle-closing foreign keys of a ``require_acyclic=False`` schema
+    (the join tree's residual edges) are folded into the ON clause of
+    whichever side joins later, so the rendered join still enforces
+    every declared key without needing a WHERE clause (callers append
+    their own).
+    """
     tree = JoinTree(schema)
+    position = {
+        name: i for i, (name, _) in enumerate(tree.traversal_order)
+    }
     lines: List[str] = []
     for name, fk in tree.traversal_order:
         if fk is None:
@@ -177,6 +187,13 @@ def universal_from_clause(schema: DatabaseSchema) -> str:
         lines.append(
             f"  JOIN {name} ON " + " AND ".join(conditions)
         )
+    for fk in tree.residual_edges:
+        later = max(position[fk.source], position[fk.target])
+        extra = " AND ".join(
+            f"{fk.source}.{s} = {fk.target}.{t}"
+            for s, t in zip(fk.source_attrs, fk.target_attrs)
+        )
+        lines[later] += f" AND {extra}"
     return "\n".join(lines)
 
 

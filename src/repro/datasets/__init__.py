@@ -11,9 +11,12 @@ Each module reproduces one of the paper's data sources:
   with the UK SIGMOD/PODS anomaly (Figure 15);
 * :mod:`~repro.datasets.natality` — a synthetic natality table whose
   conditional distributions are planted from the paper's published
-  counts (Figures 7–11).
+  counts (Figures 7–11);
+* :mod:`~repro.datasets.tpch` — a miniature TPC-H with the real
+  (cyclic) eight-table foreign-key graph and planted regional/part
+  phenomena, the workload pack behind ``repro bench matrix``.
 """
 
-from . import chains, dblp, geodblp, natality, running_example
+from . import chains, dblp, geodblp, natality, running_example, tpch
 
-__all__ = ["chains", "dblp", "geodblp", "natality", "running_example"]
+__all__ = ["chains", "dblp", "geodblp", "natality", "running_example", "tpch"]

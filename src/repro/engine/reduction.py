@@ -14,6 +14,16 @@ reduction applied to ``R_i - Δ_i``, so the fixpoint loop in
 :mod:`repro.core.intervention` calls :func:`reduce_row_sets` on plain
 row-set dictionaries for speed, while :func:`semijoin_reduce` offers
 the same service at the :class:`Database` level.
+
+Cyclic schemas (``require_acyclic=False``; TPC-H's partsupp diamond)
+add the join tree's :attr:`~repro.engine.universal.JoinTree.residual_edges`
+as extra semijoin pairs and iterate all passes to a fixpoint, because
+one sweep no longer guarantees pairwise consistency.  Removal-only
+semijoins are confluent, so the fixpoint is order-independent and
+deterministic.  Note that for a cyclic join graph pairwise consistency
+is necessary but not sufficient for global consistency; program P's
+rule (i) restores the global property by seeding every tuple outside
+``Π_{A_i}(σ_{¬φ} U(D))`` directly.
 """
 
 from __future__ import annotations
@@ -71,24 +81,51 @@ def reduce_row_sets(
     an acyclic schema implies global consistency.
     """
     tree = join_tree or JoinTree(schema)
-    for child, parent, fk in tree.bottom_up_edges():
-        _semijoin_in_place(
-            schema,
-            rowsets,
-            parent,
-            _edge_attrs(fk, parent),
-            child,
-            _edge_attrs(fk, child),
-        )
-    for child, parent, fk in tree.top_down_edges():
-        _semijoin_in_place(
-            schema,
-            rowsets,
-            child,
-            _edge_attrs(fk, child),
-            parent,
-            _edge_attrs(fk, parent),
-        )
+
+    def sweep() -> bool:
+        changed = False
+        for child, parent, fk in tree.bottom_up_edges():
+            changed |= _semijoin_in_place(
+                schema,
+                rowsets,
+                parent,
+                _edge_attrs(fk, parent),
+                child,
+                _edge_attrs(fk, child),
+            )
+        for child, parent, fk in tree.top_down_edges():
+            changed |= _semijoin_in_place(
+                schema,
+                rowsets,
+                child,
+                _edge_attrs(fk, child),
+                parent,
+                _edge_attrs(fk, parent),
+            )
+        for fk in tree.residual_edges:
+            changed |= _semijoin_in_place(
+                schema,
+                rowsets,
+                fk.source,
+                _edge_attrs(fk, fk.source),
+                fk.target,
+                _edge_attrs(fk, fk.target),
+            )
+            changed |= _semijoin_in_place(
+                schema,
+                rowsets,
+                fk.target,
+                _edge_attrs(fk, fk.target),
+                fk.source,
+                _edge_attrs(fk, fk.source),
+            )
+        return changed
+
+    if not tree.residual_edges:
+        sweep()  # one Yannakakis double pass fully reduces a tree
+        return rowsets
+    while sweep():
+        pass
     return rowsets
 
 

@@ -286,6 +286,36 @@ class DatabaseSchema:
         return tuple(fk for fk in self.foreign_keys if fk.target == target)
 
     @property
+    def join_graph_is_tree(self) -> bool:
+        """Is the undirected foreign-key join graph a (connected) tree?
+
+        Always true for ``require_acyclic`` schemas (construction
+        enforces it); ``require_acyclic=False`` schemas such as TPC-H
+        answer false when the declared keys close a cycle.  The sharper
+        convergence propositions (3.5/3.10/3.11) assume a join tree, so
+        :mod:`repro.analysis.fkgraph` gates on this property.
+        """
+        if len(self.relations) == 1:
+            return not self.foreign_keys
+        edges = {frozenset((fk.source, fk.target)) for fk in self.foreign_keys}
+        if len(self.foreign_keys) != len(edges):
+            return False  # multi-edge between one relation pair
+        if len(edges) != len(self.relations) - 1:
+            return False
+        adjacency: Dict[str, List[str]] = {r.name: [] for r in self.relations}
+        for fk in self.foreign_keys:
+            adjacency[fk.source].append(fk.target)
+            adjacency[fk.target].append(fk.source)
+        seen = {self.relations[0].name}
+        stack = [self.relations[0].name]
+        while stack:
+            for neighbour in adjacency[stack.pop()]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        return len(seen) == len(self.relations)
+
+    @property
     def back_and_forth_keys(self) -> Tuple[ForeignKey, ...]:
         """Only the back-and-forth foreign keys."""
         return tuple(fk for fk in self.foreign_keys if fk.back_and_forth)

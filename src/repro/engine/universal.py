@@ -5,6 +5,14 @@ relations; :class:`JoinTree` materializes that tree once per schema and
 is shared by the universal-relation computation here and the semijoin
 reducer in :mod:`repro.engine.reduction`.
 
+Schemas declared with ``require_acyclic=False`` may carry more foreign
+keys than a tree needs (TPC-H's partsupp diamond closes a cycle
+through lineitem–orders–customer–nation–supplier–partsupp).  The BFS
+spanning tree still drives the join order; the left-over foreign keys
+become :attr:`JoinTree.residual_edges` and are enforced as equality
+filters on the assembled rows, so ``U(D)`` remains the natural join
+over *all* declared keys, not just the spanning tree.
+
 Universal-table columns are *qualified* (``Relation.attr``), matching
 the paper's predicate syntax ``[R_i.A op c]``.  Join columns from both
 sides are kept (e.g. both ``Authored.id`` and ``Author.id`` appear,
@@ -65,6 +73,14 @@ class JoinTree:
             other = fk.target if fk.source == name else fk.source
             self.parent[name] = (other, fk)
             joined.add(name)
+        #: Foreign keys not used by the BFS spanning tree (cycle-closing
+        #: edges of a ``require_acyclic=False`` schema).  Both endpoints
+        #: are always in the tree, so these become row filters on the
+        #: assembled universal table.  Empty for tree schemas.
+        tree_fks = {id(fk) for _, fk in order[1:] if fk is not None}
+        self.residual_edges: Tuple[ForeignKey, ...] = tuple(
+            fk for fk in schema.foreign_keys if id(fk) not in tree_fks
+        )
 
     def children_of(self, name: str) -> List[str]:
         """Direct children of *name* in the rooted tree."""
@@ -134,8 +150,33 @@ def universal_table(
             # equality.
             result = _join_keep_all(result, piece, left_on, right_on)
         assert result is not None
+        for fk in tree.residual_edges:
+            result = _filter_residual(result, fk)
         ph.annotate(rows=len(result))
     return result
+
+
+def _filter_residual(table: Table, fk: ForeignKey) -> Table:
+    """Keep rows satisfying a cycle-closing foreign key's equality.
+
+    Both sides of *fk* are already joined in, so the constraint is a
+    plain per-row comparison of the two qualified column tuples.
+    """
+    source_cols = [
+        table.column(c) for c in fk_join_columns(fk, fk.source)
+    ]
+    target_cols = [
+        table.column(c) for c in fk_join_columns(fk, fk.target)
+    ]
+    keep = [
+        i
+        for i in range(len(table))
+        if all(s[i] == t[i] for s, t in zip(source_cols, target_cols))
+    ]
+    if len(keep) == len(table):
+        return table
+    data = [[col[i] for i in keep] for col in table.column_arrays()]
+    return Table.from_columns(list(table.columns), data, nrows=len(keep))
 
 
 def _join_keep_all(

@@ -83,11 +83,19 @@ def _load_geodblp(scale: float = 1.0, seed: int = 2014):
     return db, geodblp.uk_question(), geodblp.default_attributes()
 
 
+def _load_tpch(sf: float = 0.01, seed: int = 2014):
+    from ..datasets import tpch
+
+    db = tpch.generate(sf=sf, seed=seed)
+    return db, tpch.default_question(), tpch.default_attributes()
+
+
 _BUILTIN_LOADERS: Dict[str, DatasetLoader] = {
     "running-example": _load_running_example,
     "natality": _load_natality,
     "dblp": _load_dblp,
     "geodblp": _load_geodblp,
+    "tpch": _load_tpch,
 }
 
 

@@ -14,7 +14,7 @@ from repro.analysis import (
 )
 from repro.core.explainer import AUTO_METHOD, Explainer
 from repro.core.parsing import parse_question
-from repro.datasets import chains, dblp, geodblp, natality
+from repro.datasets import chains, dblp, geodblp, natality, tpch
 from repro.datasets import running_example as rex
 
 ATTRS = ["Author.inst", "Publication.year"]
@@ -123,7 +123,7 @@ class TestAnalyzePlan:
 
 class TestDatasetSelfCertification:
     @pytest.mark.parametrize(
-        "module", [chains, rex, natality, dblp, geodblp]
+        "module", [chains, rex, natality, dblp, geodblp, tpch]
     )
     def test_certified_convergence(self, module):
         # Each bundled dataset asserts its own convergence class; a

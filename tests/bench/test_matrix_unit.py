@@ -1,0 +1,141 @@
+"""Unit tests for the bench-matrix internals.
+
+The end-to-end sweep is exercised by ``repro bench matrix`` in
+tests/core/test_cli.py; these tests pin the pieces a report consumer
+relies on — the preset axes, the skip reasons, the ranking-fingerprint
+canonicalization, and the cross-check's refusal to write a report when
+execution knobs change the answer.
+"""
+
+import pytest
+
+from repro.bench import PRESETS, BenchMatrixError, MatrixCell, run_matrix
+from repro.bench.matrix import (
+    _build_cells,
+    _cross_check,
+    _unsupported,
+    ranking_fingerprint,
+)
+from repro.core.topk import RankedExplanation
+
+
+def _cell(**overrides):
+    base = dict(
+        dataset="tpch",
+        question="promo-share",
+        method="auto",
+        strategy="fixpoint",
+        backend="memory",
+        shards=1,
+    )
+    base.update(overrides)
+    return MatrixCell(**base)
+
+
+def _record(**overrides):
+    base = {
+        **_cell().key(),
+        "resolved_method": "cube",
+        "table_fingerprint": "t0",
+        "ranking_fingerprint": "r0",
+    }
+    base.update(overrides)
+    return base
+
+
+class TestPresets:
+    def test_small_preset_covers_the_acceptance_floor(self):
+        spec = PRESETS["small"]
+        questions = {"tpch": ("q",) * 7, "natality": ("q",) * 2}
+        cells = _build_cells(spec, questions)
+        # 9 workloads x 2 strategies x (memory x {1,2} + sqlite x 1)
+        # runnable combos = 54 >= the 48-cell acceptance floor; the
+        # sqlite x 2 combos are built too but recorded as skipped.
+        runnable = [
+            c for c in cells if c.backend == "memory" or c.shards == 1
+        ]
+        assert len(runnable) >= 48
+
+    def test_full_preset_extends_small(self):
+        small, full = PRESETS["small"], PRESETS["full"]
+        assert set(small.backends) < set(full.backends)
+        assert set(small.methods) < set(full.methods)
+
+    def test_explicit_methods_pin_fixpoint_only(self):
+        cells = _build_cells(PRESETS["full"], {"tpch": ("q",), "natality": ()})
+        assert not [
+            c
+            for c in cells
+            if c.method in ("exact", "indexed") and c.strategy != "fixpoint"
+        ]
+
+
+class TestUnsupported:
+    def test_missing_backend(self):
+        reason = _unsupported(
+            _cell(backend="duckdb"), "cube", ("memory", "sqlite")
+        )
+        assert "not installed" in reason
+
+    def test_non_cube_on_sql_backend(self):
+        reason = _unsupported(
+            _cell(backend="sqlite", method="indexed"),
+            "indexed",
+            ("memory", "sqlite"),
+        )
+        assert "in-memory engine" in reason
+
+    def test_shards_on_sql_backend(self):
+        reason = _unsupported(
+            _cell(backend="sqlite", shards=2), "cube", ("memory", "sqlite")
+        )
+        assert "memory-engine knob" in reason
+
+    def test_memory_cube_runs(self):
+        assert _unsupported(_cell(shards=2), "cube", ("memory",)) is None
+
+
+class TestRankingFingerprint:
+    def test_sql_numeric_drift_is_canonicalized(self):
+        a = [RankedExplanation(1, "[X = 'a']", 2.0, ())]
+        b = [RankedExplanation(1, "[X = 'a']", 2, ())]
+        assert ranking_fingerprint(a) == ranking_fingerprint(b)
+
+    def test_order_and_degree_are_significant(self):
+        a = [RankedExplanation(1, "[X = 'a']", 2.0, ())]
+        b = [RankedExplanation(1, "[X = 'a']", 3.0, ())]
+        assert ranking_fingerprint(a) != ranking_fingerprint(b)
+
+
+class TestCrossCheck:
+    def test_agreeing_groups_summarize(self):
+        groups = _cross_check([_record(), _record(backend="sqlite")])
+        assert len(groups) == 1
+        assert groups[0]["cells"] == 2
+        assert groups[0]["table_fingerprint"] == "t0"
+
+    def test_methods_group_separately(self):
+        groups = _cross_check(
+            [
+                _record(),
+                _record(
+                    method="exact",
+                    resolved_method="exact",
+                    table_fingerprint="t1",
+                    ranking_fingerprint="r1",
+                ),
+            ]
+        )
+        assert len(groups) == 2
+
+    def test_disagreement_raises(self):
+        with pytest.raises(BenchMatrixError, match="table_fingerprint"):
+            _cross_check(
+                [_record(), _record(backend="sqlite", table_fingerprint="t1")]
+            )
+
+
+class TestRunMatrix:
+    def test_unknown_preset_raises(self):
+        with pytest.raises(BenchMatrixError, match="unknown preset"):
+            run_matrix("colossal")

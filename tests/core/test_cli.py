@@ -373,3 +373,34 @@ class TestAnalyze:
     def test_unknown_dataset_fails(self, capsys):
         assert main(["analyze", "no-such-dataset"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_tpch_cyclic_certificate(self, capsys):
+        """The partsupp diamond forces the honest prop-3.4 verdict:
+        sharp rules refuse (cyclic join graph), RS009 flags it, and
+        --strict still passes because warnings are not errors."""
+        assert main(["analyze", "tpch", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "prop-3.4" in out
+        assert "n - 1" in out
+        assert "RS009" in out
+        assert "cyclic" in out
+        assert "recommended method: cube" in out
+
+
+class TestBenchMatrix:
+    def test_small_preset_end_to_end(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_matrix.json"
+        assert main(
+            ["bench", "matrix", "--preset", "small", "--quiet",
+             "--out", str(out_path)]
+        ) == 0
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert report["preset"] == "small"
+        assert len(report["cells"]) >= 48
+        # Every (dataset, question, resolved method) group agreed on
+        # both fingerprints — run_matrix raises otherwise — and the
+        # summary line says where the report went.
+        assert report["groups"]
+        assert "BENCH_matrix.json" in capsys.readouterr().out

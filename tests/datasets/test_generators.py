@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datasets import chains, dblp, geodblp, natality
+from repro.datasets import chains, dblp, geodblp, natality, tpch
 from repro.datasets import running_example as rex
 from repro.engine.reduction import database_is_reduced
 
@@ -239,6 +239,77 @@ class TestNatalityWideAttributes:
             return poor / max(poor + good, 1)
 
         assert poor_rate("preterm") > poor_rate("term")
+
+
+class TestTpch:
+    def test_deterministic(self):
+        assert tpch.generate(sf=0.01, seed=9) == tpch.generate(
+            sf=0.01, seed=9
+        )
+
+    def test_integrity_not_reduced(self):
+        db = tpch.generate(sf=0.01, seed=2014)
+        db.check_integrity()
+        # Deliberately NOT semijoin-reduced: the single Nation instance
+        # on the Customer-Nation-Supplier cycle means only "local
+        # supplier" lineitems survive into U (TPC-H Q5 semantics), and
+        # the non-local remainder is exactly what program P's rules
+        # (ii)/(iii) get to cascade over.
+        assert not database_is_reduced(db)
+
+    def test_eight_relations_cyclic_schema(self):
+        db = tpch.generate(sf=0.01, seed=2014)
+        assert len(db.schema.relations) == 8
+        assert len(db.schema.foreign_keys) == 8
+        # 8 FKs over 8 relations = one cycle; certified_convergence()
+        # asserts the analyzer sees it (non-tree join graph, prop-3.4).
+        tpch.certified_convergence()
+
+    def test_local_supplier_majority_in_universal(self):
+        """U keeps only customer-nation == supplier-nation lineitems;
+        the planted 65% local-supplier rate keeps U large enough that
+        every planted question has support."""
+        from repro.engine.universal import universal_table
+
+        db = tpch.generate(sf=0.01, seed=2014)
+        u = universal_table(db)
+        lineitems = len(db.relation("Lineitem"))
+        assert 0.5 * lineitems < len(u.rows()) < 0.8 * lineitems
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in ("europe-bump", "region-share", "returned-share",
+                     "promo-share", "urgent-air", "brand-revenue")],
+    )
+    def test_planted_top_explanation(self, name):
+        """The registry's planted atom appears in the rank-1
+        explanation at the canonical instance (sf 0.01, seed 2014).
+        france-surge has no single planted driver and is pinned by the
+        golden snapshot instead."""
+        from repro.core import Explainer
+
+        db = tpch.generate(sf=0.01, seed=2014)
+        _, _, planted = tpch.QUESTIONS[name]
+        ex = Explainer(
+            db, tpch.question(name), tpch.question_attributes(name)
+        )
+        top = ex.top(1)
+        assert top, f"{name}: empty ranking"
+        assert planted in str(top[0].explanation), (
+            f"{name}: planted {planted!r} not in {top[0].explanation}"
+        )
+
+    def test_question_registry_helpers(self):
+        names = tpch.question_names()
+        assert len(names) == 7
+        assert tpch.default_attributes() == tpch.question_attributes(
+            "europe-bump"
+        )
+        assert str(tpch.default_question()) == str(
+            tpch.question("europe-bump")
+        )
+        with pytest.raises(KeyError):
+            tpch.question("no-such-question")
 
 
 class TestGeneratorEdgeCases:

@@ -30,6 +30,7 @@ MUTATED = {
     "natality-small": "Birth",
     "dblp-small": "Authored",
     "geodblp-small": "Authored",
+    "tpch-small": "Lineitem",
 }
 
 

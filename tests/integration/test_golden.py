@@ -75,6 +75,20 @@ def compute_rankings():
         [r.rank, str(r.explanation), round(float(r.degree), 6)]
         for r in ex.top(5)
     ]
+
+    # One golden per planted TPC-H question at the canonical instance
+    # (sf 0.01, seed 2014) — the same workloads the bench matrix runs.
+    from repro.datasets import tpch
+
+    db = tpch.generate(sf=0.01, seed=2014)
+    for name in tpch.question_names():
+        ex = Explainer(
+            db, tpch.question(name), list(tpch.question_attributes(name))
+        )
+        out[f"tpch_{name.replace('-', '_')}_sf001"] = [
+            [r.rank, str(r.explanation), round(float(r.degree), 6)]
+            for r in ex.top(5)
+        ]
     return out
 
 
@@ -98,6 +112,13 @@ class TestGoldenRankings:
             "natality_qrace_10k",
             "dblp_bump_s05",
             "geodblp_uk_s10",
+            "tpch_europe_bump_sf001",
+            "tpch_region_share_sf001",
+            "tpch_returned_share_sf001",
+            "tpch_promo_share_sf001",
+            "tpch_urgent_air_sf001",
+            "tpch_brand_revenue_sf001",
+            "tpch_france_surge_sf001",
         ],
     )
     def test_ranking_stable(self, golden, current, workload):

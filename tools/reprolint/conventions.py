@@ -25,6 +25,7 @@ LAYERS: Dict[str, int] = {
     "analysis": 4,
     "backends": 5,
     "datasets": 5,
+    "bench": 6,
     "service": 6,
 }
 
